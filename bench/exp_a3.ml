@@ -1,0 +1,77 @@
+(* R-A3 (ablation): write-back vs. write-through updates.
+
+   The third per-partition design axis (TinySTM's write strategy): in-place
+   writes with undo logs make commits free and aborts expensive.  Expected
+   shape: write-through wins on low-conflict write-heavy partitions (bank
+   transfers) and loses on the contended list where aborts dominate; the
+   tuner picks per partition. *)
+
+open Partstm_core
+open Partstm_harness
+open Partstm_workloads
+
+let strategies =
+  [
+    ("write-back", Strategy.global_invisible);
+    ("write-through", Strategy.Fixed Strategy.write_through);
+    ("tuned", Strategy.tuned);
+  ]
+
+type scenario =
+  | Scenario : {
+      sc_name : string;
+      sc_setup : System.t -> strategy:Strategy.t -> 's;
+      sc_worker : 's -> Driver.ctx -> int;
+      sc_verify : 's -> bool;
+    }
+      -> scenario
+
+let scenarios =
+  [
+    Scenario
+      {
+        sc_name = "bank (low-conflict writers)";
+        sc_setup = (fun s ~strategy -> Bank.setup s ~strategy Bank.default_config);
+        sc_worker = Bank.worker;
+        sc_verify = Bank.check;
+      };
+    Scenario
+      {
+        sc_name = "intset ll-u60 (contended)";
+        sc_setup =
+          (fun s ~strategy ->
+            Intset.setup s ~strategy
+              {
+                (Intset.default_config Intset.Linked_list) with
+                initial_size = 64;
+                key_range = 128;
+                update_percent = 60;
+              });
+        sc_worker = Intset.worker;
+        sc_verify = Intset.check;
+      };
+  ]
+
+let run (cfg : Bench_config.t) =
+  Bench_config.section "R-A3 (ablation): write-back vs write-through updates";
+  let workers = List.fold_left max 1 (Bench_config.worker_counts cfg) in
+  let table =
+    Partstm_util.Table.create
+      ~title:(Printf.sprintf "update strategy x workload, %d cores (txn/Mcycle)" workers)
+      ~header:("workload" :: List.map fst strategies)
+  in
+  List.iter
+    (fun (Scenario { sc_name; sc_setup; sc_worker; sc_verify }) ->
+      let row =
+        sc_name
+        :: List.map
+             (fun (_, strategy) ->
+               Printf.sprintf "%.0f"
+                 (Bench_config.run_workload cfg ~workers ~strategy ~setup:sc_setup
+                    ~worker:sc_worker ~verify:sc_verify ()))
+             strategies
+      in
+      Partstm_util.Table.add_row table row)
+    scenarios;
+  Partstm_util.Table.print table;
+  print_newline ()

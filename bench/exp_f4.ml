@@ -1,0 +1,49 @@
+(* R-F4: dynamic workloads — throughput over time under phase changes.
+
+   The partition alternates between read-mostly and update-heavy phases.
+   Static configurations are wrong in some phases; the runtime tuner
+   re-tunes after each flip.  The time series plots throughput per progress
+   bucket; the tuner's decision trace is printed alongside (feeding R-T3). *)
+
+open Partstm_core
+open Partstm_harness
+open Partstm_workloads
+module Figure = Partstm_harness.Figure
+
+let run_series (cfg : Bench_config.t) ~strategy =
+  let system = System.create ~max_workers:16 () in
+  let config = Phased.default_config in
+  let state = Phased.setup system ~strategy config in
+  let tuner = if Strategy.uses_tuner strategy then Some (System.tuner system) else None in
+  let cycles = 2 * Bench_config.sim_cycles cfg in
+  ignore
+    (Driver.run ?tuner ~tuner_steps:80 ~mode:(Driver.default_sim ~cycles ()) ~workers:8
+       (fun ctx -> Phased.worker state ctx));
+  if not (Phased.check state) then failwith "phased: invariants violated";
+  (Phased.time_series state, tuner)
+
+let run (cfg : Bench_config.t) =
+  Bench_config.section "R-F4: dynamic workload phases (throughput over time)";
+  let figure =
+    Figure.create ~id:"rf4-phased" ~title:"R-F4 phased workload (8 cores)" ~xlabel:"time bucket"
+      ~ylabel:"ops/bucket"
+  in
+  let tuned_trace = ref None in
+  List.iter
+    (fun (label, strategy) ->
+      let series, tuner = run_series cfg ~strategy in
+      if Option.is_some tuner then tuned_trace := tuner;
+      Figure.add_series figure ~label
+        (Array.to_list (Array.mapi (fun i ops -> (float_of_int i, float_of_int ops)) series)))
+    [
+      ("static-invisible", Strategy.global_invisible);
+      ("static-visible", Strategy.global_visible);
+      ("tuned", Strategy.tuned);
+    ];
+  Bench_config.emit cfg figure;
+  match !tuned_trace with
+  | Some tuner ->
+      Printf.printf "Tuner decisions during the tuned run:\n";
+      List.iter (fun ev -> Format.printf "  %a@." Tuner.pp_event ev) (Tuner.trace tuner);
+      print_newline ()
+  | None -> ()

@@ -1,0 +1,74 @@
+(* R-T1: partition inventory and per-partition characteristics.
+
+   Reproduces the paper's claim that "these applications contain partitions
+   with different characteristics": the compile-time analysis derives the
+   inventory, and a tuned run at 8 workers shows per-partition access
+   shares, update ratios and abort rates differing widely within one
+   application. *)
+
+open Partstm_util
+open Partstm_stm
+open Partstm_core
+open Partstm_harness
+open Partstm_workloads
+
+let run_and_report (cfg : Bench_config.t) name setup worker =
+  let system = System.create ~max_workers:16 () in
+  let state = setup system ~strategy:Strategy.tuned in
+  Registry.reset_stats (System.registry system);
+  let tuner = System.tuner system in
+  ignore
+    (Driver.run ~tuner
+       ~mode:(Driver.default_sim ~cycles:(Bench_config.sim_cycles cfg) ())
+       ~workers:8 (worker state));
+  List.map (fun row -> (name, row)) (Registry.report (System.registry system))
+
+let run (cfg : Bench_config.t) =
+  Bench_config.section "R-T1: partition inventory and per-partition characteristics";
+  (* Compile-time inventory from the DSA mirrors. *)
+  Table.print (Partstm_dsa.Report.inventory_table ());
+  print_newline ();
+  (* Runtime per-partition statistics (8 workers, tuned). *)
+  let rows =
+    List.concat
+      [
+        run_and_report cfg "mixed"
+          (fun s ~strategy -> Mixed.setup s ~strategy Mixed.default_config)
+          (fun state ctx -> Mixed.worker state ctx);
+        run_and_report cfg "vacation"
+          (fun s ~strategy -> Vacation.setup s ~strategy Vacation.default_config)
+          (fun state ctx -> Vacation.worker state ctx);
+        run_and_report cfg "kmeans"
+          (fun s ~strategy -> Kmeans.setup s ~strategy Kmeans.default_config)
+          (fun state ctx -> Kmeans.worker state ctx);
+        run_and_report cfg "genome"
+          (fun s ~strategy -> Genome.setup s ~strategy Genome.default_config)
+          (fun state ctx -> Genome.worker state ctx);
+        run_and_report cfg "labyrinth"
+          (fun s ~strategy -> Labyrinth.setup s ~strategy Labyrinth.default_config)
+          (fun state ctx -> Labyrinth.worker state ctx);
+        run_and_report cfg "bank"
+          (fun s ~strategy -> Bank.setup s ~strategy Bank.default_config)
+          (fun state ctx -> Bank.worker state ctx);
+      ]
+  in
+  let table =
+    Table.create ~title:"R-T1: per-partition statistics (8 workers, tuned)"
+      ~header:
+        [ "benchmark"; "partition"; "tvars"; "access%"; "update-ratio"; "abort-rate"; "final mode" ]
+  in
+  List.iter
+    (fun (bench, row) ->
+      let stats = row.Registry.row_stats in
+      Table.add_row table
+        [
+          bench;
+          row.Registry.row_name;
+          string_of_int row.Registry.row_tvars;
+          Printf.sprintf "%.1f" (100.0 *. row.Registry.row_access_share);
+          Printf.sprintf "%.3f" (Region_stats.update_txn_ratio stats);
+          Printf.sprintf "%.3f" (Region_stats.abort_rate stats);
+          Fmt.str "%a" Mode.pp row.Registry.row_mode;
+        ])
+    rows;
+  Table.print table

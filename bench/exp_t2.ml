@@ -1,0 +1,105 @@
+(* R-T2: overhead of partition tracking (single-thread op-level latency).
+
+   Bechamel micro-benchmarks measure real wall-clock latency of single
+   transactions on this machine: a baseline transaction in one region vs.
+   the same work spread over three partitions (adds per-partition
+   bookkeeping) vs. running with a registered tuner-ready system.  The
+   paper's claim is that this overhead is modest; the table quantifies it. *)
+
+open Bechamel
+open Partstm_stm
+open Partstm_core
+
+(* One-region baseline: a transaction reading and writing 3 tvars. *)
+let make_baseline () =
+  let system = System.create () in
+  let p = System.partition system "only" in
+  let tvars = Array.init 3 (fun _ -> Partition.tvar p 0) in
+  let txn = System.descriptor system ~worker_id:0 in
+  fun () ->
+    Txn.atomically txn (fun t ->
+        Array.iter (fun v -> Txn.write t v (Txn.read t v + 1)) tvars)
+
+(* Partition-tracked: the same 3 accesses, one per partition. *)
+let make_partitioned () =
+  let system = System.create () in
+  let partitions = Array.init 3 (fun i -> System.partition system (Printf.sprintf "p%d" i)) in
+  let tvars = Array.map (fun p -> Partition.tvar p 0) partitions in
+  let txn = System.descriptor system ~worker_id:0 in
+  fun () ->
+    Txn.atomically txn (fun t ->
+        Array.iter (fun v -> Txn.write t v (Txn.read t v + 1)) tvars)
+
+(* Read-only transaction costs, both layouts. *)
+let make_baseline_ro () =
+  let system = System.create () in
+  let p = System.partition system "only" in
+  let tvars = Array.init 8 (fun _ -> Partition.tvar p 0) in
+  let txn = System.descriptor system ~worker_id:0 in
+  fun () ->
+    Txn.atomically txn (fun t ->
+        let sum = ref 0 in
+        Array.iter (fun v -> sum := !sum + Txn.read t v) tvars;
+        !sum)
+
+let make_partitioned_ro () =
+  let system = System.create () in
+  let partitions = Array.init 4 (fun i -> System.partition system (Printf.sprintf "p%d" i)) in
+  let tvars = Array.init 8 (fun i -> Partition.tvar partitions.(i mod 4) 0) in
+  let txn = System.descriptor system ~worker_id:0 in
+  fun () ->
+    Txn.atomically txn (fun t ->
+        let sum = ref 0 in
+        Array.iter (fun v -> sum := !sum + Txn.read t v) tvars;
+        !sum)
+
+(* Visible-read transaction (per-read RMW cost). *)
+let make_visible_ro () =
+  let system = System.create () in
+  let p =
+    System.partition system "vis" ~mode:(Mode.make ~visibility:Mode.Visible ())
+  in
+  let tvars = Array.init 8 (fun _ -> Partition.tvar p 0) in
+  let txn = System.descriptor system ~worker_id:0 in
+  fun () ->
+    Txn.atomically txn (fun t ->
+        let sum = ref 0 in
+        Array.iter (fun v -> sum := !sum + Txn.read t v) tvars;
+        !sum)
+
+let tests =
+  Test.make_grouped ~name:"R-T2"
+    [
+      Test.make ~name:"rw3-one-partition" (Staged.stage (make_baseline ()));
+      Test.make ~name:"rw3-three-partitions" (Staged.stage (make_partitioned ()));
+      Test.make ~name:"ro8-one-partition" (Staged.stage (make_baseline_ro ()));
+      Test.make ~name:"ro8-four-partitions" (Staged.stage (make_partitioned_ro ()));
+      Test.make ~name:"ro8-visible-reads" (Staged.stage (make_visible_ro ()));
+    ]
+
+let run (cfg : Bench_config.t) =
+  Bench_config.section "R-T2: partition-tracking overhead (bechamel, wall clock)";
+  let quota = if cfg.Bench_config.quick then 0.25 else 1.0 in
+  let benchmark_config = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:(Some 1000) () in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let raw = Benchmark.all benchmark_config instances tests in
+  let results =
+    List.map (fun instance -> Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false
+        ~predictors:[| Measure.run |]) instance raw)
+      instances
+  in
+  let table =
+    Partstm_util.Table.create ~title:"R-T2: single-thread transaction latency"
+      ~header:[ "benchmark"; "ns/txn" ]
+  in
+  List.iter
+    (fun analyzed ->
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ estimate ] -> Partstm_util.Table.add_row table [ name; Printf.sprintf "%.1f" estimate ]
+          | Some _ | None -> Partstm_util.Table.add_row table [ name; "n/a" ])
+        analyzed)
+    results;
+  Partstm_util.Table.print table;
+  print_newline ()

@@ -1,0 +1,51 @@
+(* R-T3: tuning decision traces — which configuration each partition
+   converges to.
+
+   Runs the mixed application and the contended linked list under the tuner
+   and prints the full decision log plus the final per-partition modes.
+   Expected convergence: mixed-stats to whole-region granularity,
+   mixed-tree refined invisible, the hot list towards visible reads. *)
+
+open Partstm_stm
+open Partstm_core
+open Partstm_harness
+open Partstm_workloads
+
+let trace_of cfg name setup worker =
+  let system = System.create ~max_workers:24 () in
+  let state = setup system ~strategy:Strategy.tuned in
+  Registry.reset_stats (System.registry system);
+  let tuner = System.tuner system in
+  ignore
+    (Driver.run ~tuner
+       ~mode:(Driver.default_sim ~cycles:(2 * Bench_config.sim_cycles cfg) ())
+       ~workers:16 (worker state));
+  Printf.printf "%s: %d tuner decisions\n" name (Tuner.switches tuner);
+  List.iter (fun ev -> Format.printf "  %a@." Tuner.pp_event ev) (Tuner.trace tuner);
+  let table =
+    Partstm_util.Table.create
+      ~title:(name ^ ": final per-partition configuration")
+      ~header:[ "partition"; "tvars"; "final mode" ]
+  in
+  List.iter
+    (fun row ->
+      Partstm_util.Table.add_row table
+        [
+          row.Registry.row_name;
+          string_of_int row.Registry.row_tvars;
+          Fmt.str "%a" Mode.pp row.Registry.row_mode;
+        ])
+    (Registry.report (System.registry system));
+  Partstm_util.Table.print table;
+  print_newline ()
+
+let run (cfg : Bench_config.t) =
+  Bench_config.section "R-T3: tuning decision traces and converged configurations";
+  trace_of cfg "mixed"
+    (fun s ~strategy -> Mixed.setup s ~strategy Mixed.default_config)
+    (fun state ctx -> Mixed.worker state ctx);
+  trace_of cfg "intset-ll-u60"
+    (fun s ~strategy ->
+      Intset.setup s ~strategy
+        { (Intset.default_config Intset.Linked_list) with initial_size = 64; key_range = 128; update_percent = 60 })
+    (fun state ctx -> Intset.worker state ctx)

@@ -1,0 +1,224 @@
+(* partstm command-line interface.
+
+   Subcommands:
+     dsa                     print the compile-time partition inventory
+     run <workload> ...      run one workload and print throughput + stats
+     list                    list workloads and strategies
+
+   Examples:
+     dune exec bin/partstm_cli.exe -- dsa
+     dune exec bin/partstm_cli.exe -- run mixed --workers 8 --strategy tuned
+     dune exec bin/partstm_cli.exe -- run intset-ll --backend domains --seconds 1 *)
+
+open Partstm_stm
+open Partstm_core
+open Partstm_harness
+open Partstm_workloads
+open Cmdliner
+
+(* -- Workload catalogue ----------------------------------------------------- *)
+
+type workload =
+  | Workload : {
+      wl_name : string;
+      wl_setup : System.t -> strategy:Strategy.t -> 's;
+      wl_worker : 's -> Driver.ctx -> int;
+      wl_verify : 's -> bool;
+    }
+      -> workload
+
+let intset kind name =
+  Workload
+    {
+      wl_name = name;
+      wl_setup = (fun s ~strategy -> Intset.setup s ~strategy (Intset.default_config kind));
+      wl_worker = Intset.worker;
+      wl_verify = Intset.check;
+    }
+
+let workloads =
+  [
+    intset Intset.Linked_list "intset-ll";
+    intset Intset.Skip_list "intset-sl";
+    intset Intset.Rb_tree "intset-rb";
+    intset Intset.Hash_set "intset-hs";
+    Workload
+      {
+        wl_name = "mixed";
+        wl_setup = (fun s ~strategy -> Mixed.setup s ~strategy Mixed.default_config);
+        wl_worker = Mixed.worker;
+        wl_verify = Mixed.check;
+      };
+    Workload
+      {
+        wl_name = "bank";
+        wl_setup = (fun s ~strategy -> Bank.setup s ~strategy Bank.default_config);
+        wl_worker = Bank.worker;
+        wl_verify = Bank.check;
+      };
+    Workload
+      {
+        wl_name = "vacation";
+        wl_setup = (fun s ~strategy -> Vacation.setup s ~strategy Vacation.default_config);
+        wl_worker = Vacation.worker;
+        wl_verify = Vacation.check;
+      };
+    Workload
+      {
+        wl_name = "kmeans";
+        wl_setup = (fun s ~strategy -> Kmeans.setup s ~strategy Kmeans.default_config);
+        wl_worker = Kmeans.worker;
+        wl_verify = Kmeans.check;
+      };
+    Workload
+      {
+        wl_name = "genome";
+        wl_setup = (fun s ~strategy -> Genome.setup s ~strategy Genome.default_config);
+        wl_worker = Genome.worker;
+        wl_verify = Genome.check;
+      };
+    Workload
+      {
+        wl_name = "labyrinth";
+        wl_setup = (fun s ~strategy -> Labyrinth.setup s ~strategy Labyrinth.default_config);
+        wl_worker = Labyrinth.worker;
+        wl_verify = Labyrinth.check;
+      };
+    Workload
+      {
+        wl_name = "granularity";
+        wl_setup = (fun s ~strategy -> Granularity.setup s ~strategy Granularity.default_config);
+        wl_worker = Granularity.worker;
+        wl_verify = (fun _ -> true);
+      };
+    Workload
+      {
+        wl_name = "phased";
+        wl_setup = (fun s ~strategy -> Phased.setup s ~strategy Phased.default_config);
+        wl_worker = Phased.worker;
+        wl_verify = Phased.check;
+      };
+  ]
+
+let strategies =
+  [
+    ("shared-inv", Strategy.shared_invisible);
+    ("shared-vis", Strategy.shared_visible);
+    ("inv", Strategy.global_invisible);
+    ("vis", Strategy.global_visible);
+    ("tuned", Strategy.tuned);
+  ]
+
+(* -- Subcommand implementations ---------------------------------------------- *)
+
+let cmd_dsa () =
+  Partstm_util.Table.print (Partstm_dsa.Report.inventory_table ());
+  if Partstm_dsa.Report.check_all () then begin
+    print_endline "\nall mirrors match their expected partitioning";
+    0
+  end
+  else begin
+    print_endline "\nMISMATCH between analysis and expected partitioning";
+    1
+  end
+
+let cmd_list () =
+  print_endline "workloads:";
+  List.iter (fun (Workload { wl_name; _ }) -> Printf.printf "  %s\n" wl_name) workloads;
+  print_endline "strategies:";
+  List.iter (fun (name, s) -> Printf.printf "  %-10s %s\n" name (Strategy.label s)) strategies;
+  0
+
+let cmd_run workload_name strategy_name workers backend seconds cycles seed =
+  match
+    ( List.find_opt (fun (Workload { wl_name; _ }) -> wl_name = workload_name) workloads,
+      List.assoc_opt strategy_name strategies )
+  with
+  | None, _ ->
+      Printf.eprintf "unknown workload %S (try `partstm list`)\n" workload_name;
+      2
+  | _, None ->
+      Printf.eprintf "unknown strategy %S (try `partstm list`)\n" strategy_name;
+      2
+  | Some (Workload { wl_setup; wl_worker; wl_verify; _ }), Some strategy ->
+      let system = System.create ~max_workers:(workers + 8) () in
+      let state = wl_setup system ~strategy in
+      Registry.reset_stats (System.registry system);
+      let tuner = if Strategy.uses_tuner strategy then Some (System.tuner system) else None in
+      let mode =
+        match backend with
+        | "sim" -> Driver.default_sim ~cycles ()
+        | "domains" -> Driver.Domains { seconds }
+        | other ->
+            Printf.eprintf "unknown backend %S (sim|domains)\n" other;
+            exit 2
+      in
+      let result = Driver.run ?tuner ~seed ~mode ~workers (wl_worker state) in
+      Printf.printf "workload   : %s\n" workload_name;
+      Printf.printf "strategy   : %s\n" (Strategy.label strategy);
+      Printf.printf "backend    : %s\n" (Driver.mode_to_string mode);
+      Printf.printf "workers    : %d\n" workers;
+      Printf.printf "operations : %d\n" result.Driver.total_ops;
+      Printf.printf "throughput : %.1f %s\n" result.Driver.throughput
+        (match backend with "sim" -> "txn/Mcycle" | _ -> "txn/s");
+      Printf.printf "verified   : %b\n\n" (wl_verify state);
+      let table =
+        Partstm_util.Table.create ~title:"per-partition statistics"
+          ~header:[ "partition"; "tvars"; "access%"; "update-ratio"; "abort-rate"; "mode" ]
+      in
+      List.iter
+        (fun row ->
+          Partstm_util.Table.add_row table
+            [
+              row.Registry.row_name;
+              string_of_int row.Registry.row_tvars;
+              Printf.sprintf "%.1f" (100.0 *. row.Registry.row_access_share);
+              Printf.sprintf "%.3f" (Region_stats.update_txn_ratio row.Registry.row_stats);
+              Printf.sprintf "%.3f" (Region_stats.abort_rate row.Registry.row_stats);
+              Fmt.str "%a" Mode.pp row.Registry.row_mode;
+            ])
+        (Registry.report (System.registry system));
+      Partstm_util.Table.print table;
+      (match tuner with
+      | Some tuner when Tuner.switches tuner > 0 ->
+          print_endline "\ntuner decisions:";
+          List.iter (fun ev -> Format.printf "  %a@." Tuner.pp_event ev) (Tuner.trace tuner)
+      | Some _ | None -> ());
+      if wl_verify state then 0 else 1
+
+(* -- Cmdliner wiring ----------------------------------------------------------- *)
+
+let dsa_cmd =
+  Cmd.v (Cmd.info "dsa" ~doc:"Print the compile-time partition inventory")
+    Term.(const cmd_dsa $ const ())
+
+let list_cmd =
+  Cmd.v (Cmd.info "list" ~doc:"List workloads and strategies") Term.(const cmd_list $ const ())
+
+let run_cmd =
+  let workload =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc:"Workload name")
+  in
+  let strategy =
+    Arg.(value & opt string "tuned" & info [ "strategy"; "s" ] ~docv:"STRATEGY" ~doc:"Configuration strategy")
+  in
+  let workers = Arg.(value & opt int 8 & info [ "workers"; "w" ] ~docv:"N" ~doc:"Worker count") in
+  let backend =
+    Arg.(value & opt string "sim" & info [ "backend"; "b" ] ~docv:"BACKEND" ~doc:"sim or domains")
+  in
+  let seconds =
+    Arg.(value & opt float 1.0 & info [ "seconds" ] ~docv:"S" ~doc:"Duration (domains backend)")
+  in
+  let cycles =
+    Arg.(value & opt int 3_000_000 & info [ "cycles" ] ~docv:"C" ~doc:"Virtual duration (sim backend)")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload RNG seed") in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one workload and print throughput and per-partition statistics")
+    Term.(const cmd_run $ workload $ strategy $ workers $ backend $ seconds $ cycles $ seed)
+
+let main_cmd =
+  let doc = "Partitioned software transactional memory playground" in
+  Cmd.group (Cmd.info "partstm" ~doc) [ dsa_cmd; list_cmd; run_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

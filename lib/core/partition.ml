@@ -1,0 +1,35 @@
+(* A data partition: the unit at which the STM's behaviour is tuned.
+
+   This is the runtime object that the paper's compile-time analysis emits
+   creation calls for (one per allocation site / connected data structure,
+   see [Partstm_dsa]); it wraps an engine-level {!Partstm_stm.Region} and
+   adds the identity and tuning metadata the partition runtime needs. *)
+
+open Partstm_stm
+
+type t = {
+  region : Region.t;
+  name : string;
+  site : string;  (* allocation-site label from the static partitioner *)
+  mutable tunable : bool;  (* may the runtime tuner reconfigure it? *)
+}
+
+let make engine ~name ?(site = "<runtime>") ?(mode = Mode.default) ?(tunable = true) () =
+  { region = Region.create engine ~name ~mode (); name; site; tunable }
+
+let name t = t.name
+let site t = t.site
+let region t = t.region
+let tunable t = t.tunable
+let set_tunable t flag = t.tunable <- flag
+
+let mode t = Region.mode t.region
+let tvar_count t = Region.tvar_count t.region
+
+let set_mode t mode = Region.reconfigure t.region mode
+
+let tvar t initial = Tvar.make t.region initial
+
+let snapshot t = Region_stats.snapshot t.region.Region.stats
+
+let pp ppf t = Fmt.pf ppf "%s[%s] %a" t.name t.site Mode.pp (mode t)

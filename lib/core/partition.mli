@@ -1,0 +1,40 @@
+(** A data partition: the unit at which STM behaviour is tuned. Wraps an
+    engine-level region and carries identity/tuning metadata. *)
+
+open Partstm_stm
+
+type t = {
+  region : Region.t;
+  name : string;
+  site : string;
+  mutable tunable : bool;
+}
+
+val make :
+  Engine.t ->
+  name:string ->
+  ?site:string ->
+  ?mode:Mode.t ->
+  ?tunable:bool ->
+  unit ->
+  t
+
+val name : t -> string
+val site : t -> string
+val region : t -> Region.t
+val tunable : t -> bool
+val set_tunable : t -> bool -> unit
+
+val mode : t -> Mode.t
+val tvar_count : t -> int
+
+val set_mode : t -> Mode.t -> unit
+(** Reconfigure through the quiesce protocol; see
+    {!Partstm_stm.Region.reconfigure} for the caller contract. *)
+
+val tvar : t -> 'a -> 'a Tvar.t
+(** Allocate a transactional variable inside this partition. *)
+
+val snapshot : t -> Region_stats.snapshot
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,66 @@
+(* Registry of the partitions of one system: what the tuner iterates over
+   and what the partition-statistics reports are generated from. *)
+
+open Partstm_stm
+
+type t = { engine : Engine.t; mutex : Mutex.t; mutable partitions : Partition.t list }
+
+let create engine = { engine; mutex = Mutex.create (); partitions = [] }
+
+let engine t = t.engine
+
+let register t partition =
+  Mutex.lock t.mutex;
+  t.partitions <- partition :: t.partitions;
+  Mutex.unlock t.mutex
+
+let make_partition t ~name ?site ?mode ?tunable () =
+  let partition = Partition.make t.engine ~name ?site ?mode ?tunable () in
+  register t partition;
+  partition
+
+let partitions t =
+  Mutex.lock t.mutex;
+  let result = List.rev t.partitions in
+  Mutex.unlock t.mutex;
+  result
+
+let find_by_name t name = List.find_opt (fun p -> Partition.name p = name) (partitions t)
+
+let length t = List.length (partitions t)
+
+(* Forget setup-time traffic so reports reflect only the measured run. *)
+let reset_stats t =
+  List.iter (fun p -> Region_stats.reset (Partition.region p).Region.stats) (partitions t)
+
+(* Per-partition statistics report: the data behind Table R-T1. *)
+type row = {
+  row_name : string;
+  row_site : string;
+  row_mode : Mode.t;
+  row_tvars : int;
+  row_stats : Region_stats.snapshot;
+  row_access_share : float;  (* fraction of all accesses landing here *)
+}
+
+let report t =
+  let parts = partitions t in
+  let snapshots = List.map (fun p -> (p, Partition.snapshot p)) parts in
+  let total_accesses =
+    List.fold_left
+      (fun acc (_, s) -> acc + s.Region_stats.s_reads + s.Region_stats.s_writes)
+      0 snapshots
+  in
+  List.map
+    (fun (p, s) ->
+      let accesses = s.Region_stats.s_reads + s.Region_stats.s_writes in
+      {
+        row_name = Partition.name p;
+        row_site = Partition.site p;
+        row_mode = Partition.mode p;
+        row_tvars = Partition.tvar_count p;
+        row_stats = s;
+        row_access_share =
+          (if total_accesses = 0 then 0.0 else float_of_int accesses /. float_of_int total_accesses);
+      })
+    snapshots

@@ -1,0 +1,43 @@
+(** Registry of the partitions of one system. *)
+
+open Partstm_stm
+
+type t
+
+val create : Engine.t -> t
+val engine : t -> Engine.t
+
+val register : t -> Partition.t -> unit
+
+val make_partition :
+  t ->
+  name:string ->
+  ?site:string ->
+  ?mode:Mode.t ->
+  ?tunable:bool ->
+  unit ->
+  Partition.t
+(** Create and register a partition (the runtime analog of the
+    compiler-emitted partition creation at an allocation site). *)
+
+val partitions : t -> Partition.t list
+(** In registration order. *)
+
+val find_by_name : t -> string -> Partition.t option
+val length : t -> int
+
+val reset_stats : t -> unit
+(** Zero every partition's statistics (call after setup so reports reflect
+    only the measured run). *)
+
+type row = {
+  row_name : string;
+  row_site : string;
+  row_mode : Mode.t;
+  row_tvars : int;
+  row_stats : Region_stats.snapshot;
+  row_access_share : float;
+}
+
+val report : t -> row list
+(** Per-partition statistics (the data behind Table R-T1). *)

@@ -1,0 +1,30 @@
+(* Facade: one STM system = engine + partition registry (+ optional tuner).
+   This is the API the examples and workloads program against. *)
+
+open Partstm_stm
+
+type t = { engine : Engine.t; registry : Registry.t }
+
+let create ?max_workers ?contention_manager ?writer_wait_limit ?sample_retry_limit ?max_attempts
+    () =
+  let engine =
+    Engine.create ?max_workers ?contention_manager ?writer_wait_limit ?sample_retry_limit
+      ?max_attempts ()
+  in
+  { engine; registry = Registry.create engine }
+
+let engine t = t.engine
+let registry t = t.registry
+
+let partition t ?site ?mode ?tunable name = Registry.make_partition t.registry ~name ?site ?mode ?tunable ()
+
+let descriptor t ~worker_id = Txn.create t.engine ~worker_id
+
+let atomically = Txn.atomically
+let read = Txn.read
+let write = Txn.write
+let modify = Txn.modify
+let retry = Txn.retry
+let tvar = Partition.tvar
+
+let tuner ?config ?cooldown t = Tuner.create ?config ?cooldown t.registry

@@ -1,0 +1,97 @@
+(* Runtime tuner: periodically samples every partition's statistics, asks
+   the policy for a decision, and applies mode switches through the region
+   quiesce protocol.
+
+   Scheduling is owned by the caller (a harness domain or a simulator
+   fiber) which invokes [step] once per sampling period; the tuner itself is
+   single-threaded — a requirement of [Region.reconfigure]. *)
+
+open Partstm_stm
+
+type entry = {
+  e_partition : Partition.t;
+  mutable e_prev : Region_stats.snapshot;
+  mutable e_cooldown : int;
+}
+
+type event = {
+  ev_tick : int;
+  ev_partition : string;
+  ev_from : Mode.t;
+  ev_to : Mode.t;
+  ev_abort_rate : float;
+  ev_update_ratio : float;
+}
+
+type t = {
+  registry : Registry.t;
+  config : Tuning_policy.config;
+  cooldown_periods : int;
+  mutable entries : entry list;
+  mutable ticks : int;
+  mutable trace : event list;  (* newest first *)
+  mutable switches : int;
+}
+
+let create ?(config = Tuning_policy.default_config) ?(cooldown = 2) registry =
+  { registry; config; cooldown_periods = cooldown; entries = []; ticks = 0; trace = []; switches = 0 }
+
+let find_entry t partition =
+  List.find_opt (fun e -> e.e_partition == partition) t.entries
+
+let sync_entries t =
+  List.iter
+    (fun partition ->
+      match find_entry t partition with
+      | Some _ -> ()
+      | None ->
+          t.entries <-
+            { e_partition = partition; e_prev = Partition.snapshot partition; e_cooldown = 0 }
+            :: t.entries)
+    (Registry.partitions t.registry)
+
+let step t =
+  t.ticks <- t.ticks + 1;
+  sync_entries t;
+  List.iter
+    (fun entry ->
+      let partition = entry.e_partition in
+      let current_snapshot = Partition.snapshot partition in
+      let delta = Region_stats.diff ~current:current_snapshot ~previous:entry.e_prev in
+      entry.e_prev <- current_snapshot;
+      if entry.e_cooldown > 0 then entry.e_cooldown <- entry.e_cooldown - 1
+      else if Partition.tunable partition then begin
+        let current_mode = Partition.mode partition in
+        match
+          Tuning_policy.decide t.config
+            {
+              Tuning_policy.delta;
+              current = current_mode;
+              tvars = Partition.tvar_count partition;
+            }
+        with
+        | Tuning_policy.Keep -> ()
+        | Tuning_policy.Switch new_mode ->
+            Partition.set_mode partition new_mode;
+            entry.e_cooldown <- t.cooldown_periods;
+            t.switches <- t.switches + 1;
+            t.trace <-
+              {
+                ev_tick = t.ticks;
+                ev_partition = Partition.name partition;
+                ev_from = current_mode;
+                ev_to = new_mode;
+                ev_abort_rate = Region_stats.abort_rate delta;
+                ev_update_ratio = Region_stats.update_txn_ratio delta;
+              }
+              :: t.trace
+      end)
+    t.entries
+
+let ticks t = t.ticks
+let switches t = t.switches
+let trace t = List.rev t.trace
+
+let pp_event ppf ev =
+  Fmt.pf ppf "tick %3d  %-16s %a -> %a  (abort=%.2f update=%.2f)" ev.ev_tick ev.ev_partition
+    Mode.pp ev.ev_from Mode.pp ev.ev_to ev.ev_abort_rate ev.ev_update_ratio

@@ -1,0 +1,32 @@
+(** Runtime per-partition tuner. The caller schedules {!step} once per
+    sampling period from a single thread (harness domain or simulator
+    fiber). *)
+
+open Partstm_stm
+
+type t
+
+type event = {
+  ev_tick : int;
+  ev_partition : string;
+  ev_from : Mode.t;
+  ev_to : Mode.t;
+  ev_abort_rate : float;
+  ev_update_ratio : float;
+}
+
+val create : ?config:Tuning_policy.config -> ?cooldown:int -> Registry.t -> t
+(** [cooldown] is the number of periods a freshly switched partition is left
+    alone. *)
+
+val step : t -> unit
+(** Sample all partitions, decide, and apply switches (quiescing each
+    affected region). Single-threaded. *)
+
+val ticks : t -> int
+val switches : t -> int
+
+val trace : t -> event list
+(** Chronological switch log (the data behind Table R-T3). *)
+
+val pp_event : Format.formatter -> event -> unit

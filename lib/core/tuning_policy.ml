@@ -1,0 +1,137 @@
+(* The per-partition tuning heuristic (pure decision logic; the paper drives
+   tuning "by runtime heuristics", Section 1).
+
+   Two knobs, mirroring the paper's two motivating examples:
+
+   Read visibility.  Visible reads make readers visible to writers, which
+   "typically performs better on workloads with a high percentage of update
+   transactions" (early conflict detection, no commit-time validation) "and
+   worse for most other workloads" (an atomic RMW per read).  We switch to
+   visible when the partition is update-heavy AND invisible reads are
+   demonstrably wasting work (validation failures / extension traffic), and
+   back to invisible when the partition is read-dominated.
+
+   Conflict-detection granularity.  "Memory regions that suffer from high
+   contention might benefit from coarse-grained detection ... while one
+   would rather use fine-grained detection for non-contended regions."
+   Coarse tables make conflicts cheap and early (one lock covers the
+   region); fine tables avoid false conflicts.  We coarsen under sustained
+   high conflict rates and refine when conflicts are rare.
+
+   Both directions use hysteresis (hi/lo thresholds) and the tuner adds a
+   cooldown after each switch, so the policy cannot oscillate on a steady
+   workload. *)
+
+open Partstm_stm
+
+type config = {
+  min_attempts : int;  (* minimum sample size before deciding *)
+  update_ratio_hi : float;  (* switch to visible above this ... *)
+  update_ratio_lo : float;  (* ... back to invisible below this *)
+  wasted_validation_hi : float;  (* (val_fails+ext)/attempts to justify visible *)
+  abort_rate_hi : float;  (* coarsen above this conflict pressure ... *)
+  writes_per_update_txn_hi : float;  (* ... if txns also lock several orecs *)
+  small_region_tvars : int;  (* ... and the region is object-sized *)
+  abort_rate_lo : float;  (* refine below this *)
+  write_through_abort_lo : float;  (* switch to write-through below this ... *)
+  write_through_abort_hi : float;  (* ... and back to write-back above this *)
+  granularity_step : int;  (* log2 slots added/removed per decision *)
+  granularity_lo : int;  (* coarsest allowed (log2 slots) *)
+  granularity_hi : int;  (* finest allowed (log2 slots) *)
+}
+
+(* update_ratio counts transactions that actually wrote (a failed intset add
+   commits read-only), so 0.25 already indicates an update-heavy mix. *)
+let default_config =
+  {
+    min_attempts = 200;
+    update_ratio_hi = 0.25;
+    update_ratio_lo = 0.08;
+    wasted_validation_hi = 0.12;
+    abort_rate_hi = 0.35;
+    writes_per_update_txn_hi = 3.0;
+    small_region_tvars = 256;
+    abort_rate_lo = 0.02;
+    write_through_abort_lo = 0.02;
+    write_through_abort_hi = 0.15;
+    granularity_step = 4;
+    granularity_lo = 0;
+    granularity_hi = 14;
+  }
+
+(* What the tuner observed in a partition over one sampling period. *)
+type observation = { delta : Region_stats.snapshot; current : Mode.t; tvars : int }
+
+type decision = Keep | Switch of Mode.t
+
+let decide config { delta; current; tvars } =
+  let attempts = Region_stats.attempts delta in
+  if attempts < config.min_attempts then Keep
+  else begin
+    let abort_rate = Region_stats.abort_rate delta in
+    let update_ratio = Region_stats.update_txn_ratio delta in
+    (* Only *failed* validations measure wasted work: successful extensions
+       are cheap and would over-trigger the switch at low contention. *)
+    let wasted = float_of_int delta.Region_stats.s_validation_fails /. float_of_int attempts in
+    let visibility =
+      match current.Mode.visibility with
+      | Mode.Invisible
+        when update_ratio > config.update_ratio_hi && wasted > config.wasted_validation_hi ->
+          Mode.Visible
+      | Mode.Visible when update_ratio < config.update_ratio_lo -> Mode.Invisible
+      | current_visibility -> current_visibility
+    in
+    let granularity =
+      let g = current.Mode.granularity_log2 in
+      let update_commits = delta.Region_stats.s_commits - delta.Region_stats.s_ro_commits in
+      let writes_per_update_txn =
+        if update_commits = 0 then 0.0
+        else float_of_int delta.Region_stats.s_writes /. float_of_int update_commits
+      in
+      (* Coarsening only pays when transactions acquire several locks in this
+         partition (one coarse lock replaces them), conflicts are frequent
+         anyway, AND the region is object-sized (the paper's coarse detection
+         "at the object level, or even at the granularity of the whole
+         region"); coarsening a large structure would serialize it. *)
+      if
+        abort_rate > config.abort_rate_hi
+        && writes_per_update_txn > config.writes_per_update_txn_hi
+        && tvars <= config.small_region_tvars
+        && g > config.granularity_lo
+      then max config.granularity_lo (g - config.granularity_step)
+      else if
+        (* The dual rule: a *large* region with multi-write transactions
+           under high conflict pressure is likely suffering false conflicts
+           from orec aliasing — refine to separate the writers. *)
+        abort_rate > config.abort_rate_hi
+        && writes_per_update_txn > config.writes_per_update_txn_hi
+        && tvars > config.small_region_tvars
+        && g < config.granularity_hi
+      then min config.granularity_hi (g + config.granularity_step)
+      else if abort_rate < config.abort_rate_lo && g < config.granularity_hi then
+        min config.granularity_hi (g + config.granularity_step)
+      else g
+    in
+    (* Never refine past the point where the table dwarfs the traffic: a
+       period that touched n locations needs at most ~4n slots. *)
+    let granularity =
+      let accesses = delta.Region_stats.s_reads + delta.Region_stats.s_writes in
+      if granularity > current.Mode.granularity_log2 && accesses > 0 then
+        min granularity (Partstm_util.Bits.ceil_log2 (4 * accesses))
+      else granularity
+    in
+    (* Update strategy: write-through trades expensive aborts (undo) for
+       free commits — profitable only when the partition writes and rarely
+       aborts; write-back is the safe default under contention. *)
+    let update =
+      let writes_happen = Region_stats.update_txn_ratio delta > 0.01 in
+      match current.Mode.update with
+      | Mode.Write_back
+        when writes_happen && abort_rate < config.write_through_abort_lo ->
+          Mode.Write_through
+      | Mode.Write_through when abort_rate > config.write_through_abort_hi -> Mode.Write_back
+      | current_update -> current_update
+    in
+    let proposed = { Mode.visibility; granularity_log2 = granularity; update } in
+    if Mode.equal proposed current then Keep else Switch proposed
+  end

@@ -1,0 +1,33 @@
+(** Pure per-partition tuning heuristic (read visibility + conflict
+    granularity, with hysteresis). See the implementation header for the
+    rationale, which follows the paper's Section 1 examples. *)
+
+open Partstm_stm
+
+type config = {
+  min_attempts : int;
+  update_ratio_hi : float;
+  update_ratio_lo : float;
+  wasted_validation_hi : float;
+  abort_rate_hi : float;
+  writes_per_update_txn_hi : float;
+  small_region_tvars : int;
+  abort_rate_lo : float;
+  write_through_abort_lo : float;
+  write_through_abort_hi : float;
+  granularity_step : int;
+  granularity_lo : int;
+  granularity_hi : int;
+}
+
+val default_config : config
+
+type observation = {
+  delta : Region_stats.snapshot;  (** stats accumulated over one period *)
+  current : Mode.t;
+  tvars : int;  (** region size, gates object-level coarsening *)
+}
+
+type decision = Keep | Switch of Mode.t
+
+val decide : config -> observation -> decision

@@ -1,0 +1,148 @@
+(* Steensgaard-style unification-based points-to analysis and partition
+   extraction (the compile-time half of the paper's approach, DESIGN.md §5).
+
+   Abstract locations (variables and allocation sites) are union-find
+   classes; every class has at most one "pointee" class.  Assignment-like
+   instructions unify the corresponding classes; because unification is
+   commutative and monotone, one pass over all instructions suffices.
+
+   A *partition* is a weakly connected component of the resulting node/
+   pointee graph that contains at least one allocation site: the analysis
+   analog of "one connected data structure" in the paper's data-structure
+   analysis reference. *)
+
+type t = {
+  uf : Union_find.t;
+  pointees : (int, int) Hashtbl.t;  (* root -> pointee node *)
+  var_nodes : (string, int) Hashtbl.t;  (* qualified variable -> node *)
+  site_nodes : (string, int) Hashtbl.t;  (* site label -> node *)
+  mutable site_order : string list;  (* reverse first-occurrence order *)
+}
+
+let create () =
+  {
+    uf = Union_find.create 64;
+    pointees = Hashtbl.create 64;
+    var_nodes = Hashtbl.create 64;
+    site_nodes = Hashtbl.create 64;
+    site_order = [];
+  }
+
+let node_of_var t qualified_name =
+  match Hashtbl.find_opt t.var_nodes qualified_name with
+  | Some node -> node
+  | None ->
+      let node = Union_find.fresh t.uf in
+      Hashtbl.add t.var_nodes qualified_name node;
+      node
+
+let node_of_site t label =
+  match Hashtbl.find_opt t.site_nodes label with
+  | Some node -> node
+  | None ->
+      let node = Union_find.fresh t.uf in
+      Hashtbl.add t.site_nodes label node;
+      t.site_order <- label :: t.site_order;
+      node
+
+(* The class [n] points to; created on demand. *)
+let deref t n =
+  let root = Union_find.find t.uf n in
+  match Hashtbl.find_opt t.pointees root with
+  | Some pointee -> pointee
+  | None ->
+      let pointee = Union_find.fresh t.uf in
+      Hashtbl.replace t.pointees root pointee;
+      pointee
+
+(* Unify two classes and (recursively) their pointees.  The union happens
+   before the recursive join, so cycles in the heap graph terminate at the
+   [same] check. *)
+let rec join t a b =
+  let ra = Union_find.find t.uf a and rb = Union_find.find t.uf b in
+  if ra = rb then ra
+  else begin
+    let pa = Hashtbl.find_opt t.pointees ra and pb = Hashtbl.find_opt t.pointees rb in
+    Hashtbl.remove t.pointees ra;
+    Hashtbl.remove t.pointees rb;
+    let root = Union_find.union t.uf ra rb in
+    (match (pa, pb) with
+    | None, None -> ()
+    | Some p, None | None, Some p -> Hashtbl.replace t.pointees root p
+    | Some p1, Some p2 ->
+        let merged = join t p1 p2 in
+        (* [root] may itself have been re-rooted by the recursive join. *)
+        Hashtbl.replace t.pointees (Union_find.find t.uf root) merged);
+    Union_find.find t.uf root
+  end
+
+let qualify fname var = fname ^ "::" ^ var
+
+(* Resolve an IR variable: function parameters and locals are
+   function-scoped, program globals are shared. *)
+let resolve t (program : Ir.program) fname var =
+  if List.mem var program.Ir.globals then node_of_var t ("::" ^ var)
+  else node_of_var t (qualify fname var)
+
+let analyze_instruction t program fname instruction =
+  let var v = resolve t program fname v in
+  match instruction with
+  | Ir.Alloc (v, site) -> ignore (join t (deref t (var v)) (node_of_site t site))
+  | Ir.Copy (v, w) -> ignore (join t (deref t (var v)) (deref t (var w)))
+  | Ir.Load (v, w, _field) -> ignore (join t (deref t (var v)) (deref t (deref t (var w))))
+  | Ir.Store (v, _field, w) -> ignore (join t (deref t (deref t (var v))) (deref t (var w)))
+  | Ir.Access (_, _) -> ()
+  | Ir.Call (callee, args) -> begin
+      match Ir.find_func program callee with
+      | None -> ()  (* external call: no pointer effect modelled *)
+      | Some f ->
+          List.iteri
+            (fun i arg ->
+              match List.nth_opt f.Ir.params i with
+              | Some param ->
+                  ignore (join t (deref t (var arg)) (deref t (resolve t program callee param)))
+              | None -> ())
+            args
+    end
+
+let analyze program =
+  let t = create () in
+  List.iter
+    (fun (f : Ir.func) -> List.iter (analyze_instruction t program f.Ir.fname) f.Ir.body)
+    program.Ir.funcs;
+  t
+
+(* -- Partition extraction ------------------------------------------------ *)
+
+(* Weakly connected components over roots, where each root is linked to its
+   pointee's root.  A second union-find collapses the pointee edges. *)
+let partitions t =
+  let component = Union_find.create (Union_find.length t.uf) in
+  for _ = 1 to Union_find.length t.uf do
+    ignore (Union_find.fresh component)
+  done;
+  Hashtbl.iter
+    (fun root pointee -> ignore (Union_find.union component root (Union_find.find t.uf pointee)))
+    t.pointees;
+  let sites_in_order = List.rev t.site_order in
+  let groups : (int, string list ref) Hashtbl.t = Hashtbl.create 16 in
+  let group_order = ref [] in
+  List.iter
+    (fun label ->
+      let node = Hashtbl.find t.site_nodes label in
+      let id = Union_find.find component (Union_find.find t.uf node) in
+      match Hashtbl.find_opt groups id with
+      | Some group -> group := label :: !group
+      | None ->
+          Hashtbl.add groups id (ref [ label ]);
+          group_order := id :: !group_order)
+    sites_in_order;
+  List.rev_map (fun id -> List.rev !(Hashtbl.find groups id)) !group_order
+
+let same_partition t site_a site_b =
+  match (Hashtbl.find_opt t.site_nodes site_a, Hashtbl.find_opt t.site_nodes site_b) with
+  | Some _, Some _ ->
+      List.exists (fun group -> List.mem site_a group && List.mem site_b group) (partitions t)
+  | _ -> false
+
+let partition_count t = List.length (partitions t)

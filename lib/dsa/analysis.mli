@@ -1,0 +1,14 @@
+(** Steensgaard-style unification points-to analysis and partition
+    extraction over the {!Ir} (DESIGN.md §5). *)
+
+type t
+
+val analyze : Ir.program -> t
+
+val partitions : t -> string list list
+(** Groups of allocation-site labels that form one connected data structure
+    — the compile-time partitions.  Deterministic order (first site
+    occurrence). *)
+
+val same_partition : t -> string -> string -> bool
+val partition_count : t -> int

@@ -1,0 +1,48 @@
+(* Tiny imperative IR over which the compile-time partitioner runs.
+
+   The paper's toolchain (Tanger) derived partitions from a points-to /
+   data-structure analysis over LLVM IR generated from the C benchmarks.  We
+   mirror each benchmark's allocation and pointer structure in this IR and
+   run the same style of analysis on it; the derived partition inventory is
+   cross-checked against the partitions the OCaml runtime actually creates
+   (test suite and Table R-T1). *)
+
+type var = string
+(* Pointer-typed local or global variable.  Function-local names are
+   qualified by the analysis as "func::name"; globals use "::name". *)
+
+type instruction =
+  | Alloc of var * string  (* v = alloc "site-label" *)
+  | Copy of var * var  (* v = w *)
+  | Load of var * var * string  (* v = w.field   (pointer load) *)
+  | Store of var * string * var  (* v.field = w   (pointer store) *)
+  | Access of var * string  (* scalar read/write through v.field *)
+  | Call of string * var list  (* call callee with pointer arguments *)
+
+type func = { fname : string; params : var list; body : instruction list }
+
+type program = { pname : string; globals : var list; funcs : func list }
+
+let func name ~params body = { fname = name; params; body }
+
+let find_func program name = List.find_opt (fun f -> f.fname = name) program.funcs
+
+let allocation_sites program =
+  let sites = ref [] in
+  List.iter
+    (fun f ->
+      List.iter
+        (function
+          | Alloc (_, label) -> if not (List.mem label !sites) then sites := label :: !sites
+          | Copy _ | Load _ | Store _ | Access _ | Call _ -> ())
+        f.body)
+    program.funcs;
+  List.rev !sites
+
+let pp_instruction ppf = function
+  | Alloc (v, s) -> Fmt.pf ppf "%s = alloc %S" v s
+  | Copy (v, w) -> Fmt.pf ppf "%s = %s" v w
+  | Load (v, w, f) -> Fmt.pf ppf "%s = %s.%s" v w f
+  | Store (v, f, w) -> Fmt.pf ppf "%s.%s = %s" v f w
+  | Access (v, f) -> Fmt.pf ppf "access %s.%s" v f
+  | Call (f, args) -> Fmt.pf ppf "call %s(%s)" f (String.concat ", " args)

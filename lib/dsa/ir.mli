@@ -1,0 +1,23 @@
+(** Tiny imperative IR over which the compile-time partitioner runs (the
+    analog of Tanger's LLVM IR input; see DESIGN.md §5). *)
+
+type var = string
+
+type instruction =
+  | Alloc of var * string
+  | Copy of var * var
+  | Load of var * var * string
+  | Store of var * string * var
+  | Access of var * string
+  | Call of string * var list
+
+type func = { fname : string; params : var list; body : instruction list }
+type program = { pname : string; globals : var list; funcs : func list }
+
+val func : string -> params:var list -> instruction list -> func
+val find_func : program -> string -> func option
+
+val allocation_sites : program -> string list
+(** Distinct allocation-site labels, in first-occurrence order. *)
+
+val pp_instruction : Format.formatter -> instruction -> unit

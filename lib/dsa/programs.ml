@@ -1,0 +1,368 @@
+(* IR mirrors of the benchmark applications.
+
+   Each mirror reproduces the allocation and pointer structure of the
+   corresponding runtime workload so that the compile-time analysis derives
+   the same partition inventory the runtime registers (checked in the test
+   suite and reported in Table R-T1).
+
+   Note on field sensitivity: the paper's reference analysis (DSA) is
+   field-sensitive; our unification analysis is field-insensitive, so a
+   struct holding pointers to several independent structures would fuse
+   them.  The mirrors therefore keep independent structure roots in
+   distinct variables/globals — exactly the inventory a field-sensitive
+   analysis derives for the real benchmarks. *)
+
+type mirror = {
+  program : Ir.program;
+  runtime_partitions : string list;  (* names the runtime workload registers *)
+  expected_groups : string list list;  (* site groups the analysis must find *)
+}
+
+let intset_list =
+  let open Ir in
+  let program =
+    {
+      pname = "intset-ll";
+      globals = [ "set" ];
+      funcs =
+        [
+          func "init" ~params:[]
+            [
+              Alloc ("set", "ll.head");
+              Alloc ("n", "ll.node");
+              Store ("set", "next", "n");
+              Store ("n", "next", "n");
+            ];
+          func "contains" ~params:[ "key" ]
+            [ Load ("cur", "set", "next"); Load ("cur", "cur", "next"); Access ("cur", "value") ];
+          func "add" ~params:[ "key" ]
+            [
+              Alloc ("fresh", "ll.node");
+              Load ("cur", "set", "next");
+              Store ("cur", "next", "fresh");
+              Store ("fresh", "next", "cur");
+            ];
+        ];
+    }
+  in
+  {
+    program;
+    runtime_partitions = [ "intset-ll" ];
+    expected_groups = [ [ "ll.head"; "ll.node" ] ];
+  }
+
+let intset_skiplist =
+  let open Ir in
+  let program =
+    {
+      pname = "intset-sl";
+      globals = [ "set" ];
+      funcs =
+        [
+          func "init" ~params:[]
+            [
+              Alloc ("set", "sl.head");
+              Alloc ("tower", "sl.tower");
+              Store ("set", "forward", "tower");
+            ];
+          func "add" ~params:[ "key" ]
+            [
+              Alloc ("n", "sl.node");
+              Alloc ("tw", "sl.tower");
+              Store ("n", "forward", "tw");
+              Load ("succ", "set", "forward");
+              Store ("tw", "next", "succ");
+              Store ("tower", "next", "n");
+            ];
+          func "contains" ~params:[ "key" ]
+            [ Load ("t", "set", "forward"); Load ("n", "t", "next"); Access ("n", "value") ];
+        ];
+    }
+  in
+  {
+    program;
+    runtime_partitions = [ "intset-sl" ];
+    expected_groups = [ [ "sl.head"; "sl.tower"; "sl.node" ] ];
+  }
+
+let intset_rbtree =
+  let open Ir in
+  let program =
+    {
+      pname = "intset-rb";
+      globals = [ "tree" ];
+      funcs =
+        [
+          func "init" ~params:[] [ Alloc ("tree", "rb.anchor") ];
+          func "add" ~params:[ "key" ]
+            [
+              Alloc ("n", "rb.node");
+              Load ("root", "tree", "root");
+              Store ("n", "left", "root");
+              Store ("tree", "root", "n");
+            ];
+          func "contains" ~params:[ "key" ]
+            [ Load ("cur", "tree", "root"); Load ("cur", "cur", "left"); Access ("cur", "key") ];
+        ];
+    }
+  in
+  {
+    program;
+    runtime_partitions = [ "intset-rb" ];
+    expected_groups = [ [ "rb.anchor"; "rb.node" ] ];
+  }
+
+(* The multi-structure application of experiment R-F2: an update-heavy
+   list, a read-mostly red/black tree, a hash set and a statistics array
+   live side by side. *)
+let mixed_app =
+  let open Ir in
+  let program =
+    {
+      pname = "mixed";
+      globals = [ "hot_list"; "big_tree"; "members"; "stats" ];
+      funcs =
+        [
+          func "init" ~params:[]
+            [
+              Alloc ("hot_list", "mixed.ll.head");
+              Alloc ("big_tree", "mixed.rb.anchor");
+              Alloc ("members", "mixed.hs.buckets");
+              Alloc ("stats", "mixed.stats");
+            ];
+          func "list_add" ~params:[ "key" ]
+            [
+              Alloc ("n", "mixed.ll.node");
+              Load ("cur", "hot_list", "next");
+              Store ("n", "next", "cur");
+              Store ("hot_list", "next", "n");
+            ];
+          func "tree_add" ~params:[ "key" ]
+            [
+              Alloc ("n", "mixed.rb.node");
+              Load ("root", "big_tree", "root");
+              Store ("n", "left", "root");
+              Store ("big_tree", "root", "n");
+            ];
+          func "set_add" ~params:[ "key" ]
+            [
+              Alloc ("n", "mixed.hs.node");
+              Load ("b", "members", "bucket");
+              Store ("n", "next", "b");
+              Store ("members", "bucket", "n");
+            ];
+          func "lookup_all" ~params:[ "key" ]
+            [ Call ("list_add", [ "key" ]); Call ("tree_add", [ "key" ]); Call ("set_add", [ "key" ]) ];
+          func "update_stats" ~params:[]
+            [ Access ("stats", "cell"); Access ("stats", "cell") ];
+        ];
+    }
+  in
+  {
+    program;
+    runtime_partitions = [ "mixed-list"; "mixed-tree"; "mixed-set"; "mixed-stats" ];
+    expected_groups =
+      [
+        [ "mixed.ll.head"; "mixed.ll.node" ];
+        [ "mixed.rb.anchor"; "mixed.rb.node" ];
+        [ "mixed.hs.buckets"; "mixed.hs.node" ];
+        [ "mixed.stats" ];
+      ];
+  }
+
+let bank =
+  let open Ir in
+  let program =
+    {
+      pname = "bank";
+      globals = [ "accounts" ];
+      funcs =
+        [
+          func "init" ~params:[] [ Alloc ("accounts", "bank.accounts") ];
+          func "transfer" ~params:[ "src"; "dst" ]
+            [ Access ("accounts", "balance"); Access ("accounts", "balance") ];
+          func "audit" ~params:[] [ Access ("accounts", "balance") ];
+        ];
+    }
+  in
+  { program; runtime_partitions = [ "bank-accounts" ]; expected_groups = [ [ "bank.accounts" ] ] }
+
+(* Vacation-style reservation system: three independent resource trees plus
+   a customer tree whose nodes point at per-customer reservation lists (one
+   connected structure, as in STAMP's vacation). *)
+let vacation =
+  let open Ir in
+  let tree_funcs prefix global =
+    [
+      func (prefix ^ "_add") ~params:[ "key" ]
+        [
+          Alloc ("n", prefix ^ ".node");
+          Load ("root", global, "root");
+          Store ("n", "left", "root");
+          Store (global, "root", "n");
+        ];
+    ]
+  in
+  let program =
+    {
+      pname = "vacation";
+      globals = [ "cars"; "flights"; "rooms"; "customers" ];
+      funcs =
+        [
+          func "init" ~params:[]
+            [
+              Alloc ("cars", "cars.anchor");
+              Alloc ("flights", "flights.anchor");
+              Alloc ("rooms", "rooms.anchor");
+              Alloc ("customers", "customers.anchor");
+            ];
+        ]
+        @ tree_funcs "cars" "cars" @ tree_funcs "flights" "flights" @ tree_funcs "rooms" "rooms"
+        @ [
+            func "customers_add" ~params:[ "key" ]
+              [
+                Alloc ("n", "customers.node");
+                Alloc ("resv", "customers.reservation");
+                Store ("n", "reservations", "resv");
+                Store ("resv", "next", "resv");
+                Load ("root", "customers", "root");
+                Store ("n", "left", "root");
+                Store ("customers", "root", "n");
+              ];
+          ];
+    }
+  in
+  {
+    program;
+    runtime_partitions = [ "vacation-cars"; "vacation-flights"; "vacation-rooms"; "vacation-customers" ];
+    expected_groups =
+      [
+        [ "cars.anchor"; "cars.node" ];
+        [ "flights.anchor"; "flights.node" ];
+        [ "rooms.anchor"; "rooms.node" ];
+        [ "customers.anchor"; "customers.node"; "customers.reservation" ];
+      ];
+  }
+
+let kmeans =
+  let open Ir in
+  let program =
+    {
+      pname = "kmeans";
+      globals = [ "points"; "centers"; "membership" ];
+      funcs =
+        [
+          func "init" ~params:[]
+            [
+              Alloc ("points", "kmeans.points");
+              Alloc ("centers", "kmeans.centers");
+              Alloc ("membership", "kmeans.membership");
+            ];
+          func "assign" ~params:[ "i" ]
+            [
+              Access ("points", "coord");
+              Access ("centers", "coord");
+              Access ("membership", "cluster");
+            ];
+          func "update" ~params:[ "i" ] [ Access ("centers", "coord"); Access ("centers", "count") ];
+        ];
+    }
+  in
+  {
+    program;
+    runtime_partitions = [ "kmeans-points"; "kmeans-centers"; "kmeans-membership" ];
+    expected_groups = [ [ "kmeans.points" ]; [ "kmeans.centers" ]; [ "kmeans.membership" ] ];
+  }
+
+let genome =
+  let open Ir in
+  let program =
+    {
+      pname = "genome";
+      globals = [ "segments"; "unique"; "chains" ];
+      funcs =
+        [
+          func "init" ~params:[]
+            [
+              Alloc ("segments", "genome.segments");
+              Alloc ("unique", "genome.unique.buckets");
+              Alloc ("chains", "genome.chains");
+            ];
+          func "dedup" ~params:[ "i" ]
+            [
+              Access ("segments", "data");
+              Alloc ("n", "genome.unique.node");
+              Load ("b", "unique", "bucket");
+              Store ("n", "next", "b");
+              Store ("unique", "bucket", "n");
+            ];
+          func "link" ~params:[ "i" ] [ Access ("chains", "next"); Access ("chains", "prev") ];
+        ];
+    }
+  in
+  {
+    program;
+    runtime_partitions = [ "genome-segments"; "genome-unique"; "genome-chains" ];
+    expected_groups =
+      [ [ "genome.segments" ]; [ "genome.unique.buckets"; "genome.unique.node" ]; [ "genome.chains" ] ];
+  }
+
+(* Granularity workload of experiment R-F3: a small hot array and a large
+   cold array. *)
+let granularity =
+  let open Ir in
+  let program =
+    {
+      pname = "granularity";
+      globals = [ "hot"; "cold" ];
+      funcs =
+        [
+          func "init" ~params:[] [ Alloc ("hot", "gran.hot"); Alloc ("cold", "gran.cold") ];
+          func "touch" ~params:[ "i" ] [ Access ("hot", "cell"); Access ("cold", "cell") ];
+        ];
+    }
+  in
+  {
+    program;
+    runtime_partitions = [ "gran-hot"; "gran-cold" ];
+    expected_groups = [ [ "gran.hot" ]; [ "gran.cold" ] ];
+  }
+
+(* Labyrinth router: a grid partition and a work-queue partition. *)
+let labyrinth =
+  let open Ir in
+  let program =
+    {
+      pname = "labyrinth";
+      globals = [ "grid"; "queue" ];
+      funcs =
+        [
+          func "init" ~params:[] [ Alloc ("grid", "lab.grid"); Alloc ("queue", "lab.queue") ];
+          func "enqueue" ~params:[ "req" ]
+            [ Alloc ("n", "lab.request"); Store ("queue", "head", "n") ];
+          func "route" ~params:[]
+            [ Load ("req", "queue", "head"); Access ("grid", "cell"); Access ("grid", "cell") ];
+        ];
+    }
+  in
+  {
+    program;
+    runtime_partitions = [ "lab-grid"; "lab-queue" ];
+    expected_groups = [ [ "lab.grid" ]; [ "lab.queue"; "lab.request" ] ];
+  }
+
+let all =
+  [
+    ("intset-ll", intset_list);
+    ("intset-sl", intset_skiplist);
+    ("intset-rb", intset_rbtree);
+    ("mixed", mixed_app);
+    ("bank", bank);
+    ("vacation", vacation);
+    ("kmeans", kmeans);
+    ("genome", genome);
+    ("granularity", granularity);
+    ("labyrinth", labyrinth);
+  ]
+
+let find name = List.assoc_opt name all

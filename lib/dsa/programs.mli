@@ -1,0 +1,24 @@
+(** IR mirrors of the benchmark applications, with the partition inventory
+    each one is expected to produce. *)
+
+type mirror = {
+  program : Ir.program;
+  runtime_partitions : string list;
+      (** partition names the runtime workload registers *)
+  expected_groups : string list list;
+      (** allocation-site groups the analysis must derive *)
+}
+
+val intset_list : mirror
+val intset_skiplist : mirror
+val intset_rbtree : mirror
+val mixed_app : mirror
+val bank : mirror
+val vacation : mirror
+val kmeans : mirror
+val genome : mirror
+val granularity : mirror
+val labyrinth : mirror
+
+val all : (string * mirror) list
+val find : string -> mirror option

@@ -1,0 +1,34 @@
+(* Renders the compile-time partition inventory (used by Table R-T1 and the
+   `partstm dsa` CLI subcommand). *)
+
+open Partstm_util
+
+let inventory_table () =
+  let table =
+    Table.create ~title:"Compile-time partition inventory (DSA mirror analysis)"
+      ~header:[ "benchmark"; "partition"; "allocation sites"; "matches runtime" ]
+  in
+  List.iter
+    (fun (name, mirror) ->
+      let analysis = Analysis.analyze mirror.Programs.program in
+      let groups = Analysis.partitions analysis in
+      let matches = groups = mirror.Programs.expected_groups in
+      List.iteri
+        (fun i group ->
+          let runtime_name =
+            match List.nth_opt mirror.Programs.runtime_partitions i with
+            | Some n -> n
+            | None -> "<unmapped>"
+          in
+          Table.add_row table
+            [ name; runtime_name; String.concat ", " group; (if matches then "yes" else "NO") ])
+        groups)
+    Programs.all;
+  table
+
+let check_all () =
+  List.for_all
+    (fun (_, mirror) ->
+      let analysis = Analysis.analyze mirror.Programs.program in
+      Analysis.partitions analysis = mirror.Programs.expected_groups)
+    Programs.all

@@ -1,0 +1,9 @@
+(** Rendering of the compile-time partition inventory. *)
+
+open Partstm_util
+
+val inventory_table : unit -> Table.t
+
+val check_all : unit -> bool
+(** True iff every benchmark mirror's derived partitions match the expected
+    groups. *)

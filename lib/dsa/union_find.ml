@@ -1,0 +1,48 @@
+(* Union-find with path compression and union by rank. *)
+
+type t = { mutable parent : int array; mutable rank : int array; mutable length : int }
+
+let create capacity =
+  { parent = Array.init (max capacity 1) Fun.id; rank = Array.make (max capacity 1) 0; length = 0 }
+
+let fresh t =
+  if t.length = Array.length t.parent then begin
+    let bigger_parent = Array.init (2 * t.length) Fun.id in
+    Array.blit t.parent 0 bigger_parent 0 t.length;
+    let bigger_rank = Array.make (2 * t.length) 0 in
+    Array.blit t.rank 0 bigger_rank 0 t.length;
+    t.parent <- bigger_parent;
+    t.rank <- bigger_rank
+  end;
+  let node = t.length in
+  t.length <- t.length + 1;
+  node
+
+let rec find t node =
+  let parent = t.parent.(node) in
+  if parent = node then node
+  else begin
+    let root = find t parent in
+    t.parent.(node) <- root;
+    root
+  end
+
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if ra = rb then ra
+  else if t.rank.(ra) < t.rank.(rb) then begin
+    t.parent.(ra) <- rb;
+    rb
+  end
+  else if t.rank.(ra) > t.rank.(rb) then begin
+    t.parent.(rb) <- ra;
+    ra
+  end
+  else begin
+    t.parent.(rb) <- ra;
+    t.rank.(ra) <- t.rank.(ra) + 1;
+    ra
+  end
+
+let same t a b = find t a = find t b
+let length t = t.length

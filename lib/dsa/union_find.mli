@@ -1,0 +1,16 @@
+(** Union-find with path compression and union by rank. *)
+
+type t
+
+val create : int -> t
+(** [create capacity] (grows as needed). *)
+
+val fresh : t -> int
+(** Allocate a new singleton node. *)
+
+val find : t -> int -> int
+val union : t -> int -> int -> int
+(** Returns the representative of the merged class. *)
+
+val same : t -> int -> int -> bool
+val length : t -> int

@@ -1,0 +1,142 @@
+(* Workload driver with two interchangeable backends:
+
+   - [Domains]: real OCaml domains, wall-clock timed.  Exercises true
+     parallelism; on the single-core container used for this reproduction it
+     still provides preemptive concurrency (and is what the test suite uses),
+     but cannot show parallel speed-up.
+
+   - [Simulated]: deterministic virtual-time multicore
+     ([Partstm_simcore.Sim] + cost model).  This is what regenerates the
+     paper's scaling figures (DESIGN.md §6).
+
+   A workload is a [worker] function that runs operations until
+   [ctx.should_stop] returns true and returns its operation count. *)
+
+open Partstm_util
+open Partstm_core
+open Partstm_simcore
+
+type ctx = {
+  worker_id : int;
+  rng : Rng.t;
+  should_stop : unit -> bool;
+  progress : unit -> float;  (* fraction of the run elapsed, in [0, 1] *)
+}
+
+type mode =
+  | Domains of { seconds : float }
+  | Simulated of { cycles : int; model : Cost_model.t; jitter : int; sim_seed : int }
+
+let default_sim ?(cycles = 3_000_000) ?(model = Cost_model.default) ?(jitter = 2)
+    ?(sim_seed = 0xBEEF) () =
+  Simulated { cycles; model; jitter; sim_seed }
+
+type result = {
+  workers : int;
+  elapsed : float;  (* seconds (Domains) or virtual cycles (Simulated) *)
+  total_ops : int;
+  per_worker_ops : int array;
+  throughput : float;  (* ops per second / ops per 1M cycles *)
+}
+
+let mode_to_string = function
+  | Domains { seconds } -> Printf.sprintf "domains(%.2fs)" seconds
+  | Simulated { cycles; _ } -> Printf.sprintf "sim(%dc)" cycles
+
+(* Tuning is scheduled as [tuner_steps] evenly spaced samples across the
+   run, on a dedicated fiber (Simulated) or domain (Domains). *)
+let run ?tuner ?(tuner_steps = 40) ?(seed = 42) ~mode ~workers worker =
+  if workers <= 0 then invalid_arg "Driver.run: workers";
+  let master = Rng.make seed in
+  let ops = Array.make workers 0 in
+  match mode with
+  | Simulated { cycles; model; jitter; sim_seed } ->
+      let worker_body id _fiber =
+        let ctx =
+          {
+            worker_id = id;
+            rng = Rng.split master ~index:id;
+            should_stop = (fun () -> Sim.now () >= cycles);
+            progress = (fun () -> float_of_int (Sim.now ()) /. float_of_int cycles);
+          }
+        in
+        ops.(id) <- worker ctx
+      in
+      let tuner_body _fiber =
+        match tuner with
+        | None -> ()
+        | Some tuner ->
+            let period = max 1 (cycles / tuner_steps) in
+            while Sim.now () < cycles do
+              Sim.yield period;
+              Tuner.step tuner
+            done
+      in
+      let bodies = List.init workers (fun id -> worker_body id) @ [ tuner_body ] in
+      Sim_env.install ~model ();
+      let outcome =
+        Fun.protect ~finally:Sim_env.uninstall (fun () ->
+            Sim.run ~jitter ~seed:sim_seed bodies)
+      in
+      ignore outcome.Sim.makespan;
+      let total_ops = Array.fold_left ( + ) 0 ops in
+      {
+        workers;
+        elapsed = float_of_int cycles;
+        total_ops;
+        per_worker_ops = Array.copy ops;
+        throughput = float_of_int total_ops /. (float_of_int cycles /. 1_000_000.);
+      }
+  | Domains { seconds } ->
+      let start = Unix.gettimeofday () in
+      let deadline = start +. seconds in
+      let make_ctx id =
+        (* Check the wall clock only every few iterations; a syscall per
+           operation would dominate short transactions. *)
+        let countdown = ref 0 in
+        let stopped = ref false in
+        let should_stop () =
+          if !stopped then true
+          else if !countdown > 0 then begin
+            decr countdown;
+            false
+          end
+          else begin
+            countdown := 32;
+            stopped := Unix.gettimeofday () >= deadline;
+            !stopped
+          end
+        in
+        {
+          worker_id = id;
+          rng = Rng.split master ~index:id;
+          should_stop;
+          progress = (fun () -> min 1.0 ((Unix.gettimeofday () -. start) /. seconds));
+        }
+      in
+      let tuner_thread () =
+        match tuner with
+        | None -> ()
+        | Some tuner ->
+            let interval = seconds /. float_of_int tuner_steps in
+            while Unix.gettimeofday () < deadline do
+              Unix.sleepf interval;
+              Tuner.step tuner
+            done
+      in
+      let domains =
+        List.init workers (fun id ->
+            Domain.spawn (fun () -> ops.(id) <- worker (make_ctx id)))
+      in
+      let tuner_domain = Domain.spawn tuner_thread in
+      List.iter Domain.join domains;
+      Domain.join tuner_domain;
+      let elapsed = Unix.gettimeofday () -. start in
+      let total_ops = Array.fold_left ( + ) 0 ops in
+      {
+        workers;
+        elapsed;
+        total_ops;
+        per_worker_ops = Array.copy ops;
+        throughput = float_of_int total_ops /. elapsed;
+      }

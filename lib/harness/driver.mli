@@ -1,0 +1,43 @@
+(** Workload driver with interchangeable backends: real domains (wall-clock)
+    or the deterministic virtual-time simulator (DESIGN.md §6). *)
+
+open Partstm_util
+open Partstm_core
+open Partstm_simcore
+
+type ctx = {
+  worker_id : int;
+  rng : Rng.t;  (** worker-private deterministic stream *)
+  should_stop : unit -> bool;
+  progress : unit -> float;  (** fraction of the run elapsed, in [0, 1] *)
+}
+
+type mode =
+  | Domains of { seconds : float }
+  | Simulated of { cycles : int; model : Cost_model.t; jitter : int; sim_seed : int }
+
+val default_sim :
+  ?cycles:int -> ?model:Cost_model.t -> ?jitter:int -> ?sim_seed:int -> unit -> mode
+
+val mode_to_string : mode -> string
+
+type result = {
+  workers : int;
+  elapsed : float;  (** seconds (Domains) or virtual cycles (Simulated) *)
+  total_ops : int;
+  per_worker_ops : int array;
+  throughput : float;
+      (** ops/second (Domains) or ops per million cycles (Simulated) *)
+}
+
+val run :
+  ?tuner:Tuner.t ->
+  ?tuner_steps:int ->
+  ?seed:int ->
+  mode:mode ->
+  workers:int ->
+  (ctx -> int) ->
+  result
+(** Run one worker function per worker until the duration elapses; the
+    worker returns its operation count. When [tuner] is given, its [step]
+    runs [tuner_steps] times, evenly spaced, on a dedicated fiber/domain. *)

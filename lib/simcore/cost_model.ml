@@ -1,0 +1,53 @@
+(* Cost model: abstract cycle costs charged for each STM engine event under
+   simulation.  Defaults follow DESIGN.md §6; the sensitivity ablation (R-A2)
+   sweeps the contended-RMW and lock costs to show the paper's qualitative
+   conclusions do not hinge on the exact constants. *)
+
+open Partstm_util
+
+type t = {
+  step : int;  (** per abstract work cycle *)
+  read_invisible : int;
+  read_visible : int;  (** first visible read of an orec: atomic RMW *)
+  lock_acquire : int;
+  write_entry : int;
+  commit_fixed : int;
+  validate_entry : int;
+  abort_restart : int;
+  first_touch : int;
+}
+
+(* read_visible: an uncontended CAS on an orec reader counter is roughly 2x
+   a validated load (the contended cache-line transfer cost shows up as the
+   conflicts it causes, not as a static premium).  Swept by ablation R-A2. *)
+let default =
+  {
+    step = 1;
+    read_invisible = 6;
+    read_visible = 12;
+    lock_acquire = 30;
+    write_entry = 4;
+    commit_fixed = 20;
+    validate_entry = 3;
+    abort_restart = 60;
+    first_touch = 8;
+  }
+
+let cost_of_event model (event : Runtime_hook.event) =
+  match event with
+  | Runtime_hook.Step n -> n * model.step
+  | Read_invisible -> model.read_invisible
+  | Read_visible -> model.read_visible
+  | Lock_acquire -> model.lock_acquire
+  | Write_entry -> model.write_entry
+  | Commit_fixed -> model.commit_fixed
+  | Validate_entry -> model.validate_entry
+  | Abort_restart -> model.abort_restart
+  | First_touch -> model.first_touch
+  | Backoff n -> n
+
+let pp ppf m =
+  Fmt.pf ppf
+    "step=%d inv_read=%d vis_read=%d lock=%d write=%d commit=%d validate=%d abort=%d touch=%d"
+    m.step m.read_invisible m.read_visible m.lock_acquire m.write_entry m.commit_fixed
+    m.validate_entry m.abort_restart m.first_touch

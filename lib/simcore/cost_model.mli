@@ -1,0 +1,20 @@
+(** Abstract cycle costs charged per STM engine event under simulation.
+    Defaults are documented in DESIGN.md §6. *)
+
+open Partstm_util
+
+type t = {
+  step : int;
+  read_invisible : int;
+  read_visible : int;
+  lock_acquire : int;
+  write_entry : int;
+  commit_fixed : int;
+  validate_entry : int;
+  abort_restart : int;
+  first_touch : int;
+}
+
+val default : t
+val cost_of_event : t -> Runtime_hook.event -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,184 @@
+(* Deterministic virtual-time multicore simulator.
+
+   Each simulated core is an effect-handler fiber with its own virtual clock.
+   The scheduler always resumes the runnable fiber with the smallest clock
+   (ties broken by fiber id), so execution is a deterministic sequentially
+   consistent interleaving: all shared-memory interactions of the code under
+   simulation (the STM engine) are real; only *time* is modelled, by the
+   costs charged at each yield.
+
+   Stack safety: on [Yield] a fiber's handler pushes the captured
+   continuation into the ready heap and *returns* [Fiber_suspended] as the
+   answer of its [match_with]; the top-level loop then resumes the next
+   minimum-clock fiber.  [continue] therefore always returns to the loop with
+   constant net stack usage, regardless of how many yields occur. *)
+
+open Partstm_util
+
+type _ Effect.t +=
+  | Yield : int -> unit Effect.t
+  | Now : int Effect.t
+  | Self : int Effect.t
+
+exception Not_in_simulation
+exception Step_limit_exceeded of int
+
+type outcome = { vtimes : int array; makespan : int; total_yields : int }
+
+type step_result = Fiber_done | Fiber_suspended
+
+type ready_entry = {
+  entry_clock : int;
+  entry_id : int;
+  entry_k : (unit, step_result) Effect.Deep.continuation;
+}
+
+(* Binary min-heap on (clock, id). *)
+module Heap = struct
+  type t = { mutable data : ready_entry option array; mutable size : int }
+
+  let create capacity = { data = Array.make (max capacity 1) None; size = 0 }
+
+  let get t i = match t.data.(i) with Some e -> e | None -> assert false
+
+  let less a b = a.entry_clock < b.entry_clock || (a.entry_clock = b.entry_clock && a.entry_id < b.entry_id)
+
+  let swap t i j =
+    let tmp = t.data.(i) in
+    t.data.(i) <- t.data.(j);
+    t.data.(j) <- tmp
+
+  let push t entry =
+    if t.size = Array.length t.data then begin
+      let bigger = Array.make (2 * t.size) None in
+      Array.blit t.data 0 bigger 0 t.size;
+      t.data <- bigger
+    end;
+    t.data.(t.size) <- Some entry;
+    t.size <- t.size + 1;
+    let rec up i =
+      if i > 0 then begin
+        let parent = (i - 1) / 2 in
+        if less (get t i) (get t parent) then begin
+          swap t i parent;
+          up parent
+        end
+      end
+    in
+    up (t.size - 1)
+
+  let pop t =
+    if t.size = 0 then None
+    else begin
+      let top = get t 0 in
+      t.size <- t.size - 1;
+      t.data.(0) <- t.data.(t.size);
+      t.data.(t.size) <- None;
+      let rec down i =
+        let left = (2 * i) + 1 and right = (2 * i) + 2 in
+        let smallest = ref i in
+        if left < t.size && less (get t left) (get t !smallest) then smallest := left;
+        if right < t.size && less (get t right) (get t !smallest) then smallest := right;
+        if !smallest <> i then begin
+          swap t i !smallest;
+          down !smallest
+        end
+      in
+      down 0;
+      Some top
+    end
+
+  let size t = t.size
+end
+
+type state = {
+  clocks : int array;
+  ready : Heap.t;
+  mutable yields : int;
+  max_yields : int;
+  jitter : int;
+  rng : Rng.t;
+}
+
+(* The simulation currently driving this (real) domain, if any.  The
+   simulator is single-domain; nested simulations are rejected. *)
+let active : state option ref = ref None
+
+let in_simulation () = Option.is_some !active
+
+let now () =
+  match !active with Some _ -> Effect.perform Now | None -> raise Not_in_simulation
+
+let self () =
+  match !active with Some _ -> Effect.perform Self | None -> raise Not_in_simulation
+
+let yield cost =
+  match !active with Some _ -> Effect.perform (Yield cost) | None -> raise Not_in_simulation
+
+let run ?(jitter = 0) ?(seed = 0x5157) ?(max_yields = max_int) bodies =
+  let bodies = Array.of_list bodies in
+  let n = Array.length bodies in
+  if n = 0 then invalid_arg "Sim.run: no fibers";
+  if Option.is_some !active then invalid_arg "Sim.run: nested simulation";
+  let state =
+    {
+      clocks = Array.make n 0;
+      ready = Heap.create (2 * n);
+      yields = 0;
+      max_yields;
+      jitter;
+      rng = Rng.make seed;
+    }
+  in
+  active := Some state;
+  let handler id =
+    {
+      Effect.Deep.retc = (fun () -> Fiber_done);
+      exnc = (fun exn -> raise exn);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Yield cost ->
+              Some
+                (fun (k : (a, step_result) Effect.Deep.continuation) ->
+                  state.yields <- state.yields + 1;
+                  if state.yields > state.max_yields then
+                    raise (Step_limit_exceeded state.max_yields);
+                  let jitter =
+                    if state.jitter > 0 then Rng.int state.rng (state.jitter + 1) else 0
+                  in
+                  state.clocks.(id) <- state.clocks.(id) + max cost 0 + jitter;
+                  Heap.push state.ready
+                    { entry_clock = state.clocks.(id); entry_id = id; entry_k = k };
+                  Fiber_suspended)
+          | Now ->
+              Some
+                (fun (k : (a, step_result) Effect.Deep.continuation) ->
+                  Effect.Deep.continue k state.clocks.(id))
+          | Self ->
+              Some (fun (k : (a, step_result) Effect.Deep.continuation) -> Effect.Deep.continue k id)
+          | _ -> None);
+    }
+  in
+  let remaining = ref n in
+  let finally () = active := None in
+  Fun.protect ~finally (fun () ->
+      (* Start each fiber; it runs until its first yield (or completion). *)
+      for id = 0 to n - 1 do
+        match Effect.Deep.match_with (fun () -> bodies.(id) id) () (handler id) with
+        | Fiber_done -> decr remaining
+        | Fiber_suspended -> ()
+      done;
+      (* Main loop: always resume the fiber with the smallest virtual clock. *)
+      while !remaining > 0 do
+        match Heap.pop state.ready with
+        | Some entry -> begin
+            match Effect.Deep.continue entry.entry_k () with
+            | Fiber_done -> decr remaining
+            | Fiber_suspended -> ()
+          end
+        | None -> failwith "Sim.run: deadlock (fibers blocked without yielding)"
+      done;
+      ignore (Heap.size state.ready));
+  let makespan = Array.fold_left max 0 state.clocks in
+  { vtimes = Array.copy state.clocks; makespan; total_yields = state.yields }

@@ -1,0 +1,44 @@
+(** Deterministic virtual-time multicore simulator.
+
+    Simulated cores are effect-handler fibers, each with a virtual clock; the
+    scheduler always resumes the runnable fiber with the smallest clock.  The
+    interleaving is a deterministic, sequentially consistent execution of the
+    real code under test — only time is modelled (by the costs charged at
+    yields), which is how the harness reproduces multicore scaling figures on
+    a single-core host (see DESIGN.md §6). *)
+
+type _ Effect.t +=
+  | Yield : int -> unit Effect.t  (** charge cost cycles and reschedule *)
+  | Now : int Effect.t  (** this fiber's virtual clock *)
+  | Self : int Effect.t  (** this fiber's id *)
+
+exception Not_in_simulation
+
+exception Step_limit_exceeded of int
+(** Raised when the total yield budget is exhausted (runaway-loop guard). *)
+
+type outcome = {
+  vtimes : int array;  (** final virtual clock of each fiber *)
+  makespan : int;  (** max over fibers — the simulated wall-clock *)
+  total_yields : int;
+}
+
+val in_simulation : unit -> bool
+(** True when called from inside a running simulation (on this domain). *)
+
+val now : unit -> int
+(** Current fiber's virtual clock. Raises {!Not_in_simulation} outside. *)
+
+val self : unit -> int
+(** Current fiber's id. Raises {!Not_in_simulation} outside. *)
+
+val yield : int -> unit
+(** Charge the given number of cycles and let other fibers run. Raises
+    {!Not_in_simulation} outside. *)
+
+val run :
+  ?jitter:int -> ?seed:int -> ?max_yields:int -> (int -> unit) list -> outcome
+(** [run bodies] executes one fiber per body (the body receives its fiber
+    id) to completion and returns the timing outcome. [jitter] adds a random
+    0..jitter cycles to every yield (deterministic given [seed]) to break
+    pathological lockstep. Single-domain; nested runs are rejected. *)

@@ -1,0 +1,19 @@
+(* Plugs the simulator into the STM engine's runtime hook: engine events are
+   translated to virtual-time yields using a cost model. *)
+
+open Partstm_util
+
+(* Outside a running simulation (setup/teardown around [Sim.run]) the hooks
+   fall back to no-ops: setup time is not modelled. *)
+let install ?(model = Cost_model.default) () =
+  let charge event =
+    if Sim.in_simulation () then Sim.yield (Cost_model.cost_of_event model event)
+  in
+  let relax () = if Sim.in_simulation () then Sim.yield 1 else Domain.cpu_relax () in
+  Runtime_hook.install ~charge ~relax
+
+let uninstall () = Runtime_hook.reset ()
+
+let with_model ?model f =
+  install ?model ();
+  Fun.protect ~finally:uninstall f

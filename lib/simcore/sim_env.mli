@@ -1,0 +1,9 @@
+(** Routes STM engine events ({!Partstm_util.Runtime_hook}) to virtual-time
+    yields.  Install before calling {!Sim.run}; events fired outside a
+    simulation raise {!Sim.Not_in_simulation}. *)
+
+val install : ?model:Cost_model.t -> unit -> unit
+val uninstall : unit -> unit
+
+val with_model : ?model:Cost_model.t -> (unit -> 'a) -> 'a
+(** Install, run, and restore the domain-mode defaults. *)

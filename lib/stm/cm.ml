@@ -1,0 +1,30 @@
+(* Contention managers: what a transaction does after detecting a conflict.
+   All policies here are abort-self policies (the TinySTM family); they
+   differ in how long the restart is delayed. *)
+
+open Partstm_util
+
+type t =
+  | Suicide  (** restart immediately *)
+  | Backoff of { min_delay : int; max_delay : int }
+      (** randomised exponential backoff, the TinySTM default *)
+  | Constant of int  (** fixed delay; used by the CM ablation *)
+
+let default = Backoff { min_delay = 32; max_delay = 32768 }
+
+let to_string = function
+  | Suicide -> "suicide"
+  | Backoff { min_delay; max_delay } -> Printf.sprintf "backoff(%d..%d)" min_delay max_delay
+  | Constant n -> Printf.sprintf "constant(%d)" n
+
+(* [delay cm rng ~attempt] performs the post-abort delay for the [attempt]-th
+   consecutive abort (first abort = attempt 1). *)
+let delay cm rng ~attempt =
+  match cm with
+  | Suicide -> ()
+  | Constant n -> Runtime_hook.charge (Runtime_hook.Backoff n)
+  | Backoff { min_delay; max_delay } ->
+      let shift = min (attempt - 1) 20 in
+      let ceiling = min max_delay (min_delay lsl shift) in
+      let duration = if ceiling <= 1 then 1 else ceiling / 2 + Rng.int rng (ceiling / 2 + 1) in
+      Runtime_hook.charge (Runtime_hook.Backoff duration)

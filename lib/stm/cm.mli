@@ -1,0 +1,17 @@
+(** Contention managers (abort-self policies, TinySTM family). *)
+
+open Partstm_util
+
+type t =
+  | Suicide
+  | Backoff of { min_delay : int; max_delay : int }
+  | Constant of int
+
+val default : t
+(** Randomised exponential backoff. *)
+
+val to_string : t -> string
+
+val delay : t -> Rng.t -> attempt:int -> unit
+(** Perform the post-abort delay for the [attempt]-th consecutive abort
+    (first abort = 1). *)

@@ -1,0 +1,94 @@
+(* An STM engine instance: the global version clock plus id generators and
+   engine-wide configuration.  Multiple independent engines can coexist
+   (tests use fresh engines for isolation). *)
+
+type t = {
+  clock : int Atomic.t;
+  tvar_counter : int Atomic.t;
+  descriptor_counter : int Atomic.t;
+  region_counter : int Atomic.t;
+  state : int Atomic.t;
+      (* bit 0 = frozen (a reconfiguration is quiescing); bits 1.. = count of
+         in-flight transactions.  Transactions register once at begin and
+         deregister at commit/abort; a reconfiguration freezes the engine,
+         waits for the count to drain, swaps, and unfreezes. *)
+  max_workers : int;
+  contention_manager : Cm.t;
+  writer_wait_limit : int;
+  sample_retry_limit : int;
+  max_attempts : int;
+}
+
+let frozen_bit = 1
+let inflight_unit = 2
+
+(* writer_wait_limit default: a writer should outwait a reader mid-traversal
+   (hundreds of cycles) rather than abort — visible readers drain quickly
+   because new readers abort against the held write lock. *)
+let create ?(max_workers = 64) ?(contention_manager = Cm.default) ?(writer_wait_limit = 512)
+    ?(sample_retry_limit = 64) ?(max_attempts = 1_000_000) () =
+  if max_workers <= 0 then invalid_arg "Engine.create: max_workers";
+  {
+    clock = Atomic.make 0;
+    tvar_counter = Atomic.make 0;
+    descriptor_counter = Atomic.make 0;
+    region_counter = Atomic.make 0;
+    state = Atomic.make 0;
+    max_workers;
+    contention_manager;
+    writer_wait_limit;
+    sample_retry_limit;
+    max_attempts;
+  }
+
+let now t = Atomic.get t.clock
+
+(* Advance the clock and return the new (unique) commit version. *)
+let tick t = Atomic.fetch_and_add t.clock 1 + 1
+
+let next_tvar_id t = Atomic.fetch_and_add t.tvar_counter 1
+let next_descriptor_id t = Atomic.fetch_and_add t.descriptor_counter 1
+let next_region_id t = Atomic.fetch_and_add t.region_counter 1
+
+let inflight t = Atomic.get t.state lsr 1
+let is_frozen t = Atomic.get t.state land frozen_bit <> 0
+
+(* Register an in-flight transaction; spins while a reconfiguration is
+   quiescing (brief: a few loads and stores under the freeze). *)
+let enter t =
+  Partstm_util.Runtime_hook.charge Partstm_util.Runtime_hook.First_touch;
+  let rec loop () =
+    let s = Atomic.get t.state in
+    if s land frozen_bit <> 0 then begin
+      Partstm_util.Runtime_hook.relax ();
+      loop ()
+    end
+    else if not (Atomic.compare_and_set t.state s (s + inflight_unit)) then loop ()
+  in
+  loop ()
+
+let leave t =
+  let previous = Atomic.fetch_and_add t.state (-inflight_unit) in
+  assert (previous lsr 1 > 0)
+
+(* Run [f] with the engine quiesced: no transaction is in flight while [f]
+   executes.  At most one quiesce at a time (the tuner is single-threaded);
+   the caller must not be inside a transaction. *)
+let quiesce t f =
+  let rec freeze () =
+    let s = Atomic.get t.state in
+    if s land frozen_bit <> 0 then invalid_arg "Engine.quiesce: concurrent reconfiguration"
+    else if not (Atomic.compare_and_set t.state s (s lor frozen_bit)) then freeze ()
+  in
+  freeze ();
+  while Atomic.get t.state lsr 1 > 0 do
+    Partstm_util.Runtime_hook.relax ()
+  done;
+  let unfreeze () =
+    let rec loop () =
+      let s = Atomic.get t.state in
+      if not (Atomic.compare_and_set t.state s (s land lnot frozen_bit)) then loop ()
+    in
+    loop ()
+  in
+  Fun.protect ~finally:unfreeze f

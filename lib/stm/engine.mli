@@ -1,0 +1,48 @@
+(** An STM engine instance: global version clock, id generators, and
+    engine-wide configuration. *)
+
+type t = {
+  clock : int Atomic.t;
+  tvar_counter : int Atomic.t;
+  descriptor_counter : int Atomic.t;
+  region_counter : int Atomic.t;
+  state : int Atomic.t;  (** bit 0 = frozen; bits 1.. = in-flight count *)
+  max_workers : int;  (** size of per-region stats shard arrays *)
+  contention_manager : Cm.t;
+  writer_wait_limit : int;  (** spins a writer waits for visible readers *)
+  sample_retry_limit : int;  (** retries of the read double-sampling loop *)
+  max_attempts : int;  (** per-transaction retry budget before giving up *)
+}
+
+val create :
+  ?max_workers:int ->
+  ?contention_manager:Cm.t ->
+  ?writer_wait_limit:int ->
+  ?sample_retry_limit:int ->
+  ?max_attempts:int ->
+  unit ->
+  t
+
+val now : t -> int
+(** Current global clock value. *)
+
+val tick : t -> int
+(** Advance the clock; returns the new unique commit version. *)
+
+val next_tvar_id : t -> int
+val next_descriptor_id : t -> int
+val next_region_id : t -> int
+
+val inflight : t -> int
+val is_frozen : t -> bool
+
+val enter : t -> unit
+(** Register an in-flight transaction; spins while a reconfiguration is
+    quiescing. Called once per transaction attempt. *)
+
+val leave : t -> unit
+(** Deregister; must pair with {!enter}. *)
+
+val quiesce : t -> (unit -> 'a) -> 'a
+(** Run with no transaction in flight (freeze, drain, run, unfreeze). At
+    most one quiesce at a time; the caller must not be in a transaction. *)

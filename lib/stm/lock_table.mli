@@ -1,0 +1,24 @@
+(** A region's lock table: orec words plus visible-reader counters.
+    Immutable once created; granularity changes swap in a new table under the
+    region quiesce protocol. *)
+
+type t = {
+  words : int Atomic.t array;
+  readers : int Atomic.t array;
+  granularity_log2 : int;
+}
+
+val create : clock_now:int -> granularity_log2:int -> t
+(** Fresh orecs start at version [clock_now] (conservative, safe across
+    table swaps). *)
+
+val slots : t -> int
+val slot_of_id : t -> int -> int
+val word : t -> int -> int Atomic.t
+val reader_counter : t -> int -> int Atomic.t
+
+val locked_slots : t -> int
+(** Diagnostic: number of currently write-locked slots. *)
+
+val readers_total : t -> int
+(** Diagnostic: sum of visible-reader counters. *)

@@ -1,0 +1,42 @@
+(* Per-region concurrency-control configuration: the tuning knobs the
+   paper adjusts per partition (read visibility and conflict-detection
+   granularity), plus the update strategy — TinySTM's other major design
+   axis (write-back vs. write-through), which the intro's "different
+   transactional memory designs" motivates. *)
+
+type read_visibility = Invisible | Visible
+
+type update_strategy =
+  | Write_back  (* buffer writes, publish at commit: cheap aborts *)
+  | Write_through  (* write in place under the lock, undo on abort: cheap commits *)
+
+type t = {
+  visibility : read_visibility;
+  granularity_log2 : int;
+      (* log2 of the number of orecs in the region's lock table: 0 is
+         whole-region (coarsest) conflict detection, larger values approach
+         per-location detection. *)
+  update : update_strategy;
+}
+
+let make ?(visibility = Invisible) ?(granularity_log2 = 10) ?(update = Write_back) () =
+  { visibility; granularity_log2; update }
+
+let default = make ()
+
+let granularity_min = 0
+let granularity_max = 16
+
+let validate t =
+  if t.granularity_log2 < granularity_min || t.granularity_log2 > granularity_max then
+    invalid_arg "Mode.validate: granularity_log2 out of range"
+
+let visibility_to_string = function Invisible -> "invisible" | Visible -> "visible"
+let update_to_string = function Write_back -> "wb" | Write_through -> "wt"
+
+let pp ppf t =
+  Fmt.pf ppf "%s/g%d%s" (visibility_to_string t.visibility) t.granularity_log2
+    (match t.update with Write_back -> "" | Write_through -> "/wt")
+
+let equal a b =
+  a.visibility = b.visibility && a.granularity_log2 = b.granularity_log2 && a.update = b.update

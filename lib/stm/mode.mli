@@ -1,0 +1,39 @@
+(** Per-region concurrency-control configuration: read visibility,
+    conflict-detection granularity, and update strategy (write-back vs.
+    write-through) — the per-partition knobs. *)
+
+type read_visibility = Invisible | Visible
+
+type update_strategy =
+  | Write_back  (** buffer writes, publish at commit: cheap aborts *)
+  | Write_through
+      (** write in place under the lock, undo on abort: cheap commits *)
+
+type t = {
+  visibility : read_visibility;
+  granularity_log2 : int;
+      (** log2 of the region's orec count: 0 = whole-region conflict
+          detection, larger = finer. *)
+  update : update_strategy;
+}
+
+val make :
+  ?visibility:read_visibility ->
+  ?granularity_log2:int ->
+  ?update:update_strategy ->
+  unit ->
+  t
+
+val default : t
+(** Invisible reads, g10, write-back. *)
+
+val granularity_min : int
+val granularity_max : int
+
+val validate : t -> unit
+(** Raises [Invalid_argument] if the granularity is out of range. *)
+
+val visibility_to_string : read_visibility -> string
+val update_to_string : update_strategy -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

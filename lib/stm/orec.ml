@@ -1,0 +1,22 @@
+(* Ownership-record word encoding.
+
+   An orec is one [int Atomic.t] in a region's lock table:
+   - bit 0 set    -> write-locked; bits 1.. hold the owner descriptor id
+   - bit 0 clear  -> unlocked; bits 1.. hold the commit version
+
+   Versions come from the global clock and only grow, so a CAS from an
+   observed unlocked word cannot suffer ABA. *)
+
+let locked_bit = 1
+
+let is_locked word = word land locked_bit <> 0
+let owner word = word lsr 1
+let version word = word lsr 1
+let make_locked ~owner = (owner lsl 1) lor locked_bit
+let make_version version = version lsl 1
+
+let locked_by word ~owner:descriptor_id = is_locked word && owner word = descriptor_id
+
+let pp ppf word =
+  if is_locked word then Fmt.pf ppf "locked(by=%d)" (owner word)
+  else Fmt.pf ppf "v%d" (version word)

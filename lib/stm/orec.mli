@@ -1,0 +1,14 @@
+(** Ownership-record word encoding: bit 0 = write-locked; the remaining bits
+    hold the owner descriptor id (locked) or the commit version (unlocked). *)
+
+val is_locked : int -> bool
+val owner : int -> int
+(** Meaningful only when {!is_locked}. *)
+
+val version : int -> int
+(** Meaningful only when not {!is_locked}. *)
+
+val make_locked : owner:int -> int
+val make_version : int -> int
+val locked_by : int -> owner:int -> bool
+val pp : Format.formatter -> int -> unit

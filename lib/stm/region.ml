@@ -1,0 +1,62 @@
+(* A region is the STM-engine-level view of a data partition: its own lock
+   table (with its own granularity), its own read-visibility policy, its own
+   statistics, and the quiesce machinery that makes online reconfiguration
+   safe (DESIGN.md §4).
+
+   Online reconfiguration safety comes from the engine-wide quiesce
+   protocol ({!Engine.quiesce}): transactions register in-flight once at
+   begin, the tuner freezes the engine and waits for the count to drain
+   before swapping [table]/[visibility].  A transaction therefore observes
+   one configuration per region for its whole lifetime (it caches the table
+   at first touch, and no swap can happen while it is in flight). *)
+
+
+type t = {
+  id : int;
+  name : string;
+  engine : Engine.t;
+  mutable table : Lock_table.t;
+  mutable visibility : Mode.read_visibility;
+  mutable update : Mode.update_strategy;
+  stats : Region_stats.t;
+  tvars : int Atomic.t;  (* number of tvars allocated in this region *)
+}
+
+let create engine ~name ?(mode = Mode.default) () =
+  Mode.validate mode;
+  {
+    id = Engine.next_region_id engine;
+    name;
+    engine;
+    table = Lock_table.create ~clock_now:(Engine.now engine) ~granularity_log2:mode.Mode.granularity_log2;
+    visibility = mode.Mode.visibility;
+    update = mode.Mode.update;
+    stats = Region_stats.create ~max_workers:engine.Engine.max_workers;
+    tvars = Atomic.make 0;
+  }
+
+let mode t =
+  {
+    Mode.visibility = t.visibility;
+    granularity_log2 = t.table.Lock_table.granularity_log2;
+    update = t.update;
+  }
+
+let tvar_count t = Atomic.get t.tvars
+
+(* Reconfigure the region under the engine-wide quiesce.  Caller contract:
+   at most one reconfiguration at a time (the tuner is single-threaded) and
+   the caller must not itself be inside a transaction. *)
+let reconfigure t (new_mode : Mode.t) =
+  Mode.validate new_mode;
+  Engine.quiesce t.engine (fun () ->
+      if t.table.Lock_table.granularity_log2 <> new_mode.Mode.granularity_log2 then
+        t.table <-
+          Lock_table.create ~clock_now:(Engine.now t.engine)
+            ~granularity_log2:new_mode.Mode.granularity_log2;
+      t.visibility <- new_mode.Mode.visibility;
+      t.update <- new_mode.Mode.update;
+      (Region_stats.shard t.stats 0).Region_stats.mode_switches <-
+        (Region_stats.shard t.stats 0).Region_stats.mode_switches + 1)
+
+let pp ppf t = Fmt.pf ppf "region %d (%s) %a" t.id t.name Mode.pp (mode t)

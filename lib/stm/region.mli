@@ -1,0 +1,30 @@
+(** Engine-level data partition: own lock table, own read-visibility policy,
+    own statistics, and the freeze/quiesce protocol for safe online
+    reconfiguration (DESIGN.md §4). *)
+
+type t = {
+  id : int;
+  name : string;
+  engine : Engine.t;
+  mutable table : Lock_table.t;  (** swapped only under engine quiesce *)
+  mutable visibility : Mode.read_visibility;
+  mutable update : Mode.update_strategy;
+  stats : Region_stats.t;
+  tvars : int Atomic.t;
+}
+
+val create : Engine.t -> name:string -> ?mode:Mode.t -> unit -> t
+
+val mode : t -> Mode.t
+(** Current (visibility, granularity) configuration. *)
+
+val tvar_count : t -> int
+(** Number of tvars allocated in this region. *)
+
+val reconfigure : t -> Mode.t -> unit
+(** Swap the lock table (only if the granularity changed) and visibility
+    under the engine-wide quiesce ({!Engine.quiesce}). At most one
+    reconfiguration at a time per engine; the caller must not be inside a
+    transaction. *)
+
+val pp : Format.formatter -> t -> unit

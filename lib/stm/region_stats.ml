@@ -1,0 +1,137 @@
+(* Per-region statistics, sharded per worker.
+
+   Each shard has a single writer (the worker that owns the index), so the
+   fields are plain mutable ints; concurrent snapshot readers (the tuner, the
+   harness) may observe slightly stale values, which is fine for tuning
+   heuristics and reporting.  Shards are separate records so that they land
+   on different cache lines. *)
+
+type shard = {
+  mutable commits : int;
+  mutable ro_commits : int;  (* read-only subset of commits *)
+  mutable aborts : int;
+  mutable reads : int;
+  mutable writes : int;
+  mutable lock_conflicts : int;  (* aborted on a locked orec *)
+  mutable reader_conflicts : int;  (* writer gave up waiting for visible readers *)
+  mutable validation_fails : int;  (* read-set validation failed *)
+  mutable extensions : int;  (* successful timestamp extensions *)
+  mutable mode_switches : int;  (* incremented by the tuner *)
+}
+
+type t = { shards : shard array }
+
+let make_shard () =
+  {
+    commits = 0;
+    ro_commits = 0;
+    aborts = 0;
+    reads = 0;
+    writes = 0;
+    lock_conflicts = 0;
+    reader_conflicts = 0;
+    validation_fails = 0;
+    extensions = 0;
+    mode_switches = 0;
+  }
+
+let create ~max_workers = { shards = Array.init max_workers (fun _ -> make_shard ()) }
+
+let shard t worker_id = t.shards.(worker_id)
+
+let max_workers t = Array.length t.shards
+
+type snapshot = {
+  s_commits : int;
+  s_ro_commits : int;
+  s_aborts : int;
+  s_reads : int;
+  s_writes : int;
+  s_lock_conflicts : int;
+  s_reader_conflicts : int;
+  s_validation_fails : int;
+  s_extensions : int;
+  s_mode_switches : int;
+}
+
+let empty_snapshot =
+  {
+    s_commits = 0;
+    s_ro_commits = 0;
+    s_aborts = 0;
+    s_reads = 0;
+    s_writes = 0;
+    s_lock_conflicts = 0;
+    s_reader_conflicts = 0;
+    s_validation_fails = 0;
+    s_extensions = 0;
+    s_mode_switches = 0;
+  }
+
+let snapshot t =
+  Array.fold_left
+    (fun acc s ->
+      {
+        s_commits = acc.s_commits + s.commits;
+        s_ro_commits = acc.s_ro_commits + s.ro_commits;
+        s_aborts = acc.s_aborts + s.aborts;
+        s_reads = acc.s_reads + s.reads;
+        s_writes = acc.s_writes + s.writes;
+        s_lock_conflicts = acc.s_lock_conflicts + s.lock_conflicts;
+        s_reader_conflicts = acc.s_reader_conflicts + s.reader_conflicts;
+        s_validation_fails = acc.s_validation_fails + s.validation_fails;
+        s_extensions = acc.s_extensions + s.extensions;
+        s_mode_switches = acc.s_mode_switches + s.mode_switches;
+      })
+    empty_snapshot t.shards
+
+let diff ~current ~previous =
+  {
+    s_commits = current.s_commits - previous.s_commits;
+    s_ro_commits = current.s_ro_commits - previous.s_ro_commits;
+    s_aborts = current.s_aborts - previous.s_aborts;
+    s_reads = current.s_reads - previous.s_reads;
+    s_writes = current.s_writes - previous.s_writes;
+    s_lock_conflicts = current.s_lock_conflicts - previous.s_lock_conflicts;
+    s_reader_conflicts = current.s_reader_conflicts - previous.s_reader_conflicts;
+    s_validation_fails = current.s_validation_fails - previous.s_validation_fails;
+    s_extensions = current.s_extensions - previous.s_extensions;
+    s_mode_switches = current.s_mode_switches - previous.s_mode_switches;
+  }
+
+let reset t =
+  Array.iter
+    (fun s ->
+      s.commits <- 0;
+      s.ro_commits <- 0;
+      s.aborts <- 0;
+      s.reads <- 0;
+      s.writes <- 0;
+      s.lock_conflicts <- 0;
+      s.reader_conflicts <- 0;
+      s.validation_fails <- 0;
+      s.extensions <- 0;
+      s.mode_switches <- 0)
+    t.shards
+
+(* Derived metrics used by the tuner and the reports. *)
+
+let attempts snap = snap.s_commits + snap.s_aborts
+
+let abort_rate snap =
+  let attempts = attempts snap in
+  if attempts = 0 then 0.0 else float_of_int snap.s_aborts /. float_of_int attempts
+
+let update_txn_ratio snap =
+  if snap.s_commits = 0 then 0.0
+  else float_of_int (snap.s_commits - snap.s_ro_commits) /. float_of_int snap.s_commits
+
+let write_ratio snap =
+  let accesses = snap.s_reads + snap.s_writes in
+  if accesses = 0 then 0.0 else float_of_int snap.s_writes /. float_of_int accesses
+
+let pp_snapshot ppf s =
+  Fmt.pf ppf
+    "commits=%d (ro=%d) aborts=%d reads=%d writes=%d lock_cf=%d reader_cf=%d val_fail=%d ext=%d"
+    s.s_commits s.s_ro_commits s.s_aborts s.s_reads s.s_writes s.s_lock_conflicts
+    s.s_reader_conflicts s.s_validation_fails s.s_extensions

@@ -1,0 +1,53 @@
+(** Per-region statistics, sharded per worker. Each shard has a single
+    writer; snapshot readers tolerate slightly stale values. *)
+
+type shard = {
+  mutable commits : int;
+  mutable ro_commits : int;
+  mutable aborts : int;
+  mutable reads : int;
+  mutable writes : int;
+  mutable lock_conflicts : int;
+  mutable reader_conflicts : int;
+  mutable validation_fails : int;
+  mutable extensions : int;
+  mutable mode_switches : int;
+}
+
+type t
+
+val create : max_workers:int -> t
+val shard : t -> int -> shard
+val max_workers : t -> int
+
+type snapshot = {
+  s_commits : int;
+  s_ro_commits : int;
+  s_aborts : int;
+  s_reads : int;
+  s_writes : int;
+  s_lock_conflicts : int;
+  s_reader_conflicts : int;
+  s_validation_fails : int;
+  s_extensions : int;
+  s_mode_switches : int;
+}
+
+val empty_snapshot : snapshot
+val snapshot : t -> snapshot
+val diff : current:snapshot -> previous:snapshot -> snapshot
+val reset : t -> unit
+
+val attempts : snapshot -> int
+(** commits + aborts *)
+
+val abort_rate : snapshot -> float
+(** aborts / attempts, 0 when idle. *)
+
+val update_txn_ratio : snapshot -> float
+(** fraction of commits that wrote something. *)
+
+val write_ratio : snapshot -> float
+(** writes / (reads + writes). *)
+
+val pp_snapshot : Format.formatter -> snapshot -> unit

@@ -1,0 +1,24 @@
+(** Transactional variable, bound to a region (partition) at creation. *)
+
+type 'a t = {
+  id : int;
+  region : Region.t;
+  cell : 'a Atomic.t;  (** committed value *)
+  mutable pending : 'a;  (** tentative value; owned by the lock holder *)
+  mutable pending_owner : int;  (** descriptor id of the buffering writer *)
+}
+
+val no_owner : int
+
+val make : Region.t -> 'a -> 'a t
+
+val id : 'a t -> int
+val region : 'a t -> Region.t
+
+val peek : 'a t -> 'a
+(** Non-transactional read of the committed value (initialisation,
+    post-run verification). *)
+
+val poke : 'a t -> 'a -> unit
+(** Non-transactional write. Only safe when no transaction can access the
+    tvar (setup/teardown). *)

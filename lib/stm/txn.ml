@@ -1,0 +1,489 @@
+(* Transaction engine: TinySTM/LSA-style word-based STM with encounter-time
+   write locking, write-back buffering, a global version clock with timestamp
+   extension for invisible reads, and strict-2PL visible reads — selected
+   per region (DESIGN.md §3).
+
+   Algorithm summary
+   -----------------
+   Invisible read: double-sample the orec around the value load; a version
+   newer than the transaction's read version [rv] triggers a timestamp
+   extension (full read-set validation at the current clock).  Reads are thus
+   always consistent as of [rv] (opacity).
+
+   Visible read: increment the orec's reader counter before checking the
+   lock; a writer that acquires the lock waits for readers to drain and
+   aborts itself on timeout, so a held visible read behaves like a shared
+   lock (strict 2PL) and needs no commit-time validation.  Visible reads
+   still consult the orec version so that a mixed-visibility transaction
+   keeps one consistent snapshot (the extension covers the invisible part).
+
+   Write: acquire the orec's write lock at encounter time, buffer the value
+   in the tvar's [pending] slot (the lock makes this private), publish all
+   buffered values at commit under a fresh clock version.
+
+   Commit: read-only transactions commit immediately (invisible reads were
+   validated on the fly, visible reads are 2PL).  Update transactions take a
+   new version [wv] from the clock, validate the read set unless
+   [wv = rv + 1], write back, and release locks at version [wv]. *)
+
+open Partstm_util
+
+exception Abort
+(* Internal control flow: conflict detected, roll back and retry. *)
+
+exception Retry
+(* User-requested blocking retry: wait until something read changes. *)
+
+exception Too_many_attempts of int
+
+type region_entry = {
+  re_region : Region.t;
+  re_table : Lock_table.t;  (* cached at first touch; stable while in-flight *)
+  re_visibility : Mode.read_visibility;
+  re_update : Mode.update_strategy;
+  re_shard : Region_stats.shard;
+  mutable re_writes : int;  (* writes by this txn in this region *)
+}
+
+type write_entry = { w_commit : unit -> unit; w_reset : unit -> unit }
+
+type t = {
+  engine : Engine.t;
+  id : int;  (* descriptor id, stored in owned orecs *)
+  worker_id : int;
+  rng : Rng.t;
+  mutable rv : int;  (* read version (snapshot timestamp) *)
+  mutable active : bool;
+  mutable attempt : int;
+  mutable regions : region_entry list;  (* regions touched (few per txn) *)
+  read_words : int Atomic.t Vec.t;  (* invisible read set: orec words ... *)
+  read_observed : int Vec.t;  (* ... and the unlocked word observed *)
+  lock_words : int Atomic.t Vec.t;  (* owned write locks ... *)
+  lock_prev : int Vec.t;  (* ... and their pre-lock words *)
+  vis_counters : int Atomic.t Vec.t;  (* held visible-reader counters *)
+  writes : write_entry Vec.t;
+  mutable last_serialization : int;  (* stamp of the last committed txn *)
+}
+
+let dummy_atomic = Atomic.make 0
+let dummy_write = { w_commit = (fun () -> ()); w_reset = (fun () -> ()) }
+
+let create engine ~worker_id =
+  if worker_id < 0 || worker_id >= engine.Engine.max_workers then
+    invalid_arg "Txn.create: worker_id out of range";
+  {
+    engine;
+    id = Engine.next_descriptor_id engine;
+    worker_id;
+    rng = Rng.make (0x7C0FFEE + worker_id);
+    rv = 0;
+    active = false;
+    attempt = 0;
+    regions = [];
+    read_words = Vec.create ~dummy:dummy_atomic ();
+    read_observed = Vec.create ~dummy:0 ();
+    lock_words = Vec.create ~dummy:dummy_atomic ();
+    lock_prev = Vec.create ~dummy:0 ();
+    vis_counters = Vec.create ~dummy:dummy_atomic ();
+    writes = Vec.create ~dummy:dummy_write ();
+    last_serialization = 0;
+  }
+
+let worker_id t = t.worker_id
+let attempt t = t.attempt
+let rng t = t.rng
+
+(* Serialization stamp of the descriptor's last committed transaction: the
+   commit version [wv] for update transactions, the (possibly extended)
+   read version [rv] for read-only ones.  Transactions are serializable in
+   stamp order, with update transactions ordered before read-only
+   transactions carrying the same stamp — the property the linearizability
+   replay tests exploit. *)
+let last_serialization t = t.last_serialization
+
+let check_active t operation =
+  if not t.active then invalid_arg (operation ^ ": no transaction is running")
+
+(* -- Region tracking ----------------------------------------------------- *)
+
+let enter_region t region =
+  let rec find = function
+    | [] -> None
+    | e :: rest -> if e.re_region == region then Some e else find rest
+  in
+  match find t.regions with
+  | Some e -> e
+  | None ->
+      (* Per-partition bookkeeping: caching the table/mode and locating the
+         stats shard.  Safe because we are registered in-flight with the
+         engine, so no reconfiguration can swap the table under us. *)
+      Runtime_hook.charge (Runtime_hook.Step 2);
+      let e =
+        {
+          re_region = region;
+          re_table = region.Region.table;
+          re_visibility = region.Region.visibility;
+          re_update = region.Region.update;
+          re_shard = Region_stats.shard region.Region.stats t.worker_id;
+          re_writes = 0;
+        }
+      in
+      t.regions <- e :: t.regions;
+      e
+
+(* -- Validation and extension ------------------------------------------- *)
+
+let find_lock_prev t word =
+  let n = Vec.length t.lock_words in
+  let rec loop i =
+    if i >= n then None
+    else if Vec.get t.lock_words i == word then Some (Vec.get t.lock_prev i)
+    else loop (i + 1)
+  in
+  loop 0
+
+(* A read entry is valid iff its orec still carries the exact word observed
+   at read time, or we have since write-locked it ourselves (in which case
+   the pre-lock word must match). *)
+let validate t =
+  let n = Vec.length t.read_words in
+  let rec loop i =
+    if i >= n then true
+    else begin
+      Runtime_hook.charge Runtime_hook.Validate_entry;
+      let word = Vec.get t.read_words i in
+      let observed = Vec.get t.read_observed i in
+      let current = Atomic.get word in
+      if current = observed then loop (i + 1)
+      else if Orec.locked_by current ~owner:t.id then
+        match find_lock_prev t word with
+        | Some previous when previous = observed -> loop (i + 1)
+        | Some _ | None -> false
+      else false
+    end
+  in
+  loop 0
+
+(* Timestamp extension: move [rv] forward to the current clock if nothing we
+   read has changed meanwhile.  Called when a read (or an acquired lock)
+   exposes a version newer than [rv]. *)
+let extend t (entry : region_entry) =
+  let now = Engine.now t.engine in
+  if Vec.is_empty t.read_words then
+    (* Nothing read invisibly yet: the snapshot can move forward for free
+       (visible reads are 2PL-protected and need no revalidation). *)
+    t.rv <- now
+  else if validate t then begin
+    entry.re_shard.Region_stats.extensions <- entry.re_shard.Region_stats.extensions + 1;
+    t.rv <- now
+  end
+  else begin
+    entry.re_shard.Region_stats.validation_fails <-
+      entry.re_shard.Region_stats.validation_fails + 1;
+    raise Abort
+  end
+
+let lock_conflict (entry : region_entry) =
+  entry.re_shard.Region_stats.lock_conflicts <- entry.re_shard.Region_stats.lock_conflicts + 1;
+  raise Abort
+
+(* -- Reads ---------------------------------------------------------------- *)
+
+let read_invisible (type a) t (entry : region_entry) (tvar : a Tvar.t) (word : int Atomic.t) : a =
+  Runtime_hook.charge Runtime_hook.Read_invisible;
+  let rec sample retries =
+    if retries > t.engine.Engine.sample_retry_limit then lock_conflict entry;
+    let w1 = Atomic.get word in
+    if Orec.is_locked w1 then
+      if Orec.owner w1 = t.id then
+        (* We hold the write lock covering this tvar (a co-located write):
+           the committed cell is stable under our lock; no logging needed. *)
+        Atomic.get tvar.Tvar.cell
+      else lock_conflict entry
+    else begin
+      let value = Atomic.get tvar.Tvar.cell in
+      let w2 = Atomic.get word in
+      if w1 <> w2 then begin
+        Runtime_hook.relax ();
+        sample (retries + 1)
+      end
+      else begin
+        if Orec.version w1 > t.rv then extend t entry;
+        (* Consecutive reads covered by the same orec (array scans, coarse
+           tables) need only one log entry — this is what makes coarse
+           granularity cheap for scan-style transactions. *)
+        let n = Vec.length t.read_words in
+        if n = 0 || not (Vec.get t.read_words (n - 1) == word && Vec.get t.read_observed (n - 1) = w1)
+        then begin
+          Vec.push t.read_words word;
+          Vec.push t.read_observed w1
+        end;
+        value
+      end
+    end
+  in
+  sample 0
+
+let holds_visible t counter = Vec.exists (fun c -> c == counter) t.vis_counters
+
+let read_visible (type a) t (entry : region_entry) (tvar : a Tvar.t) ~(table : Lock_table.t)
+    ~slot (word : int Atomic.t) : a =
+  let counter = Lock_table.reader_counter table slot in
+  let w0 = Atomic.get word in
+  if Orec.locked_by w0 ~owner:t.id then Atomic.get tvar.Tvar.cell
+  else if holds_visible t counter then
+    (* Shared hold since an earlier read (strict 2PL): no writer can have
+       committed to this slot meanwhile. *)
+    Atomic.get tvar.Tvar.cell
+  else begin
+    Runtime_hook.charge Runtime_hook.Read_visible;
+    ignore (Atomic.fetch_and_add counter 1);
+    Vec.push t.vis_counters counter;
+    let w = Atomic.get word in
+    if Orec.is_locked w then
+      if Orec.owner w = t.id then Atomic.get tvar.Tvar.cell else lock_conflict entry
+    else begin
+      (* Keep the whole-transaction snapshot consistent: a version beyond
+         [rv] means someone committed since we started; the extension
+         revalidates the invisible part of the read set. *)
+      if Orec.version w > t.rv then extend t entry;
+      Atomic.get tvar.Tvar.cell
+    end
+  end
+
+let read t (tvar : 'a Tvar.t) : 'a =
+  check_active t "Txn.read";
+  let entry = enter_region t tvar.Tvar.region in
+  entry.re_shard.Region_stats.reads <- entry.re_shard.Region_stats.reads + 1;
+  if tvar.Tvar.pending_owner = t.id then tvar.Tvar.pending
+  else begin
+    let table = entry.re_table in
+    let slot = Lock_table.slot_of_id table tvar.Tvar.id in
+    let word = Lock_table.word table slot in
+    match entry.re_visibility with
+    | Mode.Invisible -> read_invisible t entry tvar word
+    | Mode.Visible -> read_visible t entry tvar ~table ~slot word
+  end
+
+(* -- Writes --------------------------------------------------------------- *)
+
+(* Acquire the write lock on [word]; on success the lock is recorded for
+   release.  Then wait (bounded) for visible readers other than ourselves to
+   drain — an expired wait is a reader conflict and we abort ourselves, which
+   releases the lock via rollback. *)
+let acquire_slot t (entry : region_entry) (word : int Atomic.t) (counter : int Atomic.t) =
+  let rec attempt retries =
+    if retries > t.engine.Engine.sample_retry_limit then lock_conflict entry;
+    let w = Atomic.get word in
+    if Orec.locked_by w ~owner:t.id then ()
+    else if Orec.is_locked w then lock_conflict entry
+    else begin
+      Runtime_hook.charge Runtime_hook.Lock_acquire;
+      if not (Atomic.compare_and_set word w (Orec.make_locked ~owner:t.id)) then begin
+        Runtime_hook.relax ();
+        attempt (retries + 1)
+      end
+      else begin
+        Vec.push t.lock_words word;
+        Vec.push t.lock_prev w;
+        let my_holds = Vec.count (fun c -> c == counter) t.vis_counters in
+        let rec wait spins =
+          if Atomic.get counter > my_holds then
+            if spins >= t.engine.Engine.writer_wait_limit then begin
+              entry.re_shard.Region_stats.reader_conflicts <-
+                entry.re_shard.Region_stats.reader_conflicts + 1;
+              raise Abort
+            end
+            else begin
+              Runtime_hook.relax ();
+              wait (spins + 1)
+            end
+        in
+        wait 0;
+        if Orec.version w > t.rv then extend t entry
+      end
+    end
+  in
+  attempt 0
+
+let write (type a) t (tvar : a Tvar.t) (value : a) =
+  check_active t "Txn.write";
+  let entry = enter_region t tvar.Tvar.region in
+  entry.re_shard.Region_stats.writes <- entry.re_shard.Region_stats.writes + 1;
+  entry.re_writes <- entry.re_writes + 1;
+  match entry.re_update with
+  | Mode.Write_back ->
+      if tvar.Tvar.pending_owner = t.id then tvar.Tvar.pending <- value
+      else begin
+        let table = entry.re_table in
+        let slot = Lock_table.slot_of_id table tvar.Tvar.id in
+        let word = Lock_table.word table slot in
+        let counter = Lock_table.reader_counter table slot in
+        acquire_slot t entry word counter;
+        tvar.Tvar.pending <- value;
+        tvar.Tvar.pending_owner <- t.id;
+        Vec.push t.writes
+          {
+            w_commit =
+              (fun () ->
+                Runtime_hook.charge Runtime_hook.Write_entry;
+                Atomic.set tvar.Tvar.cell tvar.Tvar.pending;
+                tvar.Tvar.pending_owner <- Tvar.no_owner);
+            w_reset = (fun () -> tvar.Tvar.pending_owner <- Tvar.no_owner);
+          }
+      end
+  | Mode.Write_through ->
+      (* Write in place under the lock; log the previous value for undo.
+         Every write appends an undo entry (no dedup needed); rollback
+         replays them in reverse, so multiple writes to one tvar restore
+         the original value. *)
+      let table = entry.re_table in
+      let slot = Lock_table.slot_of_id table tvar.Tvar.id in
+      let word = Lock_table.word table slot in
+      let counter = Lock_table.reader_counter table slot in
+      acquire_slot t entry word counter;
+      let previous = Atomic.get tvar.Tvar.cell in
+      Runtime_hook.charge Runtime_hook.Write_entry;
+      Atomic.set tvar.Tvar.cell value;
+      Vec.push t.writes
+        {
+          w_commit = (fun () -> ());
+          w_reset =
+            (fun () ->
+              Runtime_hook.charge Runtime_hook.Write_entry;
+              Atomic.set tvar.Tvar.cell previous);
+        }
+
+(* Convenience: transactional read-modify-write. *)
+let modify t tvar f = write t tvar (f (read t tvar))
+
+(* Blocking retry (the Haskell-STM combinator): abort and re-run once some
+   location this transaction read has changed.  Watches the invisible read
+   set, so it requires at least one invisible read before the call. *)
+let retry t =
+  check_active t "Txn.retry";
+  if Vec.is_empty t.read_words then
+    invalid_arg "Txn.retry: nothing read invisibly (the wait set would be empty)";
+  raise Retry
+
+(* -- Lifecycle ------------------------------------------------------------ *)
+
+let begin_txn t =
+  Engine.enter t.engine;
+  Vec.clear t.read_words;
+  Vec.clear t.read_observed;
+  Vec.clear t.lock_words;
+  Vec.clear t.lock_prev;
+  Vec.clear t.vis_counters;
+  Vec.clear t.writes;
+  t.regions <- [];
+  t.rv <- Engine.now t.engine;
+  t.active <- true
+
+let release_visible_holds t =
+  Vec.iter (fun counter -> ignore (Atomic.fetch_and_add counter (-1))) t.vis_counters
+
+let finalize_success t =
+  release_visible_holds t;
+  List.iter
+    (fun e ->
+      e.re_shard.Region_stats.commits <- e.re_shard.Region_stats.commits + 1;
+      if e.re_writes = 0 then
+        e.re_shard.Region_stats.ro_commits <- e.re_shard.Region_stats.ro_commits + 1)
+    t.regions;
+  Engine.leave t.engine;
+  t.active <- false
+
+let commit t =
+  if Vec.is_empty t.writes then begin
+    t.last_serialization <- t.rv;
+    finalize_success t
+  end
+  else begin
+    Runtime_hook.charge Runtime_hook.Commit_fixed;
+    let wv = Engine.tick t.engine in
+    if wv <> t.rv + 1 && not (validate t) then begin
+      (match t.regions with
+      | e :: _ ->
+          e.re_shard.Region_stats.validation_fails <-
+            e.re_shard.Region_stats.validation_fails + 1
+      | [] -> ());
+      raise Abort
+    end;
+    Vec.iter (fun we -> we.w_commit ()) t.writes;
+    let released = Orec.make_version wv in
+    Vec.iter (fun word -> Atomic.set word released) t.lock_words;
+    t.last_serialization <- wv;
+    finalize_success t
+  end
+
+let rollback t =
+  (* Resets run in reverse write order (write-through undo entries must
+     restore the oldest value last) and strictly before lock release: a
+     later lock owner must never observe our stale owner tag or our
+     uncommitted in-place values. *)
+  for i = Vec.length t.writes - 1 downto 0 do
+    (Vec.get t.writes i).w_reset ()
+  done;
+  Vec.iteri (fun i word -> Atomic.set word (Vec.get t.lock_prev i)) t.lock_words;
+  release_visible_holds t;
+  List.iter
+    (fun e -> e.re_shard.Region_stats.aborts <- e.re_shard.Region_stats.aborts + 1)
+    t.regions;
+  Engine.leave t.engine;
+  t.active <- false;
+  Runtime_hook.charge Runtime_hook.Abort_restart
+
+(* Park until any watched orec changes from its observed word.  Runs with
+   no transaction in flight (locks released, engine deregistered), so it
+   cannot block a quiesce or hold anything another transaction needs. *)
+let wait_for_read_set_change watched_words observed_words =
+  let n = Array.length watched_words in
+  let changed () =
+    let rec scan i = i < n && (Atomic.get watched_words.(i) <> observed_words.(i) || scan (i + 1)) in
+    scan 0
+  in
+  while not (changed ()) do
+    Runtime_hook.relax ()
+  done
+
+type attempt_outcome = Committed | Conflicted | Retry_requested
+
+let atomically t f =
+  if t.active then invalid_arg "Txn.atomically: transactions do not nest";
+  t.attempt <- 0;
+  let result = ref None in
+  let rec loop () =
+    t.attempt <- t.attempt + 1;
+    if t.attempt > t.engine.Engine.max_attempts then raise (Too_many_attempts t.attempt);
+    begin_txn t;
+    let outcome =
+      try
+        result := Some (f t);
+        commit t;
+        Committed
+      with
+      | Abort -> Conflicted
+      | Retry -> Retry_requested
+      | exn ->
+          rollback t;
+          raise exn
+    in
+    match outcome with
+    | Committed -> (
+        match !result with Some value -> value | None -> assert false)
+    | Conflicted ->
+        rollback t;
+        Cm.delay t.engine.Engine.contention_manager t.rng ~attempt:t.attempt;
+        loop ()
+    | Retry_requested ->
+        (* Snapshot the wait set before rollback clears it. *)
+        let n = Vec.length t.read_words in
+        let watched = Array.init n (Vec.get t.read_words) in
+        let observed = Array.init n (Vec.get t.read_observed) in
+        rollback t;
+        wait_for_read_set_change watched observed;
+        t.attempt <- 0;
+        loop ()
+  in
+  loop ()

@@ -1,0 +1,61 @@
+(** Transaction engine: TinySTM/LSA-style word-based STM with per-region
+    concurrency control (see the implementation header for the algorithm).
+
+    Descriptors are explicit and single-owner: allocate one per worker with
+    {!create} and reuse it for every transaction that worker runs. *)
+
+open Partstm_util
+
+exception Too_many_attempts of int
+(** Raised by {!atomically} when the engine's retry budget is exhausted. *)
+
+type t
+(** A transaction descriptor (one per worker, reused across transactions). *)
+
+val create : Engine.t -> worker_id:int -> t
+(** [worker_id] selects the statistics shard; must be unique per concurrent
+    worker and [< engine.max_workers]. *)
+
+val worker_id : t -> int
+
+val attempt : t -> int
+(** Attempt number of the currently running transaction (1 = first try). *)
+
+val last_serialization : t -> int
+(** Serialization stamp of this descriptor's last committed transaction
+    (commit version for updates, snapshot version for read-only
+    transactions). Committed transactions are serializable in stamp order,
+    updates before read-only transactions at equal stamps. *)
+
+val atomically : t -> (t -> 'a) -> 'a
+(** Run a transaction to successful commit, retrying on conflicts with the
+    engine's contention manager. The body may run several times and must not
+    perform irrevocable side effects. Exceptions raised by the body abort
+    the transaction and propagate. Transactions do not nest. *)
+
+val read : t -> 'a Tvar.t -> 'a
+(** Transactional read; must be called inside {!atomically}. *)
+
+val write : t -> 'a Tvar.t -> 'a -> unit
+(** Transactional write; must be called inside {!atomically}. *)
+
+val modify : t -> 'a Tvar.t -> ('a -> 'a) -> unit
+(** [modify t v f] is [write t v (f (read t v))]. *)
+
+val retry : t -> 'a
+(** Blocking retry (the Haskell-STM combinator): abort the transaction and
+    re-run it once some location it read has changed. Watches the invisible
+    read set; raises [Invalid_argument] if nothing was read invisibly. The
+    wait holds no locks and does not count as in-flight. *)
+
+(**/**)
+
+(* Exposed for white-box tests; not part of the public API. *)
+
+exception Abort
+
+val rng : t -> Rng.t
+val validate : t -> bool
+val begin_txn : t -> unit
+val commit : t -> unit
+val rollback : t -> unit

@@ -1,0 +1,37 @@
+(* Transactional fixed-size array: one tvar per cell, all in one partition.
+   The workhorse of the bank and granularity workloads. *)
+
+open Partstm_stm
+open Partstm_core
+
+type 'a t = { cells : 'a Tvar.t array }
+
+let make partition ~length initial =
+  if length <= 0 then invalid_arg "Tarray.make: length";
+  { cells = Array.init length (fun _ -> Partition.tvar partition initial) }
+
+let init partition ~length f =
+  if length <= 0 then invalid_arg "Tarray.init: length";
+  { cells = Array.init length (fun i -> Partition.tvar partition (f i)) }
+
+let length t = Array.length t.cells
+
+let get txn t i = Txn.read txn t.cells.(i)
+let set txn t i value = Txn.write txn t.cells.(i) value
+let modify txn t i f = Txn.modify txn t.cells.(i) f
+
+let swap txn t i j =
+  if i <> j then begin
+    let vi = Txn.read txn t.cells.(i) and vj = Txn.read txn t.cells.(j) in
+    Txn.write txn t.cells.(i) vj;
+    Txn.write txn t.cells.(j) vi
+  end
+
+let fold txn t f init =
+  let acc = ref init in
+  Array.iter (fun cell -> acc := f !acc (Txn.read txn cell)) t.cells;
+  !acc
+
+let peek t i = Tvar.peek t.cells.(i)
+let poke t i value = Tvar.poke t.cells.(i) value
+let peek_fold t f init = Array.fold_left (fun acc cell -> f acc (Tvar.peek cell)) init t.cells

@@ -1,0 +1,25 @@
+(** Transactional fixed-size array (one tvar per cell). *)
+
+open Partstm_stm
+open Partstm_core
+
+type 'a t
+
+val make : Partition.t -> length:int -> 'a -> 'a t
+val init : Partition.t -> length:int -> (int -> 'a) -> 'a t
+val length : 'a t -> int
+
+val get : Txn.t -> 'a t -> int -> 'a
+val set : Txn.t -> 'a t -> int -> 'a -> unit
+val modify : Txn.t -> 'a t -> int -> ('a -> 'a) -> unit
+val swap : Txn.t -> 'a t -> int -> int -> unit
+val fold : Txn.t -> 'a t -> ('b -> 'a -> 'b) -> 'b -> 'b
+
+val peek : 'a t -> int -> 'a
+(** Non-transactional read. *)
+
+val poke : 'a t -> int -> 'a -> unit
+(** Non-transactional write (setup only). *)
+
+val peek_fold : 'a t -> ('b -> 'a -> 'b) -> 'b -> 'b
+(** Non-transactional fold (quiesced verification). *)

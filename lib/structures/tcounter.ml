@@ -1,0 +1,16 @@
+(* Transactional counter. *)
+
+open Partstm_stm
+open Partstm_core
+
+type t = { cell : int Tvar.t }
+
+let make partition initial = { cell = Partition.tvar partition initial }
+
+let get txn t = Txn.read txn t.cell
+let set txn t value = Txn.write txn t.cell value
+let add txn t delta = Txn.write txn t.cell (Txn.read txn t.cell + delta)
+let incr txn t = add txn t 1
+let decr txn t = add txn t (-1)
+
+let peek t = Tvar.peek t.cell

@@ -1,0 +1,16 @@
+(** Transactional counter. *)
+
+open Partstm_stm
+open Partstm_core
+
+type t
+
+val make : Partition.t -> int -> t
+val get : Txn.t -> t -> int
+val set : Txn.t -> t -> int -> unit
+val add : Txn.t -> t -> int -> unit
+val incr : Txn.t -> t -> unit
+val decr : Txn.t -> t -> unit
+
+val peek : t -> int
+(** Non-transactional read (setup/verification). *)

@@ -1,0 +1,108 @@
+(* Transactional hash map (integer keys, arbitrary values): fixed bucket
+   array of sorted chains; values live in their own tvars so updating a
+   value conflicts only with accesses to that key, not with the chain
+   structure. *)
+
+open Partstm_util
+open Partstm_stm
+open Partstm_core
+
+type 'a node = Nil | Node of { key : int; value : 'a Tvar.t; next : 'a node Tvar.t }
+
+type 'a t = { partition : Partition.t; buckets : 'a node Tvar.t array }
+
+let make partition ~buckets:count =
+  if count <= 0 then invalid_arg "Thashmap.make: buckets";
+  let count = Bits.ceil_power_of_two count in
+  { partition; buckets = Array.init count (fun _ -> Partition.tvar partition Nil) }
+
+let bucket t key = t.buckets.(Bits.hash_to_slot ~slots:(Array.length t.buckets) key)
+
+let rec locate txn link key =
+  match Txn.read txn link with
+  | Nil -> (link, Nil)
+  | Node n as node -> if n.key >= key then (link, node) else locate txn n.next key
+
+let find txn t key =
+  match locate txn (bucket t key) key with
+  | _, Node n when n.key = key -> Some (Txn.read txn n.value)
+  | _, (Nil | Node _) -> None
+
+let mem txn t key = Option.is_some (find txn t key)
+
+(* Insert or update; returns false if the key was present (value updated). *)
+let add txn t key value =
+  let link, behind = locate txn (bucket t key) key in
+  match behind with
+  | Node n when n.key = key ->
+      Txn.write txn n.value value;
+      false
+  | Nil | Node _ ->
+      Txn.write txn link
+        (Node { key; value = Partition.tvar t.partition value; next = Partition.tvar t.partition behind });
+      true
+
+(* Atomically transform the binding (absent -> [default]). *)
+let update txn t key ~default f =
+  let link, behind = locate txn (bucket t key) key in
+  match behind with
+  | Node n when n.key = key -> Txn.write txn n.value (f (Txn.read txn n.value))
+  | Nil | Node _ ->
+      Txn.write txn link
+        (Node
+           {
+             key;
+             value = Partition.tvar t.partition (f default);
+             next = Partition.tvar t.partition behind;
+           })
+
+let remove txn t key =
+  let link, behind = locate txn (bucket t key) key in
+  match behind with
+  | Node n when n.key = key ->
+      Txn.write txn link (Txn.read txn n.next);
+      true
+  | Nil | Node _ -> false
+
+let fold txn t f init =
+  let acc = ref init in
+  Array.iter
+    (fun head ->
+      let rec loop link =
+        match Txn.read txn link with
+        | Nil -> ()
+        | Node n ->
+            acc := f !acc n.key (Txn.read txn n.value);
+            loop n.next
+      in
+      loop head)
+    t.buckets;
+  !acc
+
+(* O(n). *)
+let size txn t = fold txn t (fun acc _ _ -> acc + 1) 0
+
+(* -- Non-transactional (quiesced) inspection ----------------------------- *)
+
+let peek_bindings t =
+  let acc = ref [] in
+  Array.iter
+    (fun head ->
+      let rec loop link =
+        match Tvar.peek link with
+        | Nil -> ()
+        | Node n ->
+            acc := (n.key, Tvar.peek n.value) :: !acc;
+            loop n.next
+      in
+      loop head)
+    t.buckets;
+  List.sort compare !acc
+
+let check t =
+  let keys = List.map fst (peek_bindings t) in
+  let rec no_duplicates = function
+    | a :: (b :: _ as rest) -> a <> b && no_duplicates rest
+    | [ _ ] | [] -> true
+  in
+  no_duplicates keys

@@ -1,0 +1,30 @@
+(** Transactional hash map (integer keys, arbitrary values). *)
+
+open Partstm_stm
+open Partstm_core
+
+type 'a t
+
+val make : Partition.t -> buckets:int -> 'a t
+(** [buckets] is rounded up to a power of two. *)
+
+val find : Txn.t -> 'a t -> int -> 'a option
+val mem : Txn.t -> 'a t -> int -> bool
+
+val add : Txn.t -> 'a t -> int -> 'a -> bool
+(** Insert or update; false if the key existed (its value is updated). *)
+
+val update : Txn.t -> 'a t -> int -> default:'a -> ('a -> 'a) -> unit
+(** Atomically transform the binding, treating an absent key as [default]. *)
+
+val remove : Txn.t -> 'a t -> int -> bool
+val fold : Txn.t -> 'a t -> ('acc -> int -> 'a -> 'acc) -> 'acc -> 'acc
+
+val size : Txn.t -> 'a t -> int
+(** O(n): folds over all buckets (no transactional size counter). *)
+
+val peek_bindings : 'a t -> (int * 'a) list
+(** Sorted snapshot (quiesced verification). *)
+
+val check : 'a t -> bool
+(** No duplicate keys in any chain (quiesced). *)

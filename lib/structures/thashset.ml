@@ -1,0 +1,101 @@
+(* Transactional hash set: a fixed bucket array of sorted chains.  Fixed
+   bucket count keeps the structure simple (no transactional resize); pick
+   the bucket count from the expected population. *)
+
+open Partstm_util
+open Partstm_stm
+open Partstm_core
+
+type node = Nil | Node of { key : int; next : node Tvar.t }
+
+(* No transactional size counter (it would serialize updates). *)
+type t = { partition : Partition.t; buckets : node Tvar.t array }
+
+let make partition ~buckets:count =
+  if count <= 0 then invalid_arg "Thashset.make: buckets";
+  let count = Bits.ceil_power_of_two count in
+  { partition; buckets = Array.init count (fun _ -> Partition.tvar partition Nil) }
+
+let bucket t key = t.buckets.(Bits.hash_to_slot ~slots:(Array.length t.buckets) key)
+
+let rec locate txn link key =
+  match Txn.read txn link with
+  | Nil -> (link, Nil)
+  | Node n as node -> if n.key >= key then (link, node) else locate txn n.next key
+
+let mem txn t key =
+  match locate txn (bucket t key) key with
+  | _, Node n -> n.key = key
+  | _, Nil -> false
+
+let add txn t key =
+  let link, behind = locate txn (bucket t key) key in
+  match behind with
+  | Node n when n.key = key -> false
+  | Nil | Node _ ->
+      Txn.write txn link (Node { key; next = Partition.tvar t.partition behind });
+      true
+
+let remove txn t key =
+  let link, behind = locate txn (bucket t key) key in
+  match behind with
+  | Node n when n.key = key ->
+      Txn.write txn link (Txn.read txn n.next);
+      true
+  | Nil | Node _ -> false
+
+(* O(n): folds over all buckets. *)
+let size txn t =
+  let count = ref 0 in
+  Array.iter
+    (fun head ->
+      let rec loop link =
+        match Txn.read txn link with
+        | Nil -> ()
+        | Node n ->
+            incr count;
+            loop n.next
+      in
+      loop head)
+    t.buckets;
+  !count
+
+let fold txn t f init =
+  let acc = ref init in
+  Array.iter
+    (fun head ->
+      let rec loop link =
+        match Txn.read txn link with
+        | Nil -> ()
+        | Node n ->
+            acc := f !acc n.key;
+            loop n.next
+      in
+      loop head)
+    t.buckets;
+  !acc
+
+(* -- Non-transactional (quiesced) inspection ----------------------------- *)
+
+let peek_elements t =
+  let acc = ref [] in
+  Array.iter
+    (fun head ->
+      let rec loop link =
+        match Tvar.peek link with
+        | Nil -> ()
+        | Node n ->
+            acc := n.key :: !acc;
+            loop n.next
+      in
+      loop head)
+    t.buckets;
+  List.sort compare !acc
+
+let check t =
+  let elements = peek_elements t in
+  let rec no_duplicates = function
+    | a :: (b :: _ as rest) -> a <> b && no_duplicates rest
+    | [ _ ] | [] -> true
+  in
+  no_duplicates elements

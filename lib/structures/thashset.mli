@@ -1,0 +1,24 @@
+(** Transactional hash set (fixed bucket array of sorted chains). *)
+
+open Partstm_stm
+open Partstm_core
+
+type t
+
+val make : Partition.t -> buckets:int -> t
+(** [buckets] is rounded up to a power of two. *)
+
+val mem : Txn.t -> t -> int -> bool
+val add : Txn.t -> t -> int -> bool
+val remove : Txn.t -> t -> int -> bool
+
+val size : Txn.t -> t -> int
+(** O(n): folds over all buckets (no transactional size counter). *)
+
+val fold : Txn.t -> t -> ('a -> int -> 'a) -> 'a -> 'a
+
+val peek_elements : t -> int list
+(** Sorted snapshot (quiesced verification). *)
+
+val check : t -> bool
+(** No duplicates in any chain (quiesced). *)

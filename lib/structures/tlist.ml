@@ -1,0 +1,69 @@
+(* Sorted singly linked integer-set list: the classic STM microbenchmark
+   structure (high structural conflict rate — every operation traverses the
+   prefix).  Keys are immutable; only the [next] pointers are transactional. *)
+
+open Partstm_stm
+open Partstm_core
+
+type node = Nil | Node of { key : int; next : node Tvar.t }
+
+type t = { partition : Partition.t; head : node Tvar.t }
+
+let make partition = { partition; head = Partition.tvar partition Nil }
+
+let partition t = t.partition
+
+(* Walk to the first link whose target has a key >= [key].  Returns the link
+   to rewrite plus the (possibly matching) node behind it. *)
+let rec locate txn link key =
+  match Txn.read txn link with
+  | Nil -> (link, Nil)
+  | Node n as node -> if n.key >= key then (link, node) else locate txn n.next key
+
+let mem txn t key =
+  match locate txn t.head key with
+  | _, Node n -> n.key = key
+  | _, Nil -> false
+
+let add txn t key =
+  let link, behind = locate txn t.head key in
+  match behind with
+  | Node n when n.key = key -> false
+  | Nil | Node _ ->
+      (* The fresh tvar is private until the commit publishes [link]. *)
+      Txn.write txn link (Node { key; next = Partition.tvar t.partition behind });
+      true
+
+let remove txn t key =
+  let link, behind = locate txn t.head key in
+  match behind with
+  | Node n when n.key = key ->
+      Txn.write txn link (Txn.read txn n.next);
+      true
+  | Nil | Node _ -> false
+
+let fold txn t f init =
+  let rec loop acc link =
+    match Txn.read txn link with Nil -> acc | Node n -> loop (f acc n.key) n.next
+  in
+  loop init t.head
+
+let size txn t = fold txn t (fun acc _ -> acc + 1) 0
+let to_list txn t = List.rev (fold txn t (fun acc key -> key :: acc) [])
+
+(* -- Non-transactional (quiesced) inspection ----------------------------- *)
+
+let peek_to_list t =
+  let rec loop acc link =
+    match Tvar.peek link with Nil -> List.rev acc | Node n -> loop (n.key :: acc) n.next
+  in
+  loop [] t.head
+
+let is_sorted_strict keys =
+  let rec loop = function
+    | a :: (b :: _ as rest) -> a < b && loop rest
+    | [ _ ] | [] -> true
+  in
+  loop keys
+
+let check t = is_sorted_strict (peek_to_list t)

@@ -1,0 +1,26 @@
+(** Sorted singly linked integer-set list (classic STM microbenchmark). *)
+
+open Partstm_stm
+open Partstm_core
+
+type t
+
+val make : Partition.t -> t
+val partition : t -> Partition.t
+
+val mem : Txn.t -> t -> int -> bool
+val add : Txn.t -> t -> int -> bool
+(** False if the key was already present. *)
+
+val remove : Txn.t -> t -> int -> bool
+(** False if the key was absent. *)
+
+val fold : Txn.t -> t -> ('a -> int -> 'a) -> 'a -> 'a
+val size : Txn.t -> t -> int
+val to_list : Txn.t -> t -> int list
+
+val peek_to_list : t -> int list
+(** Non-transactional snapshot (quiesced verification). *)
+
+val check : t -> bool
+(** Strictly sorted, no duplicates (quiesced). *)

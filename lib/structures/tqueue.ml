@@ -1,0 +1,34 @@
+(* Transactional FIFO queue (two-list functional queue in two tvars: O(1)
+   amortised, and enqueue/dequeue conflict only when the front list runs
+   dry — a reasonable transactional queue without node-level pointers). *)
+
+open Partstm_stm
+open Partstm_core
+
+type 'a t = { front : 'a list Tvar.t; back : 'a list Tvar.t }
+
+let make partition = { front = Partition.tvar partition []; back = Partition.tvar partition [] }
+
+let enqueue txn t value = Txn.write txn t.back (value :: Txn.read txn t.back)
+
+let dequeue txn t =
+  match Txn.read txn t.front with
+  | value :: rest ->
+      Txn.write txn t.front rest;
+      Some value
+  | [] -> begin
+      match List.rev (Txn.read txn t.back) with
+      | [] -> None
+      | value :: rest ->
+          Txn.write txn t.back [];
+          Txn.write txn t.front rest;
+          Some value
+    end
+
+let is_empty txn t = Txn.read txn t.front = [] && Txn.read txn t.back = []
+
+let length txn t = List.length (Txn.read txn t.front) + List.length (Txn.read txn t.back)
+
+let peek_length t = List.length (Tvar.peek t.front) + List.length (Tvar.peek t.back)
+
+let peek_to_list t = Tvar.peek t.front @ List.rev (Tvar.peek t.back)

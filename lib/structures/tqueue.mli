@@ -1,0 +1,16 @@
+(** Transactional FIFO queue. *)
+
+open Partstm_stm
+open Partstm_core
+
+type 'a t
+
+val make : Partition.t -> 'a t
+val enqueue : Txn.t -> 'a t -> 'a -> unit
+val dequeue : Txn.t -> 'a t -> 'a option
+val is_empty : Txn.t -> 'a t -> bool
+val length : Txn.t -> 'a t -> int
+
+val peek_length : 'a t -> int
+val peek_to_list : 'a t -> 'a list
+(** Non-transactional snapshots (quiesced verification). *)

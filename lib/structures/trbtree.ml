@@ -1,0 +1,361 @@
+(* Transactional red-black tree (integer keys, integer values).
+
+   In-place CLRS-style implementation with parent pointers: every structural
+   field (color, children, parent, value) is its own tvar, so transactions
+   conflict only where their paths actually overlap — the behaviour the
+   paper's read-mostly tree partitions rely on.
+
+   Deletion follows the STL/STAMP formulation: the successor node is
+   *relinked* into the deleted node's position (keys stay immutable) and the
+   fix-up tracks the possibly-absent child [x] together with an explicit
+   [x_parent], so there is no shared mutable nil sentinel (which would be a
+   transaction-wide conflict hotspot). *)
+
+open Partstm_stm
+open Partstm_core
+
+type color = Red | Black
+
+type 'a node = {
+  key : int;
+  value : 'a Tvar.t;
+  color : color Tvar.t;
+  left : 'a node option Tvar.t;
+  right : 'a node option Tvar.t;
+  parent : 'a node option Tvar.t;
+}
+
+(* No transactional size counter: it would make every update transaction
+   conflict on one tvar and serialize the whole structure. *)
+type 'a t = { partition : Partition.t; root : 'a node option Tvar.t }
+
+let make partition = { partition; root = Partition.tvar partition None }
+
+let node_color txn = function None -> Black | Some n -> Txn.read txn n.color
+let set_color txn n c = Txn.write txn n.color c
+
+let is_node n = function Some m -> m == n | None -> false
+
+(* -- Rotations ------------------------------------------------------------ *)
+
+let replace_child txn t ~parent ~old_child ~new_child =
+  match parent with
+  | None -> Txn.write txn t.root new_child
+  | Some p ->
+      if is_node old_child (Txn.read txn p.left) then Txn.write txn p.left new_child
+      else Txn.write txn p.right new_child
+
+let rotate_left txn t x =
+  let y = match Txn.read txn x.right with Some y -> y | None -> assert false in
+  let y_left = Txn.read txn y.left in
+  Txn.write txn x.right y_left;
+  (match y_left with Some l -> Txn.write txn l.parent (Some x) | None -> ());
+  let x_parent = Txn.read txn x.parent in
+  Txn.write txn y.parent x_parent;
+  replace_child txn t ~parent:x_parent ~old_child:x ~new_child:(Some y);
+  Txn.write txn y.left (Some x);
+  Txn.write txn x.parent (Some y)
+
+let rotate_right txn t x =
+  let y = match Txn.read txn x.left with Some y -> y | None -> assert false in
+  let y_right = Txn.read txn y.right in
+  Txn.write txn x.left y_right;
+  (match y_right with Some r -> Txn.write txn r.parent (Some x) | None -> ());
+  let x_parent = Txn.read txn x.parent in
+  Txn.write txn y.parent x_parent;
+  replace_child txn t ~parent:x_parent ~old_child:x ~new_child:(Some y);
+  Txn.write txn y.right (Some x);
+  Txn.write txn x.parent (Some y)
+
+(* -- Search --------------------------------------------------------------- *)
+
+let rec find_node txn link key =
+  match link with
+  | None -> None
+  | Some n ->
+      if key = n.key then Some n
+      else if key < n.key then find_node txn (Txn.read txn n.left) key
+      else find_node txn (Txn.read txn n.right) key
+
+let find txn t key =
+  match find_node txn (Txn.read txn t.root) key with
+  | Some n -> Some (Txn.read txn n.value)
+  | None -> None
+
+let mem txn t key = Option.is_some (find_node txn (Txn.read txn t.root) key)
+
+(* -- Insertion ------------------------------------------------------------ *)
+
+let rec insert_fixup txn t z =
+  match Txn.read txn z.parent with
+  | None -> ()
+  | Some p ->
+      if Txn.read txn p.color = Black then ()
+      else begin
+        match Txn.read txn p.parent with
+        | None -> ()  (* red root is recolored by the caller *)
+        | Some g ->
+            let p_is_left = is_node p (Txn.read txn g.left) in
+            let uncle = if p_is_left then Txn.read txn g.right else Txn.read txn g.left in
+            if node_color txn uncle = Red then begin
+              set_color txn p Black;
+              (match uncle with Some u -> set_color txn u Black | None -> ());
+              set_color txn g Red;
+              insert_fixup txn t g
+            end
+            else begin
+              let z =
+                if p_is_left then
+                  if is_node z (Txn.read txn p.right) then begin
+                    rotate_left txn t p;
+                    p
+                  end
+                  else z
+                else if is_node z (Txn.read txn p.left) then begin
+                  rotate_right txn t p;
+                  p
+                end
+                else z
+              in
+              let p = match Txn.read txn z.parent with Some p -> p | None -> assert false in
+              let g = match Txn.read txn p.parent with Some g -> g | None -> assert false in
+              set_color txn p Black;
+              set_color txn g Red;
+              if p_is_left then rotate_right txn t g else rotate_left txn t g
+            end
+      end
+
+(* [add txn t key value] inserts or updates; returns false if the key was
+   already present (its value is updated). *)
+let add txn t key value =
+  let rec descend parent link =
+    match Txn.read txn link with
+    | Some n ->
+        if key = n.key then begin
+          Txn.write txn n.value value;
+          false
+        end
+        else descend (Some n) (if key < n.key then n.left else n.right)
+    | None ->
+        let fresh =
+          {
+            key;
+            value = Partition.tvar t.partition value;
+            color = Partition.tvar t.partition Red;
+            left = Partition.tvar t.partition None;
+            right = Partition.tvar t.partition None;
+            parent = Partition.tvar t.partition parent;
+          }
+        in
+        Txn.write txn link (Some fresh);
+        insert_fixup txn t fresh;
+        (match Txn.read txn t.root with Some r -> set_color txn r Black | None -> ());
+        true
+  in
+  descend None t.root
+
+(* -- Deletion ------------------------------------------------------------- *)
+
+let rec minimum txn n =
+  match Txn.read txn n.left with Some l -> minimum txn l | None -> n
+
+(* Fix-up after removing a black node: [x] (possibly absent) carries an
+   extra black, [x_parent] is its position's parent ([None] iff [x] is the
+   root position). *)
+let rec delete_fixup txn t x x_parent =
+  match x_parent with
+  | None -> (match x with Some n -> set_color txn n Black | None -> ())
+  | Some p ->
+      if node_color txn x = Red then (match x with Some n -> set_color txn n Black | None -> ())
+      else if is_node_opt x (Txn.read txn p.left) then begin
+        let w = match Txn.read txn p.right with Some w -> w | None -> assert false in
+        let w =
+          if Txn.read txn w.color = Red then begin
+            set_color txn w Black;
+            set_color txn p Red;
+            rotate_left txn t p;
+            match Txn.read txn p.right with Some w -> w | None -> assert false
+          end
+          else w
+        in
+        if
+          node_color txn (Txn.read txn w.left) = Black
+          && node_color txn (Txn.read txn w.right) = Black
+        then begin
+          set_color txn w Red;
+          delete_fixup txn t (Some p) (Txn.read txn p.parent)
+        end
+        else begin
+          let w =
+            if node_color txn (Txn.read txn w.right) = Black then begin
+              (match Txn.read txn w.left with Some l -> set_color txn l Black | None -> ());
+              set_color txn w Red;
+              rotate_right txn t w;
+              match Txn.read txn p.right with Some w -> w | None -> assert false
+            end
+            else w
+          in
+          set_color txn w (Txn.read txn p.color);
+          set_color txn p Black;
+          (match Txn.read txn w.right with Some r -> set_color txn r Black | None -> ());
+          rotate_left txn t p
+        end
+      end
+      else begin
+        let w = match Txn.read txn p.left with Some w -> w | None -> assert false in
+        let w =
+          if Txn.read txn w.color = Red then begin
+            set_color txn w Black;
+            set_color txn p Red;
+            rotate_right txn t p;
+            match Txn.read txn p.left with Some w -> w | None -> assert false
+          end
+          else w
+        in
+        if
+          node_color txn (Txn.read txn w.left) = Black
+          && node_color txn (Txn.read txn w.right) = Black
+        then begin
+          set_color txn w Red;
+          delete_fixup txn t (Some p) (Txn.read txn p.parent)
+        end
+        else begin
+          let w =
+            if node_color txn (Txn.read txn w.left) = Black then begin
+              (match Txn.read txn w.right with Some r -> set_color txn r Black | None -> ());
+              set_color txn w Red;
+              rotate_left txn t w;
+              match Txn.read txn p.left with Some w -> w | None -> assert false
+            end
+            else w
+          in
+          set_color txn w (Txn.read txn p.color);
+          set_color txn p Black;
+          (match Txn.read txn w.left with Some l -> set_color txn l Black | None -> ());
+          rotate_right txn t p
+        end
+      end
+
+and is_node_opt x link =
+  match (x, link) with
+  | Some a, Some b -> a == b
+  | None, None -> true
+  | Some _, None | None, Some _ -> false
+
+let remove txn t key =
+  match find_node txn (Txn.read txn t.root) key with
+  | None -> false
+  | Some z ->
+      let z_left = Txn.read txn z.left and z_right = Txn.read txn z.right in
+      let removed_color, x, x_parent =
+        match (z_left, z_right) with
+        | None, _ | _, None ->
+            (* z has at most one child: splice z out directly. *)
+            let x = if z_left <> None then z_left else z_right in
+            let z_parent = Txn.read txn z.parent in
+            replace_child txn t ~parent:z_parent ~old_child:z ~new_child:x;
+            (match x with Some n -> Txn.write txn n.parent z_parent | None -> ());
+            (Txn.read txn z.color, x, z_parent)
+        | Some _, Some zr ->
+            (* Relink z's successor y into z's position (keys immutable). *)
+            let y = minimum txn zr in
+            let x = Txn.read txn y.right in
+            let x_parent =
+              if y == zr then Some y
+              else begin
+                let y_parent = Txn.read txn y.parent in
+                (match x with Some n -> Txn.write txn n.parent y_parent | None -> ());
+                (* y is the minimum of zr, hence a left child. *)
+                (match y_parent with
+                | Some yp -> Txn.write txn yp.left x
+                | None -> assert false);
+                Txn.write txn y.right (Some zr);
+                Txn.write txn zr.parent (Some y);
+                y_parent
+              end
+            in
+            Txn.write txn y.left z_left;
+            (match z_left with Some l -> Txn.write txn l.parent (Some y) | None -> ());
+            let z_parent = Txn.read txn z.parent in
+            replace_child txn t ~parent:z_parent ~old_child:z ~new_child:(Some y);
+            Txn.write txn y.parent z_parent;
+            let y_color = Txn.read txn y.color in
+            Txn.write txn y.color (Txn.read txn z.color);
+            (y_color, x, x_parent)
+      in
+      if removed_color = Black then delete_fixup txn t x x_parent;
+      (match Txn.read txn t.root with Some r -> set_color txn r Black | None -> ());
+      true
+
+(* -- Iteration ------------------------------------------------------------ *)
+
+let fold txn t f init =
+  let rec loop acc link =
+    match Txn.read txn link with
+    | None -> acc
+    | Some n ->
+        let acc = loop acc n.left in
+        let acc = f acc n.key (Txn.read txn n.value) in
+        loop acc n.right
+  in
+  loop init t.root
+
+(* O(n): walks the tree (kept out of hot paths by benchmarks). *)
+let size txn t = fold txn t (fun acc _ _ -> acc + 1) 0
+let to_list txn t = List.rev (fold txn t (fun acc k v -> (k, v) :: acc) [])
+
+(* -- Non-transactional (quiesced) verification ---------------------------- *)
+
+type check_error =
+  | Unsorted
+  | Red_red
+  | Black_height_mismatch
+  | Bad_parent
+  | Red_root
+
+let peek_to_list t =
+  let rec loop acc link =
+    match Tvar.peek link with
+    | None -> acc
+    | Some n ->
+        let acc = loop acc n.left in
+        let acc = (n.key, Tvar.peek n.value) :: acc in
+        loop acc n.right
+  in
+  List.rev (loop [] t.root)
+
+let check t =
+  let errors = ref [] in
+  let report e = if not (List.mem e !errors) then errors := e :: !errors in
+  let keys = List.map fst (peek_to_list t) in
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a < b && sorted rest
+    | [ _ ] | [] -> true
+  in
+  if not (sorted keys) then report Unsorted;
+  (match Tvar.peek t.root with
+  | Some r ->
+      if Tvar.peek r.color = Red then report Red_root;
+      if Tvar.peek r.parent <> None then report Bad_parent
+  | None -> ());
+  (* Returns black height; -1 propagates failure. *)
+  let rec walk link parent =
+    match Tvar.peek link with
+    | None -> 1
+    | Some n ->
+        (match Tvar.peek n.parent with
+        | Some p -> if not (match parent with Some q -> q == p | None -> false) then report Bad_parent
+        | None -> if parent <> None then report Bad_parent);
+        let color = Tvar.peek n.color in
+        if color = Red then begin
+          let red_child l = match Tvar.peek l with Some c -> Tvar.peek c.color = Red | None -> false in
+          if red_child n.left || red_child n.right then report Red_red
+        end;
+        let hl = walk n.left (Some n) and hr = walk n.right (Some n) in
+        if hl <> hr then report Black_height_mismatch;
+        (if color = Black then 1 else 0) + max hl hr
+  in
+  ignore (walk t.root None);
+  List.rev !errors
+
+let check_ok t = check t = []

@@ -1,0 +1,40 @@
+(** Transactional red-black tree (integer keys and values), in-place CLRS
+    with parent pointers: transactions conflict only where their access
+    paths overlap. *)
+
+open Partstm_stm
+open Partstm_core
+
+type 'a t
+
+val make : Partition.t -> 'a t
+
+val mem : Txn.t -> 'a t -> int -> bool
+val find : Txn.t -> 'a t -> int -> 'a option
+
+val add : Txn.t -> 'a t -> int -> 'a -> bool
+(** [add txn t key value] inserts or updates; false if the key existed. *)
+
+val remove : Txn.t -> 'a t -> int -> bool
+
+val size : Txn.t -> 'a t -> int
+(** O(n): walks the tree (no transactional size counter — it would
+    serialize updates). *)
+
+val fold : Txn.t -> 'a t -> ('acc -> int -> 'a -> 'acc) -> 'acc -> 'acc
+val to_list : Txn.t -> 'a t -> (int * 'a) list
+
+type check_error =
+  | Unsorted
+  | Red_red
+  | Black_height_mismatch
+  | Bad_parent
+  | Red_root
+
+val peek_to_list : 'a t -> (int * 'a) list
+(** In-order snapshot (quiesced verification). *)
+
+val check : 'a t -> check_error list
+(** All violated red-black invariants (quiesced); empty = valid. *)
+
+val check_ok : 'a t -> bool

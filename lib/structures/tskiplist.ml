@@ -1,0 +1,132 @@
+(* Transactional skip-list integer set.
+
+   Towers (forward-pointer arrays) are transactional; keys and tower heights
+   are immutable.  Heights are *deterministic* per key (trailing zeros of a
+   hash), which keeps runs reproducible and equal-key re-insertions stable —
+   the distribution is the usual geometric(1/2). *)
+
+open Partstm_util
+open Partstm_stm
+open Partstm_core
+
+let max_level = 16
+
+type succ = Tail | Next of node
+and node = { key : int; tower : succ Tvar.t array }
+
+(* No transactional size counter (it would serialize updates). *)
+type t = { partition : Partition.t; head : succ Tvar.t array }
+
+let level_of_key key =
+  let hash = Bits.mix_int key in
+  let rec count_trailing_ones level hash =
+    if level >= max_level || hash land 1 = 0 then level
+    else count_trailing_ones (level + 1) (hash lsr 1)
+  in
+  1 + count_trailing_ones 0 hash
+
+let make partition =
+  { partition; head = Array.init max_level (fun _ -> Partition.tvar partition Tail) }
+
+(* Fill [preds] with, per level, the tower whose forward pointer at that
+   level is the first one reaching a key >= [key]. *)
+let find_predecessors txn t key preds =
+  let rec descend tower level =
+    if level >= 0 then begin
+      let rec walk tower =
+        match Txn.read txn tower.(level) with
+        | Next n when n.key < key -> walk n.tower
+        | Tail | Next _ -> tower
+      in
+      let tower = walk tower in
+      preds.(level) <- tower;
+      descend tower (level - 1)
+    end
+  in
+  descend t.head (max_level - 1)
+
+let successor_at_level_0 txn preds =
+  match Txn.read txn preds.(0).(0) with Tail -> None | Next n -> Some n
+
+let mem txn t key =
+  let preds = Array.make max_level t.head in
+  find_predecessors txn t key preds;
+  match successor_at_level_0 txn preds with Some n -> n.key = key | None -> false
+
+let add txn t key =
+  let preds = Array.make max_level t.head in
+  find_predecessors txn t key preds;
+  match successor_at_level_0 txn preds with
+  | Some n when n.key = key -> false
+  | Some _ | None ->
+      let level = level_of_key key in
+      let tower =
+        Array.init level (fun i -> Partition.tvar t.partition (Txn.read txn preds.(i).(i)))
+      in
+      let node = { key; tower } in
+      for i = 0 to level - 1 do
+        Txn.write txn preds.(i).(i) (Next node)
+      done;
+      true
+
+let remove txn t key =
+  let preds = Array.make max_level t.head in
+  find_predecessors txn t key preds;
+  match successor_at_level_0 txn preds with
+  | Some n when n.key = key ->
+      Array.iteri
+        (fun i link ->
+          match Txn.read txn preds.(i).(i) with
+          | Next m when m == n -> Txn.write txn preds.(i).(i) (Txn.read txn link)
+          | Tail | Next _ -> ())
+        n.tower;
+      true
+  | Some _ | None -> false
+
+(* O(n): walks level 0. *)
+let size txn t =
+  let rec loop acc link =
+    match Txn.read txn link with Tail -> acc | Next n -> loop (acc + 1) n.tower.(0)
+  in
+  loop 0 t.head.(0)
+
+let fold txn t f init =
+  let rec loop acc link =
+    match Txn.read txn link with Tail -> acc | Next n -> loop (f acc n.key) n.tower.(0)
+  in
+  loop init t.head.(0)
+
+let to_list txn t = List.rev (fold txn t (fun acc key -> key :: acc) [])
+
+(* -- Non-transactional (quiesced) inspection ----------------------------- *)
+
+let peek_level t level =
+  let rec loop acc link =
+    match Tvar.peek link with
+    | Tail -> List.rev acc
+    | Next n ->
+        if Array.length n.tower > level then loop (n.key :: acc) n.tower.(level)
+        else List.rev acc  (* malformed: caught by [check] *)
+  in
+  loop [] t.head.(level)
+
+let rec is_sorted_strict = function
+  | a :: (b :: _ as rest) -> a < b && is_sorted_strict rest
+  | [ _ ] | [] -> true
+
+let rec is_subsequence xs ys =
+  match (xs, ys) with
+  | [], _ -> true
+  | _ :: _, [] -> false
+  | x :: xrest, y :: yrest ->
+      if x = y then is_subsequence xrest yrest else is_subsequence xs yrest
+
+let check t =
+  let base = peek_level t 0 in
+  is_sorted_strict base
+  && (let ok = ref true in
+      for level = 1 to max_level - 1 do
+        let this_level = peek_level t level in
+        if not (is_sorted_strict this_level && is_subsequence this_level base) then ok := false
+      done;
+      !ok)

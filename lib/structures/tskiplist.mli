@@ -1,0 +1,27 @@
+(** Transactional skip-list integer set with deterministic tower heights. *)
+
+open Partstm_stm
+open Partstm_core
+
+val max_level : int
+
+type t
+
+val make : Partition.t -> t
+val level_of_key : int -> int
+
+val mem : Txn.t -> t -> int -> bool
+val add : Txn.t -> t -> int -> bool
+val remove : Txn.t -> t -> int -> bool
+
+val size : Txn.t -> t -> int
+(** O(n): walks level 0 (no transactional size counter). *)
+
+val fold : Txn.t -> t -> ('a -> int -> 'a) -> 'a -> 'a
+val to_list : Txn.t -> t -> int list
+
+val peek_level : t -> int -> int list
+(** Keys reachable at the given level (quiesced). *)
+
+val check : t -> bool
+(** Every level strictly sorted and a subsequence of level 0 (quiesced). *)

@@ -1,0 +1,25 @@
+(* Transactional LIFO stack: a single list tvar.  Every push/pop conflicts
+   (it is a stack); useful as a deliberately serial structure in workloads
+   and as the simplest composite example. *)
+
+open Partstm_stm
+open Partstm_core
+
+type 'a t = { cells : 'a list Tvar.t }
+
+let make partition = { cells = Partition.tvar partition [] }
+
+let push txn t value = Txn.write txn t.cells (value :: Txn.read txn t.cells)
+
+let pop txn t =
+  match Txn.read txn t.cells with
+  | [] -> None
+  | value :: rest ->
+      Txn.write txn t.cells rest;
+      Some value
+
+let top txn t = match Txn.read txn t.cells with [] -> None | value :: _ -> Some value
+let is_empty txn t = Txn.read txn t.cells = []
+let length txn t = List.length (Txn.read txn t.cells)
+
+let peek_to_list t = Tvar.peek t.cells

@@ -1,0 +1,16 @@
+(** Transactional LIFO stack. *)
+
+open Partstm_stm
+open Partstm_core
+
+type 'a t
+
+val make : Partition.t -> 'a t
+val push : Txn.t -> 'a t -> 'a -> unit
+val pop : Txn.t -> 'a t -> 'a option
+val top : Txn.t -> 'a t -> 'a option
+val is_empty : Txn.t -> 'a t -> bool
+val length : Txn.t -> 'a t -> int
+
+val peek_to_list : 'a t -> 'a list
+(** Snapshot, top first (quiesced verification). *)

@@ -1,0 +1,32 @@
+(* Small integer utilities shared by the STM engine and the harness. *)
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let rec ceil_power_of_two n = if is_power_of_two n then n else ceil_power_of_two (n + (n land -n))
+
+let floor_log2 n =
+  if n <= 0 then invalid_arg "Bits.floor_log2";
+  let rec loop acc n = if n = 1 then acc else loop (acc + 1) (n lsr 1) in
+  loop 0 n
+
+let ceil_log2 n = floor_log2 (ceil_power_of_two n)
+
+let popcount n =
+  let rec loop acc n = if n = 0 then acc else loop (acc + 1) (n land (n - 1)) in
+  loop 0 n
+
+(* Fibonacci-style multiplicative hash followed by an avalanche step; used to
+   spread tvar ids over lock-table slots.  Constants are the splitmix64 ones
+   truncated to OCaml's 63-bit native int (hash quality, not bit-exactness,
+   is what matters here). *)
+let mix_int x =
+  let x = x * 0x1E3779B97F4A7C15 in
+  let x = x lxor (x lsr 30) in
+  let x = x * 0x3F58476D1CE4E5B9 in
+  let x = x lxor (x lsr 27) in
+  let x = x * 0x14D049BB133111EB in
+  (x lxor (x lsr 31)) land max_int
+
+let hash_to_slot ~slots x =
+  (* [slots] must be a power of two. *)
+  mix_int x land (slots - 1)

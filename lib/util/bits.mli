@@ -1,0 +1,23 @@
+(** Small integer utilities shared by the STM engine and the harness. *)
+
+val is_power_of_two : int -> bool
+(** [is_power_of_two n] is true iff [n] is a positive power of two. *)
+
+val ceil_power_of_two : int -> int
+(** Smallest power of two [>= n] (for positive [n]). *)
+
+val floor_log2 : int -> int
+(** Floor of log2; raises [Invalid_argument] on non-positive input. *)
+
+val ceil_log2 : int -> int
+(** Ceiling of log2; raises [Invalid_argument] on non-positive input. *)
+
+val popcount : int -> int
+(** Number of set bits. *)
+
+val mix_int : int -> int
+(** splitmix64 avalanche mix; a cheap high-quality integer hash. *)
+
+val hash_to_slot : slots:int -> int -> int
+(** [hash_to_slot ~slots x] hashes [x] into [0 .. slots-1]. [slots] must be a
+    power of two. *)

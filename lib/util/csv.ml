@@ -1,0 +1,22 @@
+(* Minimal CSV emission so bench series can be re-plotted externally. *)
+
+let quote_cell cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then begin
+    let buffer = Buffer.create (String.length cell + 2) in
+    Buffer.add_char buffer '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buffer "\"\"" else Buffer.add_char buffer c)
+      cell;
+    Buffer.add_char buffer '"';
+    Buffer.contents buffer
+  end
+  else cell
+
+let row_to_string row = String.concat "," (List.map quote_cell row)
+
+let write_file path rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> List.iter (fun row -> output_string oc (row_to_string row ^ "\n")) rows)

@@ -1,0 +1,5 @@
+(** Minimal CSV emission. *)
+
+val quote_cell : string -> string
+val row_to_string : string list -> string
+val write_file : string -> string list list -> unit

@@ -1,0 +1,51 @@
+(* Power-of-two bucketed histogram for non-negative integer observations
+   (latencies in cycles, read-set sizes, ...).  Single-writer. *)
+
+type t = { buckets : int array; mutable count : int; mutable sum : int; mutable max_seen : int }
+
+let bucket_count = 62
+
+let create () = { buckets = Array.make bucket_count 0; count = 0; sum = 0; max_seen = 0 }
+
+let bucket_of_value v = if v <= 0 then 0 else Bits.floor_log2 v + 1
+
+let observe t v =
+  let v = max v 0 in
+  let b = min (bucket_of_value v) (bucket_count - 1) in
+  t.buckets.(b) <- t.buckets.(b) + 1;
+  t.count <- t.count + 1;
+  t.sum <- t.sum + v;
+  if v > t.max_seen then t.max_seen <- v
+
+let count t = t.count
+let mean t = if t.count = 0 then 0.0 else float_of_int t.sum /. float_of_int t.count
+let max_value t = t.max_seen
+
+let percentile t p =
+  (* Upper bound of the bucket containing the p-th percentile. *)
+  if t.count = 0 then 0
+  else
+    let target = int_of_float (Float.ceil (p /. 100.0 *. float_of_int t.count)) in
+    let rec loop acc b =
+      if b >= bucket_count then t.max_seen
+      else
+        let acc = acc + t.buckets.(b) in
+        if acc >= target then if b = 0 then 0 else 1 lsl b else loop acc (b + 1)
+    in
+    loop 0 0
+
+let merge_into ~dst src =
+  Array.iteri (fun i n -> dst.buckets.(i) <- dst.buckets.(i) + n) src.buckets;
+  dst.count <- dst.count + src.count;
+  dst.sum <- dst.sum + src.sum;
+  if src.max_seen > dst.max_seen then dst.max_seen <- src.max_seen
+
+let reset t =
+  Array.fill t.buckets 0 bucket_count 0;
+  t.count <- 0;
+  t.sum <- 0;
+  t.max_seen <- 0
+
+let pp ppf t =
+  Fmt.pf ppf "count=%d mean=%.1f max=%d p50<=%d p99<=%d" t.count (mean t) t.max_seen
+    (percentile t 50.0) (percentile t 99.0)

@@ -1,0 +1,17 @@
+(** Power-of-two bucketed histogram for non-negative integers. Single-writer;
+    concurrent readers may observe torn (but memory-safe) snapshots. *)
+
+type t
+
+val create : unit -> t
+val observe : t -> int -> unit
+val count : t -> int
+val mean : t -> float
+val max_value : t -> int
+
+val percentile : t -> float -> int
+(** Upper bound of the bucket containing the requested percentile. *)
+
+val merge_into : dst:t -> t -> unit
+val reset : t -> unit
+val pp : Format.formatter -> t -> unit

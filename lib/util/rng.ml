@@ -1,0 +1,108 @@
+(* Deterministic pseudo-random streams.
+
+   The harness needs reproducible runs: every worker (real domain or simulated
+   core) owns an independent stream derived from a master seed, so results do
+   not depend on scheduling.  splitmix64 seeds an xoshiro256** state. *)
+
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let splitmix64_next state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let make seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64_next state in
+  let s1 = splitmix64_next state in
+  let s2 = splitmix64_next state in
+  let s3 = splitmix64_next state in
+  { s0; s1; s2; s3 }
+
+let split t ~index =
+  (* Derive an independent stream; mixing the parent's next output with the
+     stream index keeps sibling streams decorrelated. *)
+  let state = ref (Int64.add t.s0 (Int64.of_int ((index + 1) * 0x2545F491))) in
+  let s0 = splitmix64_next state in
+  let s1 = splitmix64_next state in
+  let s2 = splitmix64_next state in
+  let s3 = splitmix64_next state in
+  { s0; s1; s2; s3 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let next_int64 t =
+  let open Int64 in
+  let result = mul (rotl (mul t.s1 5L) 7) 9L in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let bits t = Int64.to_int (next_int64 t) land max_int
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int";
+  if Bits.is_power_of_two bound then bits t land (bound - 1)
+  else
+    (* Rejection sampling to avoid modulo bias. *)
+    let rec loop () =
+      let r = bits t in
+      let v = r mod bound in
+      if r - v + (bound - 1) < 0 then loop () else v
+    in
+    loop ()
+
+let int_in_range t ~lo ~hi =
+  if hi < lo then invalid_arg "Rng.int_in_range";
+  lo + int t (hi - lo + 1)
+
+let float t = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) *. 0x1p-53
+
+let bool t = bits t land 1 = 1
+
+let chance t ~percent = int t 100 < percent
+
+let shuffle_in_place t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+(* Zipf-distributed sampler over [0, n); used for skewed access patterns.
+   Precomputes the CDF, sampling is a binary search. *)
+type zipf = { cdf : float array }
+
+let zipf ~n ~theta =
+  if n <= 0 then invalid_arg "Rng.zipf";
+  let weights = Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) theta) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. (weights.(i) /. total);
+    cdf.(i) <- !acc
+  done;
+  cdf.(n - 1) <- 1.0;
+  { cdf }
+
+let zipf_sample t z =
+  let u = float t in
+  let cdf = z.cdf in
+  let n = Array.length cdf in
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if cdf.(mid) < u then search (mid + 1) hi else search lo mid
+  in
+  search 0 (n - 1)

@@ -1,0 +1,38 @@
+(** Deterministic pseudo-random streams (xoshiro256** seeded by splitmix64).
+
+    Every worker owns an independent stream derived from a master seed so that
+    experiment results are reproducible and independent of scheduling. *)
+
+type t
+
+val make : int -> t
+(** [make seed] creates a master stream. *)
+
+val split : t -> index:int -> t
+(** [split t ~index] derives an independent child stream; distinct indices
+    give decorrelated streams.  Does not advance [t]. *)
+
+val bits : t -> int
+(** 62 uniformly random non-negative bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound); bias-free. *)
+
+val int_in_range : t -> lo:int -> hi:int -> int
+(** Uniform in the inclusive range. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> bool
+
+val chance : t -> percent:int -> bool
+(** True with probability [percent]/100. *)
+
+val shuffle_in_place : t -> 'a array -> unit
+
+type zipf
+(** Precomputed Zipf(theta) sampler over [0, n). *)
+
+val zipf : n:int -> theta:float -> zipf
+val zipf_sample : t -> zipf -> int

@@ -1,0 +1,27 @@
+(** Execution-environment hook: routes STM engine events either to no-ops
+    (real-domain execution) or to the virtual-time simulator. *)
+
+type event =
+  | Step of int  (** generic work, n abstract cycles *)
+  | Read_invisible
+  | Read_visible  (** first visible read of an orec: atomic RMW *)
+  | Lock_acquire
+  | Write_entry
+  | Commit_fixed
+  | Validate_entry
+  | Abort_restart
+  | First_touch  (** partition in-flight registration *)
+  | Backoff of int  (** contention-manager delay, n cycles *)
+
+val charge : event -> unit
+(** Report an engine event. No-op by default. *)
+
+val relax : unit -> unit
+(** Spin-wait pause. [Domain.cpu_relax] by default; a 1-cycle yield under the
+    simulator. *)
+
+val install : charge:(event -> unit) -> relax:(unit -> unit) -> unit
+(** Replace the hooks. Must not be called while workers are running. *)
+
+val reset : unit -> unit
+(** Restore the domain-mode defaults. *)

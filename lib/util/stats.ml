@@ -1,0 +1,62 @@
+(* Descriptive statistics over float samples; used by the harness to
+   summarise repeated benchmark runs. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let percentile_of_sorted sorted p =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Stats.percentile_of_sorted";
+  if n = 1 then sorted.(0)
+  else
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+
+let summarize samples =
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Stats.summarize";
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  let sum = Array.fold_left ( +. ) 0.0 sorted in
+  let mean = sum /. float_of_int n in
+  let sq_diff = Array.fold_left (fun acc x -> acc +. ((x -. mean) *. (x -. mean))) 0.0 sorted in
+  let stddev = if n > 1 then sqrt (sq_diff /. float_of_int (n - 1)) else 0.0 in
+  {
+    count = n;
+    mean;
+    stddev;
+    min = sorted.(0);
+    max = sorted.(n - 1);
+    p50 = percentile_of_sorted sorted 50.0;
+    p90 = percentile_of_sorted sorted 90.0;
+    p99 = percentile_of_sorted sorted 99.0;
+  }
+
+(* Welford's online mean/variance; single-writer. *)
+type online = { mutable n : int; mutable mean : float; mutable m2 : float }
+
+let online () = { n = 0; mean = 0.0; m2 = 0.0 }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean))
+
+let online_count t = t.n
+let online_mean t = t.mean
+let online_variance t = if t.n > 1 then t.m2 /. float_of_int (t.n - 1) else 0.0
+let online_stddev t = sqrt (online_variance t)
+
+let ratio num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den

@@ -1,0 +1,32 @@
+(** Descriptive statistics over float samples. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation *)
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+val summarize : float array -> summary
+(** Raises [Invalid_argument] on an empty array. *)
+
+val percentile_of_sorted : float array -> float -> float
+(** [percentile_of_sorted sorted p] linearly interpolates the [p]-th
+    percentile (0-100) of an already-sorted array. *)
+
+type online
+(** Welford online mean/variance accumulator (single writer). *)
+
+val online : unit -> online
+val add : online -> float -> unit
+val online_count : online -> int
+val online_mean : online -> float
+val online_variance : online -> float
+val online_stddev : online -> float
+
+val ratio : int -> int -> float
+(** [ratio num den] is [num/den] as a float, or 0 when [den = 0]. *)

@@ -1,0 +1,68 @@
+(* Growable array with O(1) amortised push and O(1) clear, reused across
+   transaction attempts to avoid per-retry allocation.  A dummy element fills
+   unused capacity (OCaml arrays cannot be partially initialised). *)
+
+type 'a t = { mutable data : 'a array; mutable length : int; dummy : 'a }
+
+let create ?(capacity = 8) ~dummy () = { data = Array.make (max capacity 1) dummy; length = 0; dummy }
+
+let length t = t.length
+let is_empty t = t.length = 0
+
+let push t x =
+  if t.length = Array.length t.data then begin
+    let bigger = Array.make (2 * t.length) t.dummy in
+    Array.blit t.data 0 bigger 0 t.length;
+    t.data <- bigger
+  end;
+  t.data.(t.length) <- x;
+  t.length <- t.length + 1
+
+let get t i =
+  if i < 0 || i >= t.length then invalid_arg "Vec.get";
+  t.data.(i)
+
+let set t i x =
+  if i < 0 || i >= t.length then invalid_arg "Vec.set";
+  t.data.(i) <- x
+
+let clear t = t.length <- 0
+
+let deep_clear t =
+  Array.fill t.data 0 (Array.length t.data) t.dummy;
+  t.length <- 0
+
+let iter f t =
+  for i = 0 to t.length - 1 do
+    f t.data.(i)
+  done
+
+let iteri f t =
+  for i = 0 to t.length - 1 do
+    f i t.data.(i)
+  done
+
+let exists predicate t =
+  let rec loop i = i < t.length && (predicate t.data.(i) || loop (i + 1)) in
+  loop 0
+
+let for_all predicate t =
+  let rec loop i = i >= t.length || (predicate t.data.(i) && loop (i + 1)) in
+  loop 0
+
+let find_opt predicate t =
+  let rec loop i =
+    if i >= t.length then None
+    else if predicate t.data.(i) then Some t.data.(i)
+    else loop (i + 1)
+  in
+  loop 0
+
+let count predicate t =
+  let n = ref 0 in
+  iter (fun x -> if predicate x then incr n) t;
+  !n
+
+let to_list t =
+  let rec loop acc i = if i < 0 then acc else loop (t.data.(i) :: acc) (i - 1) in
+  loop [] (t.length - 1)

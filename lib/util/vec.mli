@@ -1,0 +1,27 @@
+(** Growable array with O(1) amortised push and O(1) clear; reusable across
+    transaction attempts.  Not thread-safe (one owner). *)
+
+type 'a t
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+
+val clear : 'a t -> unit
+(** Resets the length; does not drop element references (see
+    {!deep_clear}). *)
+
+val deep_clear : 'a t -> unit
+(** Resets the length and overwrites capacity with the dummy, releasing
+    references. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val exists : ('a -> bool) -> 'a t -> bool
+val for_all : ('a -> bool) -> 'a t -> bool
+val find_opt : ('a -> bool) -> 'a t -> 'a option
+val count : ('a -> bool) -> 'a t -> int
+val to_list : 'a t -> 'a list

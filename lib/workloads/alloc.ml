@@ -1,0 +1,26 @@
+(* Partition allocation respecting the strategy: under [Strategy.Shared]
+   every requested partition resolves to one "shared-heap" region (the
+   unpartitioned baseline); otherwise each (name, site) pair gets its own
+   partition, as the compile-time partitioner would emit. *)
+
+open Partstm_core
+
+let shared_heap_name = "shared-heap"
+
+let partitions_for system ~strategy names_sites =
+  if Strategy.is_shared strategy then begin
+    let shared =
+      match Registry.find_by_name (System.registry system) shared_heap_name with
+      | Some existing -> existing
+      | None ->
+          System.partition system shared_heap_name ~site:"<whole heap>"
+            ~mode:(Strategy.mode_for strategy shared_heap_name) ~tunable:false
+    in
+    List.map (fun _ -> shared) names_sites
+  end
+  else
+    List.map
+      (fun (name, site) ->
+        System.partition system name ~site ~mode:(Strategy.mode_for strategy name)
+          ~tunable:(Strategy.tunable strategy))
+      names_sites

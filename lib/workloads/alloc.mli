@@ -1,0 +1,12 @@
+(** Partition allocation respecting the strategy (one shared region under
+    [Strategy.Shared], one partition per allocation site otherwise). *)
+
+open Partstm_core
+
+val shared_heap_name : string
+
+val partitions_for :
+  System.t -> strategy:Strategy.t -> (string * string) list -> Partition.t list
+(** [partitions_for system ~strategy [(name, site); ...]] returns one
+    partition per requested (name, site), which may all be the same shared
+    partition. *)

@@ -1,0 +1,83 @@
+(* Bank benchmark: the classic STM sanity workload.  Transfers move money
+   between two random accounts; audits sum a window (and occasionally the
+   whole book).  Invariant: the total balance never changes. *)
+
+open Partstm_util
+open Partstm_core
+open Partstm_stm
+open Partstm_harness
+module Structures = Partstm_structures
+
+type config = {
+  accounts : int;
+  initial_balance : int;
+  transfer_percent : int;  (* rest are audits *)
+  audit_window : int;
+  full_audit_percent : int;  (* share of audits covering the whole book *)
+}
+
+let default_config =
+  {
+    accounts = 1024;
+    initial_balance = 1000;
+    transfer_percent = 90;
+    audit_window = 64;
+    full_audit_percent = 5;
+  }
+
+type t = { system : System.t; config : config; partition : Partition.t; book : int Structures.Tarray.t }
+
+let setup system ~strategy config =
+  let name = "bank-accounts" in
+  let partition =
+    match Alloc.partitions_for system ~strategy [ (name, "bank.accounts") ] with
+    | [ p ] -> p
+    | _ -> assert false
+  in
+  {
+    system;
+    config;
+    partition;
+    book = Structures.Tarray.make partition ~length:config.accounts config.initial_balance;
+  }
+
+let transfer txn book ~src ~dst ~amount =
+  if src <> dst then begin
+    Structures.Tarray.modify txn book src (fun b -> b - amount);
+    Structures.Tarray.modify txn book dst (fun b -> b + amount)
+  end
+
+let audit txn book ~start ~length =
+  let n = Structures.Tarray.length book in
+  let sum = ref 0 in
+  for i = start to start + length - 1 do
+    sum := !sum + Structures.Tarray.get txn book (i mod n)
+  done;
+  !sum
+
+let worker t (ctx : Driver.ctx) =
+  let config = t.config in
+  let txn = System.descriptor t.system ~worker_id:ctx.Driver.worker_id in
+  let rng = ctx.Driver.rng in
+  let operations = ref 0 in
+  while not (ctx.Driver.should_stop ()) do
+    if Rng.chance rng ~percent:config.transfer_percent then begin
+      let src = Rng.int rng config.accounts and dst = Rng.int rng config.accounts in
+      let amount = 1 + Rng.int rng 10 in
+      Txn.atomically txn (fun t' -> transfer t' t.book ~src ~dst ~amount)
+    end
+    else begin
+      let full = Rng.chance rng ~percent:config.full_audit_percent in
+      let length = if full then config.accounts else config.audit_window in
+      let start = Rng.int rng config.accounts in
+      let sum = Txn.atomically txn (fun t' -> audit t' t.book ~start ~length) in
+      if full && sum <> config.accounts * config.initial_balance then
+        failwith "bank: full audit observed a wrong total"
+    end;
+    incr operations
+  done;
+  !operations
+
+let total t = Structures.Tarray.peek_fold t.book ( + ) 0
+let check t = total t = t.config.accounts * t.config.initial_balance
+let partition t = t.partition

@@ -1,0 +1,22 @@
+(** Bank benchmark: transfers + audits; total balance is invariant. *)
+
+open Partstm_core
+open Partstm_harness
+
+type config = {
+  accounts : int;
+  initial_balance : int;
+  transfer_percent : int;
+  audit_window : int;
+  full_audit_percent : int;
+}
+
+val default_config : config
+
+type t
+
+val setup : System.t -> strategy:Strategy.t -> config -> t
+val worker : t -> Driver.ctx -> int
+val total : t -> int
+val check : t -> bool
+val partition : t -> Partition.t

@@ -1,0 +1,105 @@
+(* Genome-style sequence assembly (STAMP's genome, condensed to its
+   transactional skeleton).
+
+   Phase 1 (first half of the run): deduplicate segments — workers pull
+   random segments from the shared segment pool ("genome-segments",
+   read-only) and insert them into a hash set ("genome-unique",
+   insert-heavy).
+
+   Phase 2 (second half): assemble — workers pick random segment values,
+   and if the segment was deduplicated, link it into the assembly tree
+   ("genome-chains", keyed by segment value).
+
+   Invariant (quiesced): the unique set is exactly the set of distinct
+   segments present in the pool slots that were processed, and the chain
+   tree is a subset of the unique set. *)
+
+open Partstm_util
+open Partstm_stm
+open Partstm_core
+open Partstm_harness
+module Structures = Partstm_structures
+
+type config = { segments : int; distinct : int }
+
+let default_config = { segments = 32768; distinct = 16384 }
+
+type t = {
+  system : System.t;
+  config : config;
+  segments_partition : Partition.t;
+  unique_partition : Partition.t;
+  chains_partition : Partition.t;
+  pool : int Structures.Tarray.t;
+  unique : Structures.Thashset.t;
+  chains : int Structures.Trbtree.t;
+}
+
+let setup system ~strategy config =
+  let segments_partition, unique_partition, chains_partition =
+    match
+      Alloc.partitions_for system ~strategy
+        [
+          ("genome-segments", "genome.segments");
+          ("genome-unique", "genome.unique.buckets");
+          ("genome-chains", "genome.chains");
+        ]
+    with
+    | [ sp; up; cp ] -> (sp, up, cp)
+    | _ -> assert false
+  in
+  let rng = Rng.make 0x6E0ED in
+  {
+    system;
+    config;
+    segments_partition;
+    unique_partition;
+    chains_partition;
+    pool =
+      Structures.Tarray.init segments_partition ~length:config.segments (fun _ ->
+          Rng.int rng config.distinct);
+    unique = Structures.Thashset.make unique_partition ~buckets:(2 * config.distinct);
+    chains = Structures.Trbtree.make chains_partition;
+  }
+
+let worker t (ctx : Driver.ctx) =
+  let config = t.config in
+  let txn = System.descriptor t.system ~worker_id:ctx.Driver.worker_id in
+  let rng = ctx.Driver.rng in
+  let operations = ref 0 in
+  while not (ctx.Driver.should_stop ()) do
+    if ctx.Driver.progress () < 0.5 then begin
+      (* Dedup phase: read a pool slot, insert into the unique set. *)
+      let slot = Rng.int rng config.segments in
+      ignore
+        (Txn.atomically txn (fun t' ->
+             let segment = Structures.Tarray.get t' t.pool slot in
+             Structures.Thashset.add t' t.unique segment))
+    end
+    else begin
+      (* Assembly phase: link deduplicated segments into the chain tree. *)
+      let segment = Rng.int rng config.distinct in
+      ignore
+        (Txn.atomically txn (fun t' ->
+             if Structures.Thashset.mem t' t.unique segment then
+               Structures.Trbtree.add t' t.chains segment segment
+             else false))
+    end;
+    incr operations
+  done;
+  !operations
+
+let check t =
+  let pool_values =
+    List.sort_uniq compare
+      (List.init t.config.segments (fun i -> Structures.Tarray.peek t.pool i))
+  in
+  let unique = Structures.Thashset.peek_elements t.unique in
+  let chains = List.map fst (Structures.Trbtree.peek_to_list t.chains) in
+  let subset a b = List.for_all (fun x -> List.mem x b) a in
+  Structures.Thashset.check t.unique
+  && Structures.Trbtree.check_ok t.chains
+  && subset unique pool_values
+  && subset chains unique
+
+let partitions t = [ t.segments_partition; t.unique_partition; t.chains_partition ]

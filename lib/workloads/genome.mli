@@ -1,0 +1,19 @@
+(** Genome-style sequence assembly: dedup phase into a hash set, assembly
+    phase into a tree. *)
+
+open Partstm_core
+open Partstm_harness
+
+type config = { segments : int; distinct : int }
+
+val default_config : config
+
+type t
+
+val setup : System.t -> strategy:Strategy.t -> config -> t
+val worker : t -> Driver.ctx -> int
+
+val check : t -> bool
+(** unique ⊆ pool values, chains ⊆ unique, structures valid (quiesced). *)
+
+val partitions : t -> Partition.t list

@@ -1,0 +1,110 @@
+(* Conflict-detection granularity workload (experiment R-F3).
+
+   Two array partitions with opposite needs:
+   - "gran-hot": a tiny array every transaction hammers (transactions
+     conflict *truly* most of the time) — coarse detection makes those
+     conflicts cheap and early;
+   - "gran-cold": a large array with uniformly random accesses (true
+     conflicts are rare) — coarse detection would manufacture false
+     conflicts, fine detection keeps them near zero.
+
+   A global granularity must pick one; per-partition granularity tracks the
+   upper envelope. *)
+
+open Partstm_util
+open Partstm_stm
+open Partstm_core
+open Partstm_harness
+module Structures = Partstm_structures
+
+type config = {
+  hot_cells : int;
+  cold_cells : int;
+  writes_per_txn : int;
+  hot_percent : int;  (* share of transactions hitting the hot array *)
+}
+
+let default_config = { hot_cells = 16; cold_cells = 16384; writes_per_txn = 4; hot_percent = 50 }
+
+(* Expert static assignment: whole-region locking for the hot array, fine
+   locking for the cold one. *)
+let expert_strategy =
+  Strategy.Per_partition
+    {
+      assignments =
+        [
+          ("gran-hot", Mode.make ~granularity_log2:0 ());
+          ("gran-cold", Mode.make ~granularity_log2:14 ());
+        ];
+      fallback = Strategy.invisible;
+    }
+
+let global_strategy ~granularity_log2 = Strategy.Fixed (Mode.make ~granularity_log2 ())
+
+type t = {
+  system : System.t;
+  config : config;
+  hot_partition : Partition.t;
+  cold_partition : Partition.t;
+  hot : int Structures.Tarray.t;
+  cold : int Structures.Tarray.t;
+}
+
+let setup system ~strategy config =
+  let hot_partition, cold_partition =
+    match
+      Alloc.partitions_for system ~strategy [ ("gran-hot", "gran.hot"); ("gran-cold", "gran.cold") ]
+    with
+    | [ hp; cp ] -> (hp, cp)
+    | _ -> assert false
+  in
+  {
+    system;
+    config;
+    hot_partition;
+    cold_partition;
+    hot = Structures.Tarray.make hot_partition ~length:config.hot_cells 0;
+    cold = Structures.Tarray.make cold_partition ~length:config.cold_cells 0;
+  }
+
+(* Scan-then-update: read a window, then increment a few cells based on what
+   was read.  Fine tables log one read entry per cell and detect conflicts
+   late (wasting the scan); a coarse table covers the scan with one orec and
+   conflicts surface at the first access. *)
+let scan_update txn rng array ~cells ~writes =
+  let window = min cells 32 in
+  let start = Rng.int rng cells in
+  let sum = ref 0 in
+  for offset = 0 to window - 1 do
+    sum := !sum + Structures.Tarray.get txn array ((start + offset) mod cells)
+  done;
+  for _ = 1 to writes do
+    let i = (start + Rng.int rng window) mod cells in
+    Structures.Tarray.modify txn array i (fun v -> v + 1)
+  done;
+  !sum
+
+let worker t (ctx : Driver.ctx) =
+  let config = t.config in
+  let txn = System.descriptor t.system ~worker_id:ctx.Driver.worker_id in
+  let rng = ctx.Driver.rng in
+  let operations = ref 0 in
+  while not (ctx.Driver.should_stop ()) do
+    let target, cells =
+      if Rng.chance rng ~percent:config.hot_percent then (t.hot, config.hot_cells)
+      else (t.cold, config.cold_cells)
+    in
+    ignore
+      (Txn.atomically txn (fun t' ->
+           scan_update t' rng target ~cells ~writes:config.writes_per_txn));
+    incr operations
+  done;
+  !operations
+
+(* Every committed transaction added exactly [writes_per_txn] increments. *)
+let increments t =
+  Structures.Tarray.peek_fold t.hot ( + ) 0 + Structures.Tarray.peek_fold t.cold ( + ) 0
+
+let check t ~total_ops = increments t = total_ops * t.config.writes_per_txn
+
+let partitions t = [ t.hot_partition; t.cold_partition ]

@@ -1,0 +1,27 @@
+(** Conflict-detection granularity workload (experiment R-F3): tiny hot
+    array + large cold array. *)
+
+open Partstm_core
+open Partstm_harness
+
+type config = {
+  hot_cells : int;
+  cold_cells : int;
+  writes_per_txn : int;
+  hot_percent : int;
+}
+
+val default_config : config
+val expert_strategy : Strategy.t
+val global_strategy : granularity_log2:int -> Strategy.t
+
+type t
+
+val setup : System.t -> strategy:Strategy.t -> config -> t
+val worker : t -> Driver.ctx -> int
+
+val increments : t -> int
+val check : t -> total_ops:int -> bool
+(** All committed increments and only those are visible. *)
+
+val partitions : t -> Partition.t list

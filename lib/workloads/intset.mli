@@ -1,0 +1,29 @@
+(** Integer-set microbenchmark over any of the four transactional set
+    structures. *)
+
+open Partstm_core
+open Partstm_harness
+
+type structure_kind = Linked_list | Skip_list | Rb_tree | Hash_set
+
+val structure_to_string : structure_kind -> string
+val default_partition_name : structure_kind -> string
+
+type config = {
+  kind : structure_kind;
+  initial_size : int;
+  key_range : int;
+  update_percent : int;
+}
+
+val default_config : structure_kind -> config
+
+type t
+
+val setup : System.t -> strategy:Strategy.t -> config -> t
+(** Registers the partition and populates the structure. *)
+
+val worker : t -> Driver.ctx -> int
+val check : t -> bool
+val elements : t -> int list
+val partition : t -> Partition.t

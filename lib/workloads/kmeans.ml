@@ -1,0 +1,157 @@
+(* K-means-style clustering (STAMP's kmeans, streaming formulation).
+
+   Three partitions with very different profiles, matching the DSA mirror:
+   - "kmeans-points": point coordinates, read-only (zero conflicts);
+   - "kmeans-centers": per-cluster accumulators (count, sum x, sum y) — a
+     small, update-heavy hot spot;
+   - "kmeans-membership": one cell per point, written when the assignment
+     changes — large, low contention.
+
+   Each operation re-assigns one point: read its coordinates, pick the
+   nearest centroid (from the committed accumulator snapshot), and move the
+   point between cluster accumulators if its membership changed.
+
+   Invariant (quiesced): cluster counts equal membership tallies, and the
+   coordinate sums equal the sums of the member points. *)
+
+open Partstm_util
+open Partstm_stm
+open Partstm_core
+open Partstm_harness
+module Structures = Partstm_structures
+
+type config = { points : int; clusters : int; spread : float }
+
+(* A generous spread keeps memberships flipping, so the centre accumulators
+   stay genuinely contended (as in kmeans' low-precision configurations). *)
+let default_config = { points = 4096; clusters = 8; spread = 0.35 }
+
+type accumulator = { count : int; sum_x : float; sum_y : float }
+
+type t = {
+  system : System.t;
+  config : config;
+  points_partition : Partition.t;
+  centers_partition : Partition.t;
+  membership_partition : Partition.t;
+  coordinates : (float * float) Structures.Tarray.t;
+  accumulators : accumulator Structures.Tarray.t;
+  membership : int Structures.Tarray.t;  (* -1 = unassigned *)
+  true_centers : (float * float) array;  (* generator ground truth *)
+}
+
+let setup system ~strategy config =
+  let points_partition, centers_partition, membership_partition =
+    match
+      Alloc.partitions_for system ~strategy
+        [
+          ("kmeans-points", "kmeans.points");
+          ("kmeans-centers", "kmeans.centers");
+          ("kmeans-membership", "kmeans.membership");
+        ]
+    with
+    | [ pp; cp; mp ] -> (pp, cp, mp)
+    | _ -> assert false
+  in
+  let rng = Rng.make 0x52EED in
+  let true_centers =
+    Array.init config.clusters (fun _ -> (Rng.float rng, Rng.float rng))
+  in
+  let coordinates =
+    Structures.Tarray.init points_partition ~length:config.points (fun i ->
+        let cx, cy = true_centers.(i mod config.clusters) in
+        let jitter () = (Rng.float rng -. 0.5) *. 2.0 *. config.spread in
+        (cx +. jitter (), cy +. jitter ()))
+  in
+  {
+    system;
+    config;
+    points_partition;
+    centers_partition;
+    membership_partition;
+    coordinates;
+    accumulators =
+      Structures.Tarray.init centers_partition ~length:config.clusters (fun i ->
+          (* Seed each accumulator with its generator centre so the first
+             assignments have a meaningful nearest-centroid target. *)
+          let x, y = true_centers.(i) in
+          { count = 1; sum_x = x; sum_y = y });
+    membership = Structures.Tarray.make membership_partition ~length:config.points (-1);
+    true_centers;
+  }
+
+let centroid acc =
+  if acc.count = 0 then (Float.max_float, Float.max_float)
+  else (acc.sum_x /. float_of_int acc.count, acc.sum_y /. float_of_int acc.count)
+
+let nearest_cluster t txn (x, y) =
+  let best = ref 0 and best_distance = ref Float.infinity in
+  for c = 0 to t.config.clusters - 1 do
+    let cx, cy = centroid (Structures.Tarray.get txn t.accumulators c) in
+    let dx = x -. cx and dy = y -. cy in
+    let distance = (dx *. dx) +. (dy *. dy) in
+    if distance < !best_distance then begin
+      best_distance := distance;
+      best := c
+    end
+  done;
+  !best
+
+(* Re-assign one point; returns true if its membership changed. *)
+let assign_point t txn point_index =
+  Txn.atomically txn (fun t' ->
+      let ((x, y) as point) = Structures.Tarray.get t' t.coordinates point_index in
+      let target = nearest_cluster t t' point in
+      let previous = Structures.Tarray.get t' t.membership point_index in
+      if previous = target then false
+      else begin
+        if previous >= 0 then
+          Structures.Tarray.modify t' t.accumulators previous (fun acc ->
+              { count = acc.count - 1; sum_x = acc.sum_x -. x; sum_y = acc.sum_y -. y });
+        Structures.Tarray.modify t' t.accumulators target (fun acc ->
+            { count = acc.count + 1; sum_x = acc.sum_x +. x; sum_y = acc.sum_y +. y });
+        Structures.Tarray.set t' t.membership point_index target;
+        true
+      end)
+
+let worker t (ctx : Driver.ctx) =
+  let txn = System.descriptor t.system ~worker_id:ctx.Driver.worker_id in
+  let rng = ctx.Driver.rng in
+  let operations = ref 0 in
+  while not (ctx.Driver.should_stop ()) do
+    let point_index = Rng.int rng t.config.points in
+    ignore (assign_point t txn point_index);
+    incr operations
+  done;
+  !operations
+
+let check t =
+  let config = t.config in
+  let counts = Array.make config.clusters 0 in
+  let sums_x = Array.make config.clusters 0.0 in
+  let sums_y = Array.make config.clusters 0.0 in
+  let assigned = ref 0 in
+  for i = 0 to config.points - 1 do
+    let m = Structures.Tarray.peek t.membership i in
+    if m >= 0 then begin
+      incr assigned;
+      let x, y = Structures.Tarray.peek t.coordinates i in
+      counts.(m) <- counts.(m) + 1;
+      sums_x.(m) <- sums_x.(m) +. x;
+      sums_y.(m) <- sums_y.(m) +. y
+    end
+  done;
+  ignore !assigned;
+  let ok = ref true in
+  let close a b = Float.abs (a -. b) < 1e-6 *. (1.0 +. Float.abs a +. Float.abs b) in
+  for c = 0 to config.clusters - 1 do
+    let acc = Structures.Tarray.peek t.accumulators c in
+    let seed_x, seed_y = t.true_centers.(c) in
+    (* The accumulator still contains its synthetic seed (count 1). *)
+    if acc.count <> counts.(c) + 1 then ok := false;
+    if not (close acc.sum_x (sums_x.(c) +. seed_x) && close acc.sum_y (sums_y.(c) +. seed_y))
+    then ok := false
+  done;
+  !ok
+
+let partitions t = [ t.points_partition; t.centers_partition; t.membership_partition ]

@@ -1,0 +1,20 @@
+(** K-means-style clustering (streaming re-assignment) over three
+    partitions: read-only points, hot centre accumulators, low-contention
+    membership. *)
+
+open Partstm_core
+open Partstm_harness
+
+type config = { points : int; clusters : int; spread : float }
+
+val default_config : config
+
+type t
+
+val setup : System.t -> strategy:Strategy.t -> config -> t
+val worker : t -> Driver.ctx -> int
+
+val check : t -> bool
+(** Accumulators agree exactly with the membership assignment (quiesced). *)
+
+val partitions : t -> Partition.t list

@@ -1,0 +1,251 @@
+(* Labyrinth-style path router (STAMP's labyrinth, 2-D).
+
+   Workers route wires through a shared grid: take a (source, destination)
+   request from a transactional work queue, compute a shortest path, and
+   claim the path's cells transactionally.  Two paths conflict iff they
+   overlap — the classic high-conflict TM benchmark.
+
+   Like STAMP, routing uses the *snapshot* trick: the BFS runs on a
+   non-transactional copy of the grid (a consistent view is unnecessary for
+   heuristic path finding), and only the claimed path cells are read and
+   written transactionally — the commit re-validates exactly the cells the
+   route occupies, so a stale snapshot can only cause a benign retry.
+
+   Partitions: "lab-grid" (large, scattered writes) and "lab-queue" (two
+   hot tvars). *)
+
+open Partstm_util
+open Partstm_stm
+open Partstm_core
+open Partstm_harness
+module Structures = Partstm_structures
+
+type config = {
+  width : int;
+  height : int;
+  requests : int;  (* pre-filled work-queue length *)
+  max_route_attempts : int;  (* per request before it is dropped *)
+}
+
+let default_config = { width = 48; height = 48; requests = 512; max_route_attempts = 8 }
+
+type request = { src : int; dst : int }
+
+type t = {
+  system : System.t;
+  config : config;
+  grid_partition : Partition.t;
+  queue_partition : Partition.t;
+  grid : int Structures.Tarray.t;  (* 0 = free, otherwise the path id *)
+  queue : request Structures.Tqueue.t;
+  next_path_id : int Atomic.t;
+  routed : (int * int list) list Atomic.t;  (* committed (id, cells), lock-free prepend *)
+}
+
+let cells config = config.width * config.height
+
+let setup system ~strategy config =
+  let grid_partition, queue_partition =
+    match
+      Alloc.partitions_for system ~strategy [ ("lab-grid", "lab.grid"); ("lab-queue", "lab.queue") ]
+    with
+    | [ gp; qp ] -> (gp, qp)
+    | _ -> assert false
+  in
+  let t =
+    {
+      system;
+      config;
+      grid_partition;
+      queue_partition;
+      grid = Structures.Tarray.make grid_partition ~length:(cells config) 0;
+      queue = Structures.Tqueue.make queue_partition;
+      next_path_id = Atomic.make 1;
+      routed = Atomic.make [];
+    }
+  in
+  let rng = Rng.make 0x1AB1 in
+  let txn = System.descriptor system ~worker_id:0 in
+  for _ = 1 to config.requests do
+    let src = Rng.int rng (cells config) and dst = Rng.int rng (cells config) in
+    if src <> dst then
+      Txn.atomically txn (fun t' -> Structures.Tqueue.enqueue t' t.queue { src; dst })
+  done;
+  t
+
+(* -- Snapshot BFS ---------------------------------------------------------- *)
+
+let neighbours config cell =
+  let x = cell mod config.width and y = cell / config.width in
+  List.filter_map
+    (fun (dx, dy) ->
+      let nx = x + dx and ny = y + dy in
+      if nx >= 0 && nx < config.width && ny >= 0 && ny < config.height then
+        Some ((ny * config.width) + nx)
+      else None)
+    [ (1, 0); (-1, 0); (0, 1); (0, -1) ]
+
+(* BFS over the snapshot; returns the path src..dst (inclusive) or None. *)
+let find_path config snapshot ~src ~dst =
+  if snapshot.(src) <> 0 || snapshot.(dst) <> 0 then None
+  else begin
+    let parent = Array.make (Array.length snapshot) (-1) in
+    let visited = Array.make (Array.length snapshot) false in
+    let frontier = Queue.create () in
+    visited.(src) <- true;
+    Queue.push src frontier;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty frontier) do
+      let cell = Queue.pop frontier in
+      if cell = dst then found := true
+      else
+        List.iter
+          (fun next ->
+            if (not visited.(next)) && snapshot.(next) = 0 then begin
+              visited.(next) <- true;
+              parent.(next) <- cell;
+              Queue.push next frontier
+            end)
+          (neighbours config cell)
+    done;
+    if not !found then None
+    else begin
+      let rec backtrack acc cell = if cell = src then cell :: acc else backtrack (cell :: acc) parent.(cell) in
+      Some (backtrack [] dst)
+    end
+  end
+
+let snapshot_grid t = Array.init (cells t.config) (fun i -> Structures.Tarray.peek t.grid i)
+
+exception Cell_taken
+
+(* Claim every cell of [path] under one transaction; returns false if some
+   cell was taken since the snapshot.  [Cell_taken] must escape the
+   transaction body: raising through [atomically] rolls the partial claim
+   back (catching it inside would commit a half-written path). *)
+let claim t txn path ~path_id =
+  match
+    Txn.atomically txn (fun t' ->
+        List.iter
+          (fun cell ->
+            if Structures.Tarray.get t' t.grid cell <> 0 then raise Cell_taken
+            else Structures.Tarray.set t' t.grid cell path_id)
+          path)
+  with
+  | () -> true
+  | exception Cell_taken -> false
+
+(* Route one request to completion (bounded retries against stale
+   snapshots); returns true if a path was committed. *)
+let route t txn request =
+  let rec attempt remaining =
+    if remaining = 0 then false
+    else begin
+      let snapshot = snapshot_grid t in
+      match find_path t.config snapshot ~src:request.src ~dst:request.dst with
+      | None -> false  (* no free path exists right now: drop the request *)
+      | Some path ->
+          let path_id = Atomic.fetch_and_add t.next_path_id 1 in
+          if claim t txn path ~path_id then begin
+            (* Record for post-run verification (outside the txn: the claim
+               is already committed and cells are never un-claimed). *)
+            let rec record () =
+              let old = Atomic.get t.routed in
+              if not (Atomic.compare_and_set t.routed old ((path_id, path) :: old)) then record ()
+            in
+            record ();
+            true
+          end
+          else attempt (remaining - 1)
+    end
+  in
+  attempt t.config.max_route_attempts
+
+(* Rip out a previously committed path, freeing its cells (the maintenance
+   operation that keeps the benchmark in steady state once the grid would
+   otherwise saturate).  Returns false if another worker got there first. *)
+let remove_random_path t txn rng =
+  match Atomic.get t.routed with
+  | [] -> false
+  | routed ->
+      let path_id, path = List.nth routed (Rng.int rng (List.length routed)) in
+      let freed =
+        Txn.atomically txn (fun t' ->
+            match path with
+            | first :: _ when Structures.Tarray.get t' t.grid first = path_id ->
+                List.iter (fun cell -> Structures.Tarray.set t' t.grid cell 0) path;
+                true
+            | _ -> false)
+      in
+      if freed then begin
+        let rec unrecord () =
+          let old = Atomic.get t.routed in
+          let updated = List.filter (fun (id, _) -> id <> path_id) old in
+          if not (Atomic.compare_and_set t.routed old updated) then unrecord ()
+        in
+        unrecord ()
+      end;
+      freed
+
+let worker t (ctx : Driver.ctx) =
+  let txn = System.descriptor t.system ~worker_id:ctx.Driver.worker_id in
+  let rng = ctx.Driver.rng in
+  let operations = ref 0 in
+  while not (ctx.Driver.should_stop ()) do
+    (match Txn.atomically txn (fun t' -> Structures.Tqueue.dequeue t' t.queue) with
+    | Some request -> if request.src <> request.dst then ignore (route t txn request)
+    | None ->
+        (* Queue drained: steady-state churn of routing new random wires
+           and ripping up old ones. *)
+        if Rng.chance rng ~percent:40 then ignore (remove_random_path t txn rng)
+        else begin
+          let src = Rng.int rng (cells t.config) and dst = Rng.int rng (cells t.config) in
+          if src <> dst then ignore (route t txn { src; dst })
+        end);
+    incr operations
+  done;
+  !operations
+
+(* -- Verification (quiesced) ----------------------------------------------- *)
+
+let check_verbose t =
+  let config = t.config in
+  let routed = Atomic.get t.routed in
+  let claimed = Hashtbl.create 256 in
+  let errors = ref [] in
+  let report fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  (* Each committed path: cells marked with its id, contiguous, disjoint. *)
+  List.iter
+    (fun (path_id, path) ->
+      (match path with
+      | [] -> report "path %d empty" path_id
+      | first :: rest ->
+          let rec contiguous previous = function
+            | [] -> true
+            | cell :: remaining ->
+                List.mem cell (neighbours config previous) && contiguous cell remaining
+          in
+          if not (contiguous first rest) then report "path %d not contiguous" path_id);
+      List.iter
+        (fun cell ->
+          (match Hashtbl.find_opt claimed cell with
+          | Some other -> report "cell %d claimed by both %d and %d" cell other path_id
+          | None -> ());
+          Hashtbl.replace claimed cell path_id;
+          let actual = Structures.Tarray.peek t.grid cell in
+          if actual <> path_id then
+            report "cell %d: grid has %d, path %d expected" cell actual path_id)
+        path)
+    routed;
+  (* Every occupied grid cell belongs to exactly one committed path. *)
+  for cell = 0 to cells config - 1 do
+    let value = Structures.Tarray.peek t.grid cell in
+    if value <> 0 && Hashtbl.find_opt claimed cell <> Some value then
+      report "grid cell %d has unrecorded id %d" cell value
+  done;
+  List.rev !errors
+
+let check t = check_verbose t = []
+
+let routed_count t = List.length (Atomic.get t.routed)
+let partitions t = [ t.grid_partition; t.queue_partition ]

@@ -1,0 +1,29 @@
+(** Labyrinth-style path router (STAMP's labyrinth, 2-D): snapshot BFS,
+    transactional claiming of path cells, disjoint-paths invariant. *)
+
+open Partstm_core
+open Partstm_harness
+
+type config = {
+  width : int;
+  height : int;
+  requests : int;
+  max_route_attempts : int;
+}
+
+val default_config : config
+
+type t
+
+val setup : System.t -> strategy:Strategy.t -> config -> t
+val worker : t -> Driver.ctx -> int
+
+val check : t -> bool
+(** Committed paths are contiguous, mutually disjoint, and exactly cover
+    the occupied grid cells (quiesced). *)
+
+val routed_count : t -> int
+val partitions : t -> Partition.t list
+
+val check_verbose : t -> string list
+(** Human-readable invariant violations; empty = valid. *)

@@ -1,0 +1,208 @@
+(* Multi-structure application (experiment R-F2): the paper's core scenario.
+
+   Four partitions with deliberately different characteristics coexist in
+   one application:
+   - "mixed-list":  a small, update-heavy linked list (favours visible
+     reads once contended);
+   - "mixed-tree":  a large, read-mostly red/black tree (favours invisible
+     reads and fine granularity);
+   - "mixed-set":   a medium hash set with a moderate update rate;
+   - "mixed-stats": a tiny statistics array updated with scan-then-update
+     transactions (favours whole-region granularity).
+
+   A single global STM configuration must compromise on every axis;
+   per-partition configuration gets each right — the paper's headline
+   claim. *)
+
+open Partstm_util
+open Partstm_stm
+open Partstm_core
+open Partstm_harness
+module Structures = Partstm_structures
+
+type config = {
+  list_size : int;
+  list_range : int;
+  tree_size : int;
+  tree_range : int;
+  set_size : int;
+  set_range : int;
+  stats_cells : int;
+  stats_writes : int;
+  (* operation mix, percentages summing to <= 100; remainder = tree lookup *)
+  list_update_percent : int;
+  tree_update_percent : int;
+  set_update_percent : int;
+  stats_percent : int;
+}
+
+let default_config =
+  {
+    list_size = 32;
+    list_range = 64;
+    tree_size = 8192;
+    tree_range = 16384;
+    set_size = 512;
+    set_range = 1024;
+    stats_cells = 16;
+    stats_writes = 4;
+    list_update_percent = 35;
+    tree_update_percent = 5;
+    set_update_percent = 5;
+    stats_percent = 20;
+  }
+
+(* The static per-partition expert configuration for this workload. *)
+let expert_strategy =
+  Strategy.Per_partition
+    {
+      assignments =
+        [
+          ("mixed-list", Mode.make ~visibility:Mode.Visible ());
+          ("mixed-tree", Mode.make ~granularity_log2:12 ());
+          ("mixed-set", Mode.make ());
+          ("mixed-stats", Mode.make ~granularity_log2:0 ());
+        ];
+      fallback = Strategy.invisible;
+    }
+
+type t = {
+  system : System.t;
+  config : config;
+  list_partition : Partition.t;
+  tree_partition : Partition.t;
+  set_partition : Partition.t;
+  stats_partition : Partition.t;
+  hot_list : Structures.Tlist.t;
+  big_tree : int Structures.Trbtree.t;
+  members : Structures.Thashset.t;
+  stats : int Structures.Tarray.t;
+}
+
+let setup system ~strategy config =
+  let list_partition, tree_partition, set_partition, stats_partition =
+    match
+      Alloc.partitions_for system ~strategy
+        [
+          ("mixed-list", "mixed.ll.head");
+          ("mixed-tree", "mixed.rb.anchor");
+          ("mixed-set", "mixed.hs.buckets");
+          ("mixed-stats", "mixed.stats");
+        ]
+    with
+    | [ lp; tp; sp; stp ] -> (lp, tp, sp, stp)
+    | _ -> assert false
+  in
+  let t =
+    {
+      system;
+      config;
+      list_partition;
+      tree_partition;
+      set_partition;
+      stats_partition;
+      hot_list = Structures.Tlist.make list_partition;
+      big_tree = Structures.Trbtree.make tree_partition;
+      members = Structures.Thashset.make set_partition ~buckets:1024;
+      stats = Structures.Tarray.make stats_partition ~length:config.stats_cells 0;
+    }
+  in
+  let txn = System.descriptor system ~worker_id:0 in
+  let rng = Rng.make 0xCAFE in
+  let fill target range add =
+    let count = ref 0 in
+    while !count < target do
+      let key = Rng.int rng range in
+      if Txn.atomically txn (fun t' -> add t' key) then incr count
+    done
+  in
+  fill config.list_size config.list_range (fun t' k -> Structures.Tlist.add t' t.hot_list k);
+  fill config.tree_size config.tree_range (fun t' k -> Structures.Trbtree.add t' t.big_tree k k);
+  fill config.set_size config.set_range (fun t' k -> Structures.Thashset.add t' t.members k);
+  t
+
+(* Transaction types are mostly partition-local (each benchmark structure
+   has its own transaction profile, as in the paper's applications), with a
+   small share of cross-partition transactions for realism. *)
+let cross_percent = 5
+
+let worker t (ctx : Driver.ctx) =
+  let config = t.config in
+  let txn = System.descriptor t.system ~worker_id:ctx.Driver.worker_id in
+  let rng = ctx.Driver.rng in
+  let operations = ref 0 in
+  let list_hi = config.list_update_percent in
+  let tree_hi = list_hi + config.tree_update_percent in
+  let set_hi = tree_hi + config.set_update_percent in
+  let stats_hi = set_hi + config.stats_percent in
+  let cross_hi = stats_hi + cross_percent in
+  while not (ctx.Driver.should_stop ()) do
+    let roll = Rng.int rng 100 in
+    if roll < list_hi then begin
+      (* Hot-list update: read-traverse then rewrite one link. *)
+      let key = Rng.int rng config.list_range in
+      ignore
+        (Txn.atomically txn (fun t' ->
+             if Rng.bool rng then Structures.Tlist.add t' t.hot_list key
+             else Structures.Tlist.remove t' t.hot_list key))
+    end
+    else if roll < tree_hi then begin
+      let key = Rng.int rng config.tree_range in
+      ignore
+        (Txn.atomically txn (fun t' ->
+             if Rng.bool rng then Structures.Trbtree.add t' t.big_tree key key
+             else Structures.Trbtree.remove t' t.big_tree key))
+    end
+    else if roll < set_hi then begin
+      let key = Rng.int rng config.set_range in
+      ignore
+        (Txn.atomically txn (fun t' ->
+             if Rng.bool rng then Structures.Thashset.add t' t.members key
+             else Structures.Thashset.remove t' t.members key))
+    end
+    else if roll < stats_hi then begin
+      (* Statistics scan-then-update: reads the whole tiny array, bumps a
+         few counters — the access pattern that wants coarse granularity. *)
+      ignore
+        (Txn.atomically txn (fun t' ->
+             let sum = ref 0 in
+             for i = 0 to config.stats_cells - 1 do
+               sum := !sum + Structures.Tarray.get t' t.stats i
+             done;
+             for _ = 1 to config.stats_writes do
+               let i = Rng.int rng config.stats_cells in
+               Structures.Tarray.modify t' t.stats i (fun v -> v + 1)
+             done;
+             !sum))
+    end
+    else if roll < cross_hi then begin
+      (* Cross-partition transaction: hot-list membership + tree lookup. *)
+      let list_key = Rng.int rng config.list_range in
+      let tree_key = Rng.int rng config.tree_range in
+      ignore
+        (Txn.atomically txn (fun t' ->
+             let a = Structures.Tlist.mem t' t.hot_list list_key in
+             let b = Structures.Trbtree.mem t' t.big_tree tree_key in
+             (a, b)))
+    end
+    else begin
+      (* Read-only lookup across tree and set. *)
+      let tree_key = Rng.int rng config.tree_range in
+      let set_key = Rng.int rng config.set_range in
+      ignore
+        (Txn.atomically txn (fun t' ->
+             let a = Structures.Trbtree.mem t' t.big_tree tree_key in
+             let b = Structures.Thashset.mem t' t.members set_key in
+             (a, b)))
+    end;
+    incr operations
+  done;
+  !operations
+
+let check t =
+  Structures.Tlist.check t.hot_list
+  && Structures.Trbtree.check_ok t.big_tree
+  && Structures.Thashset.check t.members
+  && Structures.Tarray.peek_fold t.stats ( + ) 0 mod t.config.stats_writes = 0
+
+let partitions t = [ t.list_partition; t.tree_partition; t.set_partition; t.stats_partition ]

@@ -1,0 +1,33 @@
+(** Multi-structure application (experiment R-F2): hot update-heavy list +
+    large read-mostly tree + medium hash set + tiny scan-updated statistics
+    array. *)
+
+open Partstm_core
+open Partstm_harness
+
+type config = {
+  list_size : int;
+  list_range : int;
+  tree_size : int;
+  tree_range : int;
+  set_size : int;
+  set_range : int;
+  stats_cells : int;
+  stats_writes : int;
+  list_update_percent : int;
+  tree_update_percent : int;
+  set_update_percent : int;
+  stats_percent : int;
+}
+
+val default_config : config
+
+val expert_strategy : Strategy.t
+(** The hand-tuned static per-partition configuration. *)
+
+type t
+
+val setup : System.t -> strategy:Strategy.t -> config -> t
+val worker : t -> Driver.ctx -> int
+val check : t -> bool
+val partitions : t -> Partition.t list

@@ -1,0 +1,226 @@
+(* Vacation-style travel reservation system (STAMP's vacation, simplified
+   but invariant-preserving).
+
+   Four partitions: three resource tables (cars, flights, rooms — red/black
+   trees keyed by item id) and a customer table (tree keyed by customer id,
+   value = list of reservations).  Operations, following STAMP's mix:
+
+   - make_reservation: sample q items from one table, reserve the cheapest
+     available one for a random customer (creating the customer if needed);
+   - delete_customer: release all of a customer's reservations and remove
+     the record;
+   - update_tables: add fresh items or retire items that currently have no
+     outstanding reservations (so the conservation invariant stays exact).
+
+   Invariant (checked quiesced): for every item, capacity - available equals
+   the number of reservations that reference it, and every reservation
+   references an existing item. *)
+
+open Partstm_util
+open Partstm_stm
+open Partstm_core
+open Partstm_harness
+module Structures = Partstm_structures
+
+type item = { capacity : int; available : int; price : int }
+
+type reservation = { res_table : int; res_item : int }
+
+type config = {
+  items_per_table : int;
+  item_range : int;
+  customer_range : int;
+  initial_capacity : int;
+  query_size : int;
+  reserve_percent : int;
+  delete_percent : int;  (* remainder: update_tables *)
+}
+
+let default_config =
+  {
+    items_per_table = 256;
+    item_range = 1024;
+    customer_range = 256;
+    initial_capacity = 4;
+    query_size = 8;
+    reserve_percent = 90;
+    delete_percent = 5;
+  }
+
+let table_names = [| "vacation-cars"; "vacation-flights"; "vacation-rooms" |]
+let table_sites = [| "cars.anchor"; "flights.anchor"; "rooms.anchor" |]
+
+type t = {
+  system : System.t;
+  config : config;
+  table_partitions : Partition.t array;
+  customer_partition : Partition.t;
+  tables : item Structures.Trbtree.t array;  (* cars, flights, rooms *)
+  customers : reservation list Structures.Trbtree.t;
+}
+
+let setup system ~strategy config =
+  let table_partitions, customer_partition =
+    match
+      Alloc.partitions_for system ~strategy
+        (List.init 3 (fun i -> (table_names.(i), table_sites.(i)))
+        @ [ ("vacation-customers", "customers.anchor") ])
+    with
+    | [ p0; p1; p2; pc ] -> ([| p0; p1; p2 |], pc)
+    | _ -> assert false
+  in
+  let t =
+    {
+      system;
+      config;
+      table_partitions;
+      customer_partition;
+      tables = Array.map Structures.Trbtree.make table_partitions;
+      customers = Structures.Trbtree.make customer_partition;
+    }
+  in
+  let txn = System.descriptor system ~worker_id:0 in
+  let rng = Rng.make 0x7AB1E in
+  Array.iter
+    (fun table ->
+      let inserted = ref 0 in
+      while !inserted < config.items_per_table do
+        let id = Rng.int rng config.item_range in
+        let price = 50 + Rng.int rng 450 in
+        let fresh =
+          { capacity = config.initial_capacity; available = config.initial_capacity; price }
+        in
+        if
+          Txn.atomically txn (fun t' ->
+              if Structures.Trbtree.mem t' table id then false
+              else Structures.Trbtree.add t' table id fresh)
+        then incr inserted
+      done)
+    t.tables;
+  t
+
+(* Reserve the cheapest available item among [q] sampled ids; updates the
+   item and the customer's reservation list in one transaction. *)
+let make_reservation t txn rng =
+  let config = t.config in
+  let table_index = Rng.int rng 3 in
+  let table = t.tables.(table_index) in
+  let customer = Rng.int rng config.customer_range in
+  let candidates = Array.init config.query_size (fun _ -> Rng.int rng config.item_range) in
+  Txn.atomically txn (fun t' ->
+      let best = ref None in
+      Array.iter
+        (fun id ->
+          match Structures.Trbtree.find t' table id with
+          | Some item when item.available > 0 -> begin
+              match !best with
+              | Some (_, best_item) when best_item.price <= item.price -> ()
+              | Some _ | None -> best := Some (id, item)
+            end
+          | Some _ | None -> ())
+        candidates;
+      match !best with
+      | None -> false
+      | Some (id, item) ->
+          ignore
+            (Structures.Trbtree.add t' table id { item with available = item.available - 1 });
+          let existing =
+            match Structures.Trbtree.find t' t.customers customer with
+            | Some reservations -> reservations
+            | None -> []
+          in
+          ignore
+            (Structures.Trbtree.add t' t.customers customer
+               ({ res_table = table_index; res_item = id } :: existing));
+          true)
+
+(* Release every reservation of a random customer and delete the record. *)
+let delete_customer t txn rng =
+  let customer = Rng.int rng t.config.customer_range in
+  Txn.atomically txn (fun t' ->
+      match Structures.Trbtree.find t' t.customers customer with
+      | None -> false
+      | Some reservations ->
+          List.iter
+            (fun { res_table; res_item } ->
+              let table = t.tables.(res_table) in
+              match Structures.Trbtree.find t' table res_item with
+              | Some item ->
+                  ignore
+                    (Structures.Trbtree.add t' table res_item
+                       { item with available = item.available + 1 })
+              | None ->
+                  (* update_tables never retires items with outstanding
+                     reservations, so the item must exist. *)
+                  assert false)
+            reservations;
+          ignore (Structures.Trbtree.remove t' t.customers customer);
+          true)
+
+(* Grow or shrink the tables; only fully available items are retired. *)
+let update_tables t txn rng =
+  let config = t.config in
+  let table = t.tables.(Rng.int rng 3) in
+  let id = Rng.int rng config.item_range in
+  Txn.atomically txn (fun t' ->
+      if Rng.bool rng then begin
+        if Structures.Trbtree.mem t' table id then false
+        else begin
+          let price = 50 + Rng.int rng 450 in
+          ignore
+            (Structures.Trbtree.add t' table id
+               { capacity = config.initial_capacity; available = config.initial_capacity; price });
+          true
+        end
+      end
+      else begin
+        match Structures.Trbtree.find t' table id with
+        | Some item when item.available = item.capacity -> Structures.Trbtree.remove t' table id
+        | Some _ | None -> false
+      end)
+
+let worker t (ctx : Driver.ctx) =
+  let config = t.config in
+  let txn = System.descriptor t.system ~worker_id:ctx.Driver.worker_id in
+  let rng = ctx.Driver.rng in
+  let operations = ref 0 in
+  while not (ctx.Driver.should_stop ()) do
+    let roll = Rng.int rng 100 in
+    if roll < config.reserve_percent then ignore (make_reservation t txn rng)
+    else if roll < config.reserve_percent + config.delete_percent then
+      ignore (delete_customer t txn rng)
+    else ignore (update_tables t txn rng);
+    incr operations
+  done;
+  !operations
+
+(* -- Quiesced invariant check -------------------------------------------- *)
+
+let check t =
+  (* Outstanding reservations per (table, item). *)
+  let outstanding = Hashtbl.create 256 in
+  List.iter
+    (fun (_, reservations) ->
+      List.iter
+        (fun { res_table; res_item } ->
+          let key = (res_table, res_item) in
+          Hashtbl.replace outstanding key (1 + Option.value ~default:0 (Hashtbl.find_opt outstanding key)))
+        reservations)
+    (Structures.Trbtree.peek_to_list t.customers);
+  let conserved = ref true in
+  Array.iteri
+    (fun table_index table ->
+      List.iter
+        (fun (id, item) ->
+          let reserved = Option.value ~default:0 (Hashtbl.find_opt outstanding (table_index, id)) in
+          if item.capacity - item.available <> reserved || item.available < 0 then conserved := false;
+          Hashtbl.remove outstanding (table_index, id))
+        (Structures.Trbtree.peek_to_list table))
+    t.tables;
+  (* Any leftover entry references a missing item. *)
+  !conserved
+  && Hashtbl.length outstanding = 0
+  && Array.for_all Structures.Trbtree.check_ok t.tables
+  && Structures.Trbtree.check_ok t.customers
+
+let partitions t = Array.to_list t.table_partitions @ [ t.customer_partition ]

@@ -1,0 +1,28 @@
+(** Vacation-style travel reservation system (STAMP-like), with an exact
+    capacity-conservation invariant. *)
+
+open Partstm_core
+open Partstm_harness
+
+type config = {
+  items_per_table : int;
+  item_range : int;
+  customer_range : int;
+  initial_capacity : int;
+  query_size : int;
+  reserve_percent : int;
+  delete_percent : int;
+}
+
+val default_config : config
+
+type t
+
+val setup : System.t -> strategy:Strategy.t -> config -> t
+val worker : t -> Driver.ctx -> int
+
+val check : t -> bool
+(** capacity - available = outstanding reservations, for every item;
+    reservations only reference existing items; trees valid. *)
+
+val partitions : t -> Partition.t list

@@ -1,0 +1,350 @@
+(* Tests for the partition runtime: partitions, registry, the tuning policy
+   (table-driven decision cases) and the tuner loop. *)
+
+open Partstm_stm
+open Partstm_core
+
+let check = Alcotest.check
+
+let invisible g = Mode.make ~granularity_log2:g ()
+let visible g = Mode.make ~visibility:Mode.Visible ~granularity_log2:g ()
+
+let fresh_system () = System.create ()
+
+(* -- Partition ------------------------------------------------------------- *)
+
+let test_partition_identity () =
+  let system = fresh_system () in
+  let p =
+    System.partition system "accounts" ~site:"bank.accounts" ~mode:(invisible 6) ~tunable:false
+  in
+  check Alcotest.string "name" "accounts" (Partition.name p);
+  check Alcotest.string "site" "bank.accounts" (Partition.site p);
+  check Alcotest.bool "mode" true (Mode.equal (invisible 6) (Partition.mode p));
+  check Alcotest.bool "tunable" false (Partition.tunable p);
+  Partition.set_tunable p true;
+  check Alcotest.bool "tunable set" true (Partition.tunable p)
+
+let test_partition_tvars_and_stats () =
+  let system = fresh_system () in
+  let p = System.partition system "p" in
+  let v = Partition.tvar p 10 in
+  check Alcotest.int "tvar count" 1 (Partition.tvar_count p);
+  let txn = System.descriptor system ~worker_id:0 in
+  System.atomically txn (fun t -> System.write t v (System.read t v + 1));
+  let snap = Partition.snapshot p in
+  check Alcotest.int "one commit" 1 snap.Region_stats.s_commits;
+  check Alcotest.int "one read" 1 snap.Region_stats.s_reads;
+  check Alcotest.int "one write" 1 snap.Region_stats.s_writes;
+  check Alcotest.int "no ro commits" 0 snap.Region_stats.s_ro_commits
+
+let test_partition_set_mode () =
+  let system = fresh_system () in
+  let p = System.partition system "p" ~mode:(invisible 10) in
+  Partition.set_mode p (visible 2);
+  check Alcotest.bool "switched" true (Mode.equal (visible 2) (Partition.mode p))
+
+(* -- Registry -------------------------------------------------------------- *)
+
+let test_registry_order_and_lookup () =
+  let system = fresh_system () in
+  let registry = System.registry system in
+  let a = System.partition system "a" in
+  let _b = System.partition system "b" in
+  let c = System.partition system "c" in
+  check Alcotest.int "length" 3 (Registry.length registry);
+  check Alcotest.(list string) "registration order" [ "a"; "b"; "c" ]
+    (List.map Partition.name (Registry.partitions registry));
+  (match Registry.find_by_name registry "a" with
+  | Some found -> check Alcotest.bool "found a" true (found == a)
+  | None -> Alcotest.fail "a not found");
+  check Alcotest.bool "missing" true (Registry.find_by_name registry "zzz" = None);
+  ignore c
+
+let test_registry_report_shares () =
+  let system = fresh_system () in
+  let p1 = System.partition system "busy" in
+  let p2 = System.partition system "idle" in
+  let v1 = Partition.tvar p1 0 and _v2 = Partition.tvar p2 0 in
+  let txn = System.descriptor system ~worker_id:0 in
+  for _ = 1 to 10 do
+    System.atomically txn (fun t -> System.write t v1 (System.read t v1 + 1))
+  done;
+  let report = Registry.report (System.registry system) in
+  check Alcotest.int "two rows" 2 (List.length report);
+  let total_share = List.fold_left (fun acc row -> acc +. row.Registry.row_access_share) 0.0 report in
+  check (Alcotest.float 1e-9) "shares sum to 1" 1.0 total_share;
+  let busy = List.find (fun row -> row.Registry.row_name = "busy") report in
+  check (Alcotest.float 1e-9) "busy gets all traffic" 1.0 busy.Registry.row_access_share
+
+(* -- Tuning policy (table-driven) ------------------------------------------ *)
+
+let config = Tuning_policy.default_config
+
+let snapshot ?(commits = 1000) ?(ro_commits = 0) ?(aborts = 0) ?(reads = 10_000) ?(writes = 1000)
+    ?(lock_conflicts = 0) ?(reader_conflicts = 0) ?(validation_fails = 0) ?(extensions = 0) () =
+  {
+    Region_stats.s_commits = commits;
+    s_ro_commits = ro_commits;
+    s_aborts = aborts;
+    s_reads = reads;
+    s_writes = writes;
+    s_lock_conflicts = lock_conflicts;
+    s_reader_conflicts = reader_conflicts;
+    s_validation_fails = validation_fails;
+    s_extensions = extensions;
+    s_mode_switches = 0;
+  }
+
+let decide ?(tvars = 100_000) ~current delta =
+  Tuning_policy.decide config { Tuning_policy.delta; current; tvars }
+
+let expect_keep name decision =
+  match decision with
+  | Tuning_policy.Keep -> ()
+  | Tuning_policy.Switch m -> Alcotest.failf "%s: unexpected switch to %a" name Mode.pp m
+
+let expect_switch name expected decision =
+  match decision with
+  | Tuning_policy.Switch m when Mode.equal m expected -> ()
+  | Tuning_policy.Switch m -> Alcotest.failf "%s: switched to %a" name Mode.pp m
+  | Tuning_policy.Keep -> Alcotest.failf "%s: kept" name
+
+let test_policy_small_sample_keeps () =
+  expect_keep "tiny sample"
+    (decide ~current:(invisible 10) (snapshot ~commits:10 ~aborts:5 ~validation_fails:5 ()))
+
+let test_policy_switch_to_visible () =
+  (* Update-heavy and wasting work on failed validations. *)
+  expect_switch "to visible" (visible 10)
+    (decide ~current:(invisible 10)
+       (snapshot ~commits:1000 ~ro_commits:300 ~aborts:400 ~validation_fails:250 ()))
+
+let test_policy_no_visible_when_read_mostly () =
+  expect_keep "read mostly stays invisible"
+    (decide ~current:(invisible 10)
+       (snapshot ~commits:1000 ~ro_commits:950 ~aborts:300 ~validation_fails:200 ()))
+
+let test_policy_no_visible_without_wasted_work () =
+  (* aborts put the rate in the granularity dead zone so only the
+     visibility rule is in play. *)
+  expect_keep "no wasted work, stays invisible"
+    (decide ~current:(invisible 10) (snapshot ~commits:1000 ~ro_commits:100 ~aborts:100 ()))
+
+let test_policy_back_to_invisible () =
+  expect_switch "back to invisible" (invisible 10)
+    (decide ~current:(visible 10) (snapshot ~commits:1000 ~ro_commits:980 ~aborts:100 ()))
+
+let test_policy_visible_hysteresis () =
+  (* Update ratio between lo and hi: no flapping in either direction. *)
+  let middling = snapshot ~commits:1000 ~ro_commits:850 ~aborts:100 () in
+  expect_keep "visible stays" (decide ~current:(visible 10) middling);
+  expect_keep "invisible stays" (decide ~current:(invisible 10) middling)
+
+let test_policy_coarsen_small_hot_region () =
+  expect_switch "coarsen" (invisible 6)
+    (decide ~tvars:16 ~current:(invisible 10)
+       (snapshot ~commits:1000 ~ro_commits:600 ~aborts:700 ~lock_conflicts:700 ~writes:4000 ()))
+
+let test_policy_large_hot_region_refines () =
+  (* A large region under the same pressure must NOT coarsen (that would
+     serialize it); the dual rule refines it instead, chasing orec-aliasing
+     false conflicts. *)
+  expect_switch "refines instead of coarsening" (invisible 14)
+    (decide ~tvars:100_000 ~current:(invisible 10)
+       (snapshot ~commits:1000 ~ro_commits:600 ~aborts:700 ~lock_conflicts:700 ~writes:4000 ()))
+
+let test_policy_no_coarsen_single_write_txns () =
+  expect_keep "single-write txns stay fine"
+    (decide ~tvars:16 ~current:(invisible 10)
+       (snapshot ~commits:1000 ~ro_commits:600 ~aborts:700 ~lock_conflicts:700 ~writes:400 ()))
+
+let test_policy_refine_when_quiet () =
+  (* A quiet writing partition refines (and may also pick write-through —
+     a separate knob asserted elsewhere). *)
+  match decide ~current:(invisible 10) (snapshot ~commits:10_000 ~reads:1_000_000 ~aborts:0 ()) with
+  | Tuning_policy.Switch m -> check Alcotest.int "refined" 14 m.Mode.granularity_log2
+  | Tuning_policy.Keep -> Alcotest.fail "expected refinement"
+
+let test_policy_refine_capped_by_traffic () =
+  (* Tiny traffic: refinement is capped near 4x the observed accesses. *)
+  match decide ~current:(invisible 4) (snapshot ~commits:500 ~reads:100 ~writes:20 ~aborts:0 ()) with
+  | Tuning_policy.Switch m ->
+      check Alcotest.bool "capped" true (m.Mode.granularity_log2 <= 10)
+  | Tuning_policy.Keep -> ()
+
+let test_policy_write_through_when_quiet_updates () =
+  (* Writing partition with near-zero aborts: write-through pays off.
+     (The same snapshot also triggers refinement; accept both knobs.) *)
+  match
+    decide ~current:(invisible 14)
+      (snapshot ~commits:10_000 ~ro_commits:5_000 ~reads:10_000_000 ~writes:10_000 ~aborts:50 ())
+  with
+  | Tuning_policy.Switch m ->
+      if m.Mode.update <> Mode.Write_through then
+        Alcotest.failf "expected write-through, got %a" Mode.pp m
+  | Tuning_policy.Keep -> Alcotest.fail "expected a switch to write-through"
+
+let test_policy_write_back_under_contention () =
+  expect_switch "back to write-back"
+    { (invisible 10) with Mode.update = Mode.Write_back }
+    (decide
+       ~current:{ (invisible 10) with Mode.update = Mode.Write_through }
+       (snapshot ~commits:1000 ~ro_commits:500 ~aborts:250 ()))
+
+let test_policy_no_write_through_for_readonly () =
+  (* A pure reader gains nothing from write-through. *)
+  match
+    decide ~current:(invisible 14)
+      (snapshot ~commits:10_000 ~ro_commits:10_000 ~reads:10_000_000 ~writes:0 ~aborts:0 ())
+  with
+  | Tuning_policy.Switch m ->
+      if m.Mode.update = Mode.Write_through then Alcotest.fail "switched a reader to write-through"
+  | Tuning_policy.Keep -> ()
+
+let test_policy_bounds_respected () =
+  (* Already at the coarsest: no further coarsening. *)
+  expect_keep "floor"
+    (decide ~tvars:16 ~current:(invisible 0)
+       (snapshot ~commits:1000 ~ro_commits:600 ~aborts:700 ~lock_conflicts:700 ~writes:4000 ()));
+  (* Already at the finest (pure reader, so no other knob fires): no
+     further refinement. *)
+  expect_keep "ceiling"
+    (decide ~current:(invisible 14)
+       (snapshot ~commits:10_000 ~ro_commits:10_000 ~reads:10_000_000 ~writes:0 ~aborts:0 ()))
+
+(* -- Tuner ------------------------------------------------------------------ *)
+
+(* Drive an update-heavy contended partition with domains while stepping the
+   tuner; it must react (switch at least once) and log the event. *)
+let test_tuner_reacts_and_traces () =
+  let system = fresh_system () in
+  let p = System.partition system "hot" ~mode:(invisible 10) in
+  let cells = Array.init 4 (fun _ -> Partition.tvar p 0) in
+  let tuner = System.tuner system ~cooldown:0 in
+  let stop = Atomic.make false in
+  let domains =
+    List.init 4 (fun w ->
+        Domain.spawn (fun () ->
+            let txn = System.descriptor system ~worker_id:w in
+            let rng = Partstm_util.Rng.make w in
+            while not (Atomic.get stop) do
+              System.atomically txn (fun t ->
+                  let i = Partstm_util.Rng.int rng 4 in
+                  (* scan-and-update: the coarse-friendly shape *)
+                  let sum = ref 0 in
+                  Array.iter (fun c -> sum := !sum + System.read t c) cells;
+                  System.write t cells.(i) (!sum + 1))
+            done))
+  in
+  for _ = 1 to 30 do
+    for _ = 1 to 50_000 do
+      Domain.cpu_relax ()
+    done;
+    Tuner.step tuner
+  done;
+  Atomic.set stop true;
+  List.iter Domain.join domains;
+  check Alcotest.int "ticks" 30 (Tuner.ticks tuner);
+  check Alcotest.bool "switched at least once" true (Tuner.switches tuner >= 1);
+  let trace = Tuner.trace tuner in
+  check Alcotest.int "trace length" (Tuner.switches tuner) (List.length trace);
+  (match trace with
+  | first :: _ ->
+      check Alcotest.string "partition named" "hot" first.Tuner.ev_partition;
+      check Alcotest.bool "tick recorded" true (first.Tuner.ev_tick >= 1)
+  | [] -> Alcotest.fail "empty trace")
+
+let test_tuner_respects_tunable_flag () =
+  let system = fresh_system () in
+  let p = System.partition system "frozen" ~mode:(invisible 10) ~tunable:false in
+  let v = Partition.tvar p 0 in
+  let txn = System.descriptor system ~worker_id:0 in
+  let tuner = System.tuner system in
+  for _ = 1 to 5 do
+    for _ = 1 to 500 do
+      System.atomically txn (fun t -> System.write t v (System.read t v + 1))
+    done;
+    Tuner.step tuner
+  done;
+  check Alcotest.int "no switches" 0 (Tuner.switches tuner);
+  check Alcotest.bool "mode unchanged" true (Mode.equal (invisible 10) (Partition.mode p))
+
+let test_tuner_cooldown () =
+  (* With a huge cooldown, at most one switch can ever happen. *)
+  let system = fresh_system () in
+  let _p = System.partition system "hot" ~mode:(invisible 10) in
+  let tuner = System.tuner system ~cooldown:1000 in
+  for _ = 1 to 10 do
+    Tuner.step tuner
+  done;
+  check Alcotest.bool "at most one switch" true (Tuner.switches tuner <= 1)
+
+let test_tuner_picks_up_new_partitions () =
+  let system = fresh_system () in
+  let tuner = System.tuner system in
+  Tuner.step tuner;
+  let _late = System.partition system "late" in
+  Tuner.step tuner;
+  (* No assertion beyond "does not crash and keeps ticking". *)
+  check Alcotest.int "ticks" 2 (Tuner.ticks tuner)
+
+(* -- System facade ---------------------------------------------------------- *)
+
+let test_system_roundtrip () =
+  let system = fresh_system () in
+  let accounts = System.partition system "accounts" in
+  let a = System.tvar accounts 100 and b = System.tvar accounts 0 in
+  let txn = System.descriptor system ~worker_id:0 in
+  System.atomically txn (fun t ->
+      System.write t a (System.read t a - 10);
+      System.write t b (System.read t b + 10));
+  check Alcotest.int "a" 90 (Tvar.peek a);
+  check Alcotest.int "b" 10 (Tvar.peek b);
+  check Alcotest.int "registry" 1 (Registry.length (System.registry system))
+
+let () =
+  Alcotest.run "partstm_core"
+    [
+      ( "partition",
+        [
+          Alcotest.test_case "identity" `Quick test_partition_identity;
+          Alcotest.test_case "tvars and stats" `Quick test_partition_tvars_and_stats;
+          Alcotest.test_case "set mode" `Quick test_partition_set_mode;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "order and lookup" `Quick test_registry_order_and_lookup;
+          Alcotest.test_case "report shares" `Quick test_registry_report_shares;
+        ] );
+      ( "tuning_policy",
+        [
+          Alcotest.test_case "small sample keeps" `Quick test_policy_small_sample_keeps;
+          Alcotest.test_case "switch to visible" `Quick test_policy_switch_to_visible;
+          Alcotest.test_case "read-mostly stays invisible" `Quick
+            test_policy_no_visible_when_read_mostly;
+          Alcotest.test_case "no waste, no switch" `Quick test_policy_no_visible_without_wasted_work;
+          Alcotest.test_case "back to invisible" `Quick test_policy_back_to_invisible;
+          Alcotest.test_case "hysteresis" `Quick test_policy_visible_hysteresis;
+          Alcotest.test_case "coarsen small hot region" `Quick test_policy_coarsen_small_hot_region;
+          Alcotest.test_case "large hot region refines" `Quick test_policy_large_hot_region_refines;
+          Alcotest.test_case "no coarsen 1-write txns" `Quick test_policy_no_coarsen_single_write_txns;
+          Alcotest.test_case "refine when quiet" `Quick test_policy_refine_when_quiet;
+          Alcotest.test_case "refine capped" `Quick test_policy_refine_capped_by_traffic;
+          Alcotest.test_case "write-through when quiet" `Quick
+            test_policy_write_through_when_quiet_updates;
+          Alcotest.test_case "write-back under contention" `Quick
+            test_policy_write_back_under_contention;
+          Alcotest.test_case "no write-through for readers" `Quick
+            test_policy_no_write_through_for_readonly;
+          Alcotest.test_case "bounds respected" `Quick test_policy_bounds_respected;
+        ] );
+      ( "tuner",
+        [
+          Alcotest.test_case "reacts and traces" `Slow test_tuner_reacts_and_traces;
+          Alcotest.test_case "respects tunable flag" `Quick test_tuner_respects_tunable_flag;
+          Alcotest.test_case "cooldown" `Quick test_tuner_cooldown;
+          Alcotest.test_case "picks up new partitions" `Quick test_tuner_picks_up_new_partitions;
+        ] );
+      ("system", [ Alcotest.test_case "roundtrip" `Quick test_system_roundtrip ]);
+    ]

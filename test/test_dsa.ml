@@ -1,0 +1,239 @@
+(* Tests for the compile-time partitioner: union-find, the IR, the
+   points-to analysis, and the benchmark mirrors. *)
+
+open Partstm_dsa
+
+let check = Alcotest.check
+let qtest ?(count = 100) name gen law =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen law)
+
+(* -- Union-find ------------------------------------------------------------ *)
+
+let test_union_find_basics () =
+  let uf = Union_find.create 4 in
+  let a = Union_find.fresh uf and b = Union_find.fresh uf and c = Union_find.fresh uf in
+  check Alcotest.bool "fresh disjoint" false (Union_find.same uf a b);
+  ignore (Union_find.union uf a b);
+  check Alcotest.bool "united" true (Union_find.same uf a b);
+  check Alcotest.bool "c separate" false (Union_find.same uf a c);
+  ignore (Union_find.union uf b c);
+  check Alcotest.bool "transitive" true (Union_find.same uf a c);
+  check Alcotest.int "length" 3 (Union_find.length uf)
+
+let test_union_find_growth () =
+  let uf = Union_find.create 1 in
+  let nodes = List.init 100 (fun _ -> Union_find.fresh uf) in
+  check Alcotest.int "grew" 100 (Union_find.length uf);
+  List.iter (fun n -> check Alcotest.int "own root" n (Union_find.find uf n)) nodes
+
+let test_union_find_idempotent () =
+  let uf = Union_find.create 4 in
+  let a = Union_find.fresh uf and b = Union_find.fresh uf in
+  let r1 = Union_find.union uf a b in
+  let r2 = Union_find.union uf a b in
+  check Alcotest.int "same root" r1 r2
+
+(* Property: union-find agrees with a naive equivalence closure. *)
+let prop_union_find_equivalence =
+  let gen =
+    QCheck2.Gen.(list_size (int_range 0 30) (pair (int_range 0 9) (int_range 0 9)))
+  in
+  qtest "matches naive closure" gen (fun pairs ->
+      let uf = Union_find.create 10 in
+      for _ = 1 to 10 do
+        ignore (Union_find.fresh uf)
+      done;
+      List.iter (fun (a, b) -> ignore (Union_find.union uf a b)) pairs;
+      (* Naive closure: repeated class merging over an array of class ids. *)
+      let cls = Array.init 10 Fun.id in
+      let merge a b =
+        let ca = cls.(a) and cb = cls.(b) in
+        if ca <> cb then Array.iteri (fun i c -> if c = cb then cls.(i) <- ca) cls
+      in
+      List.iter (fun (a, b) -> merge a b) pairs;
+      let ok = ref true in
+      for i = 0 to 9 do
+        for j = 0 to 9 do
+          if Union_find.same uf i j <> (cls.(i) = cls.(j)) then ok := false
+        done
+      done;
+      !ok)
+
+(* -- IR ---------------------------------------------------------------------- *)
+
+let test_ir_allocation_sites () =
+  let program =
+    {
+      Ir.pname = "p";
+      globals = [];
+      funcs =
+        [
+          Ir.func "f" ~params:[]
+            [ Ir.Alloc ("a", "s1"); Ir.Alloc ("b", "s2"); Ir.Alloc ("c", "s1") ];
+          Ir.func "g" ~params:[] [ Ir.Alloc ("d", "s3") ];
+        ];
+    }
+  in
+  check Alcotest.(list string) "dedup, first-occurrence order" [ "s1"; "s2"; "s3" ]
+    (Ir.allocation_sites program)
+
+let test_ir_find_func () =
+  let f = Ir.func "f" ~params:[ "x" ] [] in
+  let program = { Ir.pname = "p"; globals = []; funcs = [ f ] } in
+  check Alcotest.bool "found" true (Ir.find_func program "f" = Some f);
+  check Alcotest.bool "missing" true (Ir.find_func program "g" = None)
+
+(* -- Analysis --------------------------------------------------------------- *)
+
+let analyze_funcs ?(globals = []) funcs =
+  Analysis.analyze { Ir.pname = "test"; globals; funcs }
+
+let test_analysis_independent_allocs () =
+  let a = analyze_funcs [ Ir.func "f" ~params:[] [ Ir.Alloc ("x", "sx"); Ir.Alloc ("y", "sy") ] ] in
+  check Alcotest.int "two partitions" 2 (Analysis.partition_count a);
+  check Alcotest.bool "separate" false (Analysis.same_partition a "sx" "sy")
+
+let test_analysis_copy_merges () =
+  let a =
+    analyze_funcs
+      [
+        Ir.func "f" ~params:[]
+          [ Ir.Alloc ("x", "sx"); Ir.Alloc ("y", "sy"); Ir.Copy ("x", "y") ];
+      ]
+  in
+  check Alcotest.bool "copy merges" true (Analysis.same_partition a "sx" "sy")
+
+let test_analysis_store_connects () =
+  let a =
+    analyze_funcs
+      [
+        Ir.func "f" ~params:[]
+          [ Ir.Alloc ("head", "s_head"); Ir.Alloc ("node", "s_node"); Ir.Store ("head", "next", "node") ];
+      ]
+  in
+  check Alcotest.int "one structure" 1 (Analysis.partition_count a);
+  check Alcotest.bool "connected" true (Analysis.same_partition a "s_head" "s_node")
+
+let test_analysis_load_connects () =
+  let a =
+    analyze_funcs
+      [
+        Ir.func "f" ~params:[]
+          [
+            Ir.Alloc ("head", "s_head");
+            Ir.Alloc ("other", "s_other");
+            Ir.Load ("p", "head", "next");
+            Ir.Copy ("p", "other");
+          ];
+      ]
+  in
+  check Alcotest.bool "load target merges" true (Analysis.same_partition a "s_head" "s_other")
+
+let test_analysis_call_binds_params () =
+  let a =
+    analyze_funcs
+      [
+        Ir.func "callee" ~params:[ "p" ] [ Ir.Alloc ("q", "s_inner"); Ir.Store ("p", "f", "q") ];
+        Ir.func "caller" ~params:[] [ Ir.Alloc ("x", "s_outer"); Ir.Call ("callee", [ "x" ]) ];
+      ]
+  in
+  check Alcotest.bool "caller arg connects" true (Analysis.same_partition a "s_outer" "s_inner")
+
+let test_analysis_external_call_ignored () =
+  let a =
+    analyze_funcs
+      [ Ir.func "f" ~params:[] [ Ir.Alloc ("x", "sx"); Ir.Call ("unknown_external", [ "x" ]) ] ]
+  in
+  check Alcotest.int "still one partition" 1 (Analysis.partition_count a)
+
+let test_analysis_globals_shared_locals_not () =
+  let a =
+    analyze_funcs ~globals:[ "g" ]
+      [
+        Ir.func "f1" ~params:[] [ Ir.Alloc ("g", "s_g"); Ir.Alloc ("local", "s_f1") ];
+        Ir.func "f2" ~params:[] [ Ir.Copy ("local", "g"); Ir.Alloc ("local2", "s_f2") ];
+      ]
+  in
+  (* f2's [local] aliases the global's structure; f1's [local] is a
+     different variable (function-scoped) so s_f1 stays separate. *)
+  check Alcotest.bool "f1 local separate" false (Analysis.same_partition a "s_g" "s_f1");
+  check Alcotest.bool "f2 local separate" false (Analysis.same_partition a "s_g" "s_f2")
+
+let test_analysis_cycle_terminates () =
+  let a =
+    analyze_funcs
+      [ Ir.func "f" ~params:[] [ Ir.Alloc ("n", "s_node"); Ir.Store ("n", "next", "n") ] ]
+  in
+  check Alcotest.int "self loop fine" 1 (Analysis.partition_count a)
+
+let test_analysis_access_has_no_pointer_effect () =
+  let a =
+    analyze_funcs
+      [
+        Ir.func "f" ~params:[]
+          [ Ir.Alloc ("x", "sx"); Ir.Alloc ("y", "sy"); Ir.Access ("x", "v"); Ir.Access ("y", "v") ];
+      ]
+  in
+  check Alcotest.int "still two" 2 (Analysis.partition_count a)
+
+(* -- Benchmark mirrors ------------------------------------------------------ *)
+
+let test_mirror name =
+  Alcotest.test_case name `Quick (fun () ->
+      match Programs.find name with
+      | None -> Alcotest.failf "mirror %s missing" name
+      | Some mirror ->
+          let analysis = Analysis.analyze mirror.Programs.program in
+          let groups = Analysis.partitions analysis in
+          check
+            Alcotest.(list (list string))
+            "derived partitions" mirror.Programs.expected_groups groups;
+          check Alcotest.int "runtime mapping cardinality"
+            (List.length mirror.Programs.runtime_partitions)
+            (List.length groups))
+
+let test_report_check_all () = check Alcotest.bool "all mirrors verify" true (Report.check_all ())
+
+let test_report_inventory_table () =
+  let rendered = Partstm_util.Table.render (Report.inventory_table ()) in
+  check Alcotest.bool "mentions vacation" true
+    (let needle = "vacation-cars" in
+     let hn = String.length rendered and nn = String.length needle in
+     let rec loop i = i + nn <= hn && (String.sub rendered i nn = needle || loop (i + 1)) in
+     loop 0)
+
+let () =
+  Alcotest.run "partstm_dsa"
+    [
+      ( "union_find",
+        [
+          Alcotest.test_case "basics" `Quick test_union_find_basics;
+          Alcotest.test_case "growth" `Quick test_union_find_growth;
+          Alcotest.test_case "idempotent union" `Quick test_union_find_idempotent;
+          prop_union_find_equivalence;
+        ] );
+      ( "ir",
+        [
+          Alcotest.test_case "allocation sites" `Quick test_ir_allocation_sites;
+          Alcotest.test_case "find_func" `Quick test_ir_find_func;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "independent allocs" `Quick test_analysis_independent_allocs;
+          Alcotest.test_case "copy merges" `Quick test_analysis_copy_merges;
+          Alcotest.test_case "store connects" `Quick test_analysis_store_connects;
+          Alcotest.test_case "load connects" `Quick test_analysis_load_connects;
+          Alcotest.test_case "call binds params" `Quick test_analysis_call_binds_params;
+          Alcotest.test_case "external call ignored" `Quick test_analysis_external_call_ignored;
+          Alcotest.test_case "globals vs locals" `Quick test_analysis_globals_shared_locals_not;
+          Alcotest.test_case "cycles terminate" `Quick test_analysis_cycle_terminates;
+          Alcotest.test_case "access is pointer-neutral" `Quick
+            test_analysis_access_has_no_pointer_effect;
+        ] );
+      ( "mirrors",
+        List.map (fun (name, _) -> test_mirror name) Programs.all
+        @ [
+            Alcotest.test_case "check_all" `Quick test_report_check_all;
+            Alcotest.test_case "inventory table" `Quick test_report_inventory_table;
+          ] );
+    ]

@@ -1,0 +1,151 @@
+(* Schedule fuzzing: the deterministic simulator turns scheduling into an
+   input, so qcheck can fuzz *interleavings*.  Each case runs a genuinely
+   concurrent workload under a random seed / jitter / worker count /
+   configuration and asserts exact semantic invariants afterwards.
+
+   This complements the replay tests (test_serializability.ml): replay
+   checks one schedule deeply; fuzzing checks many schedules cheaply. *)
+
+open Partstm_stm
+open Partstm_core
+open Partstm_simcore
+open Partstm_structures
+
+let qtest ?(count = 25) name gen law =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen law)
+
+let schedule_gen =
+  QCheck2.Gen.(
+    triple (int_range 0 10_000) (* sim seed *)
+      (int_range 0 4) (* jitter *)
+      (int_range 1 8) (* workers *))
+
+let mode_of_index i =
+  match i mod 4 with
+  | 0 -> Mode.make ()
+  | 1 -> Mode.make ~visibility:Mode.Visible ()
+  | 2 -> Mode.make ~granularity_log2:0 ()
+  | _ -> Mode.make ~update:Mode.Write_through ()
+
+let run_fibers ~seed ~jitter workers body =
+  Sim_env.with_model (fun () -> ignore (Sim.run ~seed ~jitter (List.init workers (fun _ -> body))))
+
+(* Bank conservation: transfers under a random schedule and a random region
+   configuration never create or destroy money; every full audit sees the
+   exact total. *)
+let prop_bank_conservation =
+  qtest "bank conserves money under random schedules"
+    QCheck2.Gen.(pair schedule_gen (int_range 0 3))
+    (fun ((seed, jitter, workers), mode_index) ->
+      let system = System.create ~max_workers:16 () in
+      let partition = System.partition system "bank" ~mode:(mode_of_index mode_index) ~tunable:false in
+      let accounts = 32 in
+      let book = Tarray.make partition ~length:accounts 100 in
+      let audits_wrong = ref 0 in
+      run_fibers ~seed ~jitter workers (fun fiber_id ->
+          let txn = System.descriptor system ~worker_id:fiber_id in
+          let rng = Partstm_util.Rng.make (seed + fiber_id) in
+          for _ = 1 to 150 do
+            if Partstm_util.Rng.chance rng ~percent:80 then begin
+              let src = Partstm_util.Rng.int rng accounts
+              and dst = Partstm_util.Rng.int rng accounts in
+              Txn.atomically txn (fun t ->
+                  if src <> dst then begin
+                    Tarray.modify t book src (fun b -> b - 5);
+                    Tarray.modify t book dst (fun b -> b + 5)
+                  end)
+            end
+            else begin
+              let total = Txn.atomically txn (fun t -> Tarray.fold t book ( + ) 0) in
+              if total <> accounts * 100 then incr audits_wrong
+            end
+          done);
+      !audits_wrong = 0 && Tarray.peek_fold book ( + ) 0 = accounts * 100)
+
+(* Structural integrity: a red-black tree hammered under a random schedule
+   keeps all five invariants, in every region configuration. *)
+let prop_rbtree_invariants =
+  qtest "rbtree invariants under random schedules"
+    QCheck2.Gen.(pair schedule_gen (int_range 0 3))
+    (fun ((seed, jitter, workers), mode_index) ->
+      let system = System.create ~max_workers:16 () in
+      let partition = System.partition system "tree" ~mode:(mode_of_index mode_index) ~tunable:false in
+      let tree = Trbtree.make partition in
+      run_fibers ~seed ~jitter workers (fun fiber_id ->
+          let txn = System.descriptor system ~worker_id:fiber_id in
+          let rng = Partstm_util.Rng.make (seed * 31 + fiber_id) in
+          for _ = 1 to 120 do
+            let key = Partstm_util.Rng.int rng 48 in
+            if Partstm_util.Rng.bool rng then
+              ignore (Txn.atomically txn (fun t -> Trbtree.add t tree key key))
+            else ignore (Txn.atomically txn (fun t -> Trbtree.remove t tree key))
+          done);
+      Trbtree.check tree = [])
+
+(* Online reconfiguration fuzz: a tuner fiber aggressively rewrites the
+   region configuration mid-run; counter increments must survive exactly. *)
+let prop_reconfiguration_preserves_updates =
+  qtest "random reconfigurations lose no updates" schedule_gen (fun (seed, jitter, workers) ->
+      let system = System.create ~max_workers:16 () in
+      let partition = System.partition system "counter" in
+      let cells = Tarray.make partition ~length:8 0 in
+      let iterations = 120 in
+      let worker_body fiber_id =
+        let txn = System.descriptor system ~worker_id:fiber_id in
+        let rng = Partstm_util.Rng.make (seed + (fiber_id * 7)) in
+        for _ = 1 to iterations do
+          let i = Partstm_util.Rng.int rng 8 in
+          Txn.atomically txn (fun t -> Tarray.modify t cells i (fun v -> v + 1))
+        done
+      in
+      let tuner_body _ =
+        let rng = Partstm_util.Rng.make (seed + 999) in
+        for _ = 1 to 12 do
+          Sim.yield 2000;
+          Partition.set_mode partition (mode_of_index (Partstm_util.Rng.int rng 4))
+        done
+      in
+      Sim_env.with_model (fun () ->
+          ignore
+            (Sim.run ~seed ~jitter (List.init workers (fun _ -> worker_body) @ [ tuner_body ])));
+      Tarray.peek_fold cells ( + ) 0 = workers * iterations)
+
+(* Queue: elements enqueued = elements dequeued + remaining, no element
+   duplicated or invented, under random schedules. *)
+let prop_queue_no_loss_no_duplication =
+  qtest "queue neither loses nor duplicates" schedule_gen (fun (seed, jitter, workers) ->
+      let system = System.create ~max_workers:16 () in
+      let partition = System.partition system "queue" ~tunable:false in
+      let queue = Tqueue.make partition in
+      let per_worker = 80 in
+      let dequeued = Array.make workers [] in
+      run_fibers ~seed ~jitter workers (fun fiber_id ->
+          let txn = System.descriptor system ~worker_id:fiber_id in
+          for i = 0 to per_worker - 1 do
+            (* Unique tagged elements. *)
+            Txn.atomically txn (fun t -> Tqueue.enqueue t queue ((fiber_id * 1_000_000) + i));
+            match Txn.atomically txn (fun t -> Tqueue.dequeue t queue) with
+            | Some v -> dequeued.(fiber_id) <- v :: dequeued.(fiber_id)
+            | None -> ()
+          done);
+      let taken = List.concat (Array.to_list dequeued) in
+      let remaining = Tqueue.peek_to_list queue in
+      let all = List.sort compare (taken @ remaining) in
+      let expected =
+        List.sort compare
+          (List.concat
+             (List.init workers (fun w -> List.init per_worker (fun i -> (w * 1_000_000) + i))))
+      in
+      all = expected)
+
+let () =
+  Alcotest.run "partstm_fuzz"
+    [
+      ( "schedule_fuzz",
+        [
+          prop_bank_conservation;
+          prop_rbtree_invariants;
+          prop_reconfiguration_preserves_updates;
+          prop_queue_no_loss_no_duplication;
+        ] );
+    ]

@@ -1,0 +1,164 @@
+(* Serializability checking by commit-order replay.
+
+   Every committed transaction carries a serialization stamp (its commit
+   version, or its validated snapshot version when read-only); the STM
+   guarantees the concurrent execution is equivalent to running the
+   transactions sequentially in stamp order (updates before read-only
+   transactions at equal stamps).
+
+   These tests record every operation's result during a genuinely
+   concurrent run — under the deterministic simulator and under real
+   domains — then replay the operations in stamp order against a purely
+   sequential model and demand *identical results*.  This is a much
+   stronger oracle than end-state invariants: it catches lost updates,
+   stale reads, dirty reads and ordering anomalies. *)
+
+open Partstm_stm
+open Partstm_core
+open Partstm_simcore
+open Partstm_structures
+
+let check = Alcotest.check
+
+type recorded_op = {
+  stamp : int;
+  is_update : bool;
+  op_kind : int;  (* 0 = add, 1 = remove, 2 = mem *)
+  key : int;
+  observed : bool;  (* the structure's answer *)
+}
+
+(* Replay order: stamp ascending; at equal stamps updates first (a reader
+   whose snapshot version equals wv observed that commit). *)
+let replay_order a b =
+  if a.stamp <> b.stamp then compare a.stamp b.stamp
+  else compare a.is_update b.is_update |> Int.neg
+
+module IntSet = Set.Make (Int)
+
+let replay_and_verify operations =
+  let sorted = List.sort replay_order operations in
+  let model = ref IntSet.empty in
+  List.iteri
+    (fun i op ->
+      let expected =
+        match op.op_kind with
+        | 0 ->
+            let fresh = not (IntSet.mem op.key !model) in
+            model := IntSet.add op.key !model;
+            fresh
+        | 1 ->
+            let present = IntSet.mem op.key !model in
+            model := IntSet.remove op.key !model;
+            present
+        | _ -> IntSet.mem op.key !model
+      in
+      if expected <> op.observed then
+        Alcotest.failf "replay mismatch at position %d: stamp=%d kind=%d key=%d got %b want %b" i
+          op.stamp op.op_kind op.key op.observed expected)
+    sorted;
+  !model
+
+(* One worker performing random set operations, recording each with its
+   serialization stamp. *)
+let set_worker ~ops_per_worker ~key_range ~seed sut txn =
+  let rng = Partstm_util.Rng.make seed in
+  let log = ref [] in
+  for _ = 1 to ops_per_worker do
+    let key = Partstm_util.Rng.int rng key_range in
+    let op_kind = Partstm_util.Rng.int rng 3 in
+    let observed =
+      match op_kind with
+      | 0 -> Txn.atomically txn (fun t -> sut `Add t key)
+      | 1 -> Txn.atomically txn (fun t -> sut `Remove t key)
+      | _ -> Txn.atomically txn (fun t -> sut `Mem t key)
+    in
+    log :=
+      {
+        stamp = Txn.last_serialization txn;
+        is_update =
+          (* An add/remove that returned false wrote nothing. *)
+          (match op_kind with 0 | 1 -> observed | _ -> false);
+        op_kind;
+        key;
+        observed;
+      }
+      :: !log
+  done;
+  !log
+
+let list_sut tlist = function
+  | `Add -> fun t key -> Tlist.add t tlist key
+  | `Remove -> fun t key -> Tlist.remove t tlist key
+  | `Mem -> fun t key -> Tlist.mem t tlist key
+
+let rbtree_sut tree = function
+  | `Add -> fun t key -> Trbtree.add t tree key key
+  | `Remove -> fun t key -> Trbtree.remove t tree key
+  | `Mem -> fun t key -> Trbtree.mem t tree key
+
+(* -- Simulator-based (deterministic) runs ----------------------------------- *)
+
+let sim_replay_test ~mode_name mode make_sut final_elements =
+  Alcotest.test_case (Printf.sprintf "sim replay (%s)" mode_name) `Slow (fun () ->
+      let system = System.create ~max_workers:16 () in
+      let partition = System.partition system "sut" ~mode ~tunable:false in
+      let sut, elements = make_sut partition in
+      let logs = Array.make 8 [] in
+      Sim_env.with_model (fun () ->
+          ignore
+            (Sim.run ~jitter:2
+               (List.init 8 (fun i _fiber ->
+                    let txn = System.descriptor system ~worker_id:i in
+                    logs.(i) <- set_worker ~ops_per_worker:150 ~key_range:24 ~seed:(i * 7 + 1) sut txn))));
+      let all_ops = List.concat (Array.to_list logs) in
+      let model = replay_and_verify all_ops in
+      check Alcotest.(list int) "final state matches model" (IntSet.elements model) (elements ());
+      ignore final_elements)
+
+(* -- Domain-based (real parallelism) runs ------------------------------------ *)
+
+let domains_replay_test make_sut =
+  Alcotest.test_case "domains replay" `Slow (fun () ->
+      let system = System.create ~max_workers:16 () in
+      let partition = System.partition system "sut" ~tunable:false in
+      let sut, elements = make_sut partition in
+      let logs = Array.make 4 [] in
+      let domains =
+        List.init 4 (fun i ->
+            Domain.spawn (fun () ->
+                let txn = System.descriptor system ~worker_id:i in
+                logs.(i) <- set_worker ~ops_per_worker:800 ~key_range:32 ~seed:(i * 13 + 5) sut txn))
+      in
+      List.iter Domain.join domains;
+      let all_ops = List.concat (Array.to_list logs) in
+      let model = replay_and_verify all_ops in
+      check Alcotest.(list int) "final state matches model" (IntSet.elements model) (elements ()))
+
+let make_list_sut partition =
+  let tlist = Tlist.make partition in
+  ((fun op t key -> (list_sut tlist op) t key), fun () -> Tlist.peek_to_list tlist)
+
+let make_rbtree_sut partition =
+  let tree = Trbtree.make partition in
+  ( (fun op t key -> (rbtree_sut tree op) t key),
+    fun () -> List.map fst (Trbtree.peek_to_list tree) )
+
+let modes =
+  [
+    ("invisible", Mode.make ());
+    ("visible", Mode.make ~visibility:Mode.Visible ());
+    ("coarse", Mode.make ~granularity_log2:0 ());
+    ("write-through", Mode.make ~update:Mode.Write_through ());
+  ]
+
+let () =
+  Alcotest.run "partstm_serializability"
+    [
+      ( "tlist",
+        List.map (fun (name, mode) -> sim_replay_test ~mode_name:name mode make_list_sut ()) modes
+        @ [ domains_replay_test make_list_sut ] );
+      ( "trbtree",
+        List.map (fun (name, mode) -> sim_replay_test ~mode_name:name mode make_rbtree_sut ()) modes
+        @ [ domains_replay_test make_rbtree_sut ] );
+    ]

@@ -1,0 +1,207 @@
+(* Tests for the virtual-time simulator and the cost-model bridge. *)
+
+open Partstm_util
+open Partstm_simcore
+
+let check = Alcotest.check
+
+let test_single_fiber_completes () =
+  let ran = ref false in
+  let outcome = Sim.run [ (fun _ -> ran := true) ] in
+  check Alcotest.bool "ran" true !ran;
+  check Alcotest.int "no yields" 0 outcome.Sim.total_yields;
+  check Alcotest.int "makespan" 0 outcome.Sim.makespan
+
+let test_vtimes_reflect_charges () =
+  let outcome =
+    Sim.run
+      [
+        (fun _ ->
+          Sim.yield 10;
+          Sim.yield 5);
+        (fun _ -> Sim.yield 3);
+      ]
+  in
+  check Alcotest.int "fiber 0 clock" 15 outcome.Sim.vtimes.(0);
+  check Alcotest.int "fiber 1 clock" 3 outcome.Sim.vtimes.(1);
+  check Alcotest.int "makespan is max" 15 outcome.Sim.makespan;
+  check Alcotest.int "yields counted" 3 outcome.Sim.total_yields
+
+let test_now_and_self () =
+  let seen = Array.make 3 (-1) in
+  let clocks = Array.make 3 (-1) in
+  ignore
+    (Sim.run
+       (List.init 3 (fun _ fiber_id ->
+            seen.(fiber_id) <- Sim.self ();
+            Sim.yield (fiber_id + 1);
+            clocks.(fiber_id) <- Sim.now ())));
+  check Alcotest.(array int) "self matches body arg" [| 0; 1; 2 |] seen;
+  check Alcotest.(array int) "now reflects charge" [| 1; 2; 3 |] clocks
+
+let test_outside_simulation_raises () =
+  Alcotest.check_raises "now" Sim.Not_in_simulation (fun () -> ignore (Sim.now ()));
+  Alcotest.check_raises "self" Sim.Not_in_simulation (fun () -> ignore (Sim.self ()));
+  Alcotest.check_raises "yield" Sim.Not_in_simulation (fun () -> Sim.yield 1);
+  check Alcotest.bool "not in simulation" false (Sim.in_simulation ())
+
+let test_min_clock_scheduling () =
+  (* Fiber 0 charges 100 per yield, fiber 1 charges 1: the trace must show
+     fiber 1 running many steps between fiber 0's steps. *)
+  let trace = ref [] in
+  ignore
+    (Sim.run
+       [
+         (fun _ ->
+           for _ = 1 to 3 do
+             trace := `Slow :: !trace;
+             Sim.yield 100
+           done);
+         (fun _ ->
+           for _ = 1 to 50 do
+             trace := `Fast :: !trace;
+             Sim.yield 1
+           done);
+       ]);
+  let trace = List.rev !trace in
+  (* After the initial interleave, the first 30 events contain at most a few
+     slow steps. *)
+  let rec take n = function [] -> [] | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest in
+  let slow_early = List.length (List.filter (fun e -> e = `Slow) (take 30 trace)) in
+  check Alcotest.bool "slow fiber rarely scheduled early" true (slow_early <= 3)
+
+let test_determinism () =
+  let run () =
+    let order = ref [] in
+    let outcome =
+      Sim.run ~jitter:3 ~seed:99
+        (List.init 4 (fun _ fiber_id ->
+             for _ = 1 to 20 do
+               order := fiber_id :: !order;
+               Sim.yield 2
+             done))
+    in
+    (!order, outcome.Sim.vtimes)
+  in
+  let a = run () and b = run () in
+  check Alcotest.(list int) "same schedule" (fst a) (fst b);
+  check Alcotest.(array int) "same clocks" (snd a) (snd b)
+
+let test_jitter_changes_schedule () =
+  let run jitter =
+    let order = ref [] in
+    ignore
+      (Sim.run ~jitter ~seed:1
+         (List.init 2 (fun _ fiber_id ->
+              for _ = 1 to 30 do
+                order := fiber_id :: !order;
+                Sim.yield 2
+              done)));
+    !order
+  in
+  check Alcotest.bool "jitter perturbs the schedule" true (run 0 <> run 5)
+
+let test_step_limit () =
+  Alcotest.check_raises "limit" (Sim.Step_limit_exceeded 10) (fun () ->
+      ignore
+        (Sim.run ~max_yields:10
+           [
+             (fun _ ->
+               while true do
+                 Sim.yield 1
+               done);
+           ]))
+
+let test_empty_rejected () =
+  Alcotest.check_raises "no fibers" (Invalid_argument "Sim.run: no fibers") (fun () ->
+      ignore (Sim.run []))
+
+let test_nested_rejected () =
+  Alcotest.check_raises "nested" (Invalid_argument "Sim.run: nested simulation") (fun () ->
+      ignore (Sim.run [ (fun _ -> ignore (Sim.run [ (fun _ -> ()) ])) ]))
+
+let test_exception_propagates () =
+  Alcotest.check_raises "exn" Exit (fun () ->
+      ignore
+        (Sim.run
+           [
+             (fun _ ->
+               Sim.yield 1;
+               raise Exit);
+             (fun _ -> Sim.yield 100);
+           ]))
+
+let test_many_yields_stack_safe () =
+  (* The scheduler must not grow the stack per yield. *)
+  let outcome =
+    Sim.run
+      (List.init 4 (fun _ _ ->
+           for _ = 1 to 250_000 do
+             Sim.yield 1
+           done))
+  in
+  check Alcotest.int "all yields" 1_000_000 outcome.Sim.total_yields
+
+(* -- Cost model ------------------------------------------------------------ *)
+
+let test_cost_model_mapping () =
+  let m = Cost_model.default in
+  check Alcotest.int "step scales" (3 * m.Cost_model.step)
+    (Cost_model.cost_of_event m (Runtime_hook.Step 3));
+  check Alcotest.int "backoff passthrough" 17 (Cost_model.cost_of_event m (Runtime_hook.Backoff 17));
+  check Alcotest.int "read" m.Cost_model.read_invisible
+    (Cost_model.cost_of_event m Runtime_hook.Read_invisible);
+  check Alcotest.int "vread" m.Cost_model.read_visible
+    (Cost_model.cost_of_event m Runtime_hook.Read_visible);
+  check Alcotest.int "lock" m.Cost_model.lock_acquire
+    (Cost_model.cost_of_event m Runtime_hook.Lock_acquire);
+  check Alcotest.int "commit" m.Cost_model.commit_fixed
+    (Cost_model.cost_of_event m Runtime_hook.Commit_fixed)
+
+let test_sim_env_bridges_charges () =
+  Sim_env.with_model (fun () ->
+      let outcome =
+        Sim.run [ (fun _ -> Runtime_hook.charge (Runtime_hook.Step 25)) ]
+      in
+      check Alcotest.int "charge became virtual time" 25 outcome.Sim.makespan)
+
+let test_sim_env_tolerates_outside_calls () =
+  Sim_env.with_model (fun () ->
+      (* Setup code between install and run fires hooks outside the
+         simulation; they must be no-ops, not crashes. *)
+      Runtime_hook.charge (Runtime_hook.Step 5);
+      Runtime_hook.relax ())
+
+let test_sim_env_uninstall_restores () =
+  Sim_env.install ();
+  Sim_env.uninstall ();
+  (* Defaults never raise outside a simulation. *)
+  Runtime_hook.charge Runtime_hook.Read_invisible;
+  Runtime_hook.relax ()
+
+let () =
+  Alcotest.run "partstm_simcore"
+    [
+      ( "scheduler",
+        [
+          Alcotest.test_case "single fiber" `Quick test_single_fiber_completes;
+          Alcotest.test_case "vtimes reflect charges" `Quick test_vtimes_reflect_charges;
+          Alcotest.test_case "now and self" `Quick test_now_and_self;
+          Alcotest.test_case "outside simulation" `Quick test_outside_simulation_raises;
+          Alcotest.test_case "min-clock order" `Quick test_min_clock_scheduling;
+          Alcotest.test_case "deterministic" `Quick test_determinism;
+          Alcotest.test_case "jitter perturbs" `Quick test_jitter_changes_schedule;
+          Alcotest.test_case "step limit" `Quick test_step_limit;
+          Alcotest.test_case "empty rejected" `Quick test_empty_rejected;
+          Alcotest.test_case "nested rejected" `Quick test_nested_rejected;
+          Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+          Alcotest.test_case "stack safe" `Slow test_many_yields_stack_safe;
+        ] );
+      ( "cost_model",
+        [
+          Alcotest.test_case "event mapping" `Quick test_cost_model_mapping;
+          Alcotest.test_case "bridge charges" `Quick test_sim_env_bridges_charges;
+          Alcotest.test_case "outside calls tolerated" `Quick test_sim_env_tolerates_outside_calls;
+          Alcotest.test_case "uninstall restores" `Quick test_sim_env_uninstall_restores;
+        ] );
+    ]

@@ -1,0 +1,680 @@
+(* Tests for the STM engine: word encoding, clock/quiesce machinery, lock
+   tables, regions, and the transaction protocol (sequential semantics plus
+   concurrency/serializability under real domains, in both read-visibility
+   modes). *)
+
+open Partstm_util
+open Partstm_stm
+
+let check = Alcotest.check
+let qtest ?(count = 200) name gen law =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen law)
+
+let fresh_engine ?max_workers ?contention_manager ?max_attempts ?writer_wait_limit () =
+  Engine.create ?max_workers ?contention_manager ?max_attempts ?writer_wait_limit ()
+
+let invisible_mode g = Mode.make ~granularity_log2:g ()
+let visible_mode g = Mode.make ~visibility:Mode.Visible ~granularity_log2:g ()
+let write_through_mode g = Mode.make ~granularity_log2:g ~update:Mode.Write_through ()
+
+(* -- Orec ------------------------------------------------------------------ *)
+
+let test_orec_encoding () =
+  let locked = Orec.make_locked ~owner:42 in
+  check Alcotest.bool "locked" true (Orec.is_locked locked);
+  check Alcotest.int "owner" 42 (Orec.owner locked);
+  check Alcotest.bool "locked_by" true (Orec.locked_by locked ~owner:42);
+  check Alcotest.bool "not locked_by other" false (Orec.locked_by locked ~owner:41);
+  let versioned = Orec.make_version 1234 in
+  check Alcotest.bool "unlocked" false (Orec.is_locked versioned);
+  check Alcotest.int "version" 1234 (Orec.version versioned);
+  check Alcotest.bool "version not locked_by" false (Orec.locked_by versioned ~owner:1234)
+
+let prop_orec_roundtrip =
+  qtest "orec version/owner roundtrip"
+    QCheck2.Gen.(int_range 0 (1 lsl 40))
+    (fun n ->
+      Orec.version (Orec.make_version n) = n
+      && Orec.owner (Orec.make_locked ~owner:n) = n
+      && Orec.is_locked (Orec.make_locked ~owner:n)
+      && not (Orec.is_locked (Orec.make_version n)))
+
+(* -- Mode ------------------------------------------------------------------ *)
+
+let test_mode_validate () =
+  Mode.validate (Mode.make ~granularity_log2:0 ());
+  Mode.validate (Mode.make ~visibility:Mode.Visible ~granularity_log2:Mode.granularity_max ());
+  Alcotest.check_raises "too fine" (Invalid_argument "Mode.validate: granularity_log2 out of range")
+    (fun () -> Mode.validate (Mode.make ~granularity_log2:99 ()));
+  Alcotest.check_raises "negative" (Invalid_argument "Mode.validate: granularity_log2 out of range")
+    (fun () -> Mode.validate (Mode.make ~granularity_log2:(-1) ()))
+
+let test_mode_equal () =
+  check Alcotest.bool "equal" true (Mode.equal Mode.default Mode.default);
+  check Alcotest.bool "visibility differs" false (Mode.equal (invisible_mode 4) (visible_mode 4));
+  check Alcotest.bool "granularity differs" false (Mode.equal (invisible_mode 4) (invisible_mode 5))
+
+(* -- Engine ---------------------------------------------------------------- *)
+
+let test_engine_clock () =
+  let e = fresh_engine () in
+  check Alcotest.int "initial" 0 (Engine.now e);
+  check Alcotest.int "tick 1" 1 (Engine.tick e);
+  check Alcotest.int "tick 2" 2 (Engine.tick e);
+  check Alcotest.int "now tracks" 2 (Engine.now e)
+
+let test_engine_ids_unique () =
+  let e = fresh_engine () in
+  let ids = List.init 100 (fun _ -> Engine.next_tvar_id e) in
+  check Alcotest.int "distinct" 100 (List.length (List.sort_uniq compare ids))
+
+let test_engine_enter_leave () =
+  let e = fresh_engine () in
+  check Alcotest.int "idle" 0 (Engine.inflight e);
+  Engine.enter e;
+  Engine.enter e;
+  check Alcotest.int "two in flight" 2 (Engine.inflight e);
+  Engine.leave e;
+  check Alcotest.int "one left" 1 (Engine.inflight e);
+  Engine.leave e;
+  check Alcotest.int "drained" 0 (Engine.inflight e)
+
+let test_engine_quiesce () =
+  let e = fresh_engine () in
+  let observed = ref (-1) in
+  let result =
+    Engine.quiesce e (fun () ->
+        observed := Engine.inflight e;
+        check Alcotest.bool "frozen during" true (Engine.is_frozen e);
+        17)
+  in
+  check Alcotest.int "result" 17 result;
+  check Alcotest.int "no txn during quiesce" 0 !observed;
+  check Alcotest.bool "unfrozen after" false (Engine.is_frozen e);
+  (* Unfreezes even when the body raises. *)
+  (try Engine.quiesce e (fun () -> raise Exit) with Exit -> ());
+  check Alcotest.bool "unfrozen after exn" false (Engine.is_frozen e)
+
+let test_engine_quiesce_waits_for_inflight () =
+  let e = fresh_engine () in
+  let release = Atomic.make false in
+  Engine.enter e;
+  let worker =
+    Domain.spawn (fun () ->
+        while not (Atomic.get release) do
+          Domain.cpu_relax ()
+        done;
+        Engine.leave e)
+  in
+  let quiesced = Atomic.make false in
+  let quiescer =
+    Domain.spawn (fun () ->
+        Engine.quiesce e (fun () -> Atomic.set quiesced true))
+  in
+  (* Give the quiescer a moment: it must not finish while we are in flight. *)
+  for _ = 1 to 100_000 do
+    Domain.cpu_relax ()
+  done;
+  check Alcotest.bool "blocked on in-flight txn" false (Atomic.get quiesced);
+  Atomic.set release true;
+  Domain.join worker;
+  Domain.join quiescer;
+  check Alcotest.bool "completed after drain" true (Atomic.get quiesced)
+
+(* -- Lock table ------------------------------------------------------------ *)
+
+let test_lock_table_basics () =
+  let t = Lock_table.create ~clock_now:5 ~granularity_log2:4 in
+  check Alcotest.int "slots" 16 (Lock_table.slots t);
+  check Alcotest.int "initial version" (Orec.make_version 5) (Atomic.get (Lock_table.word t 0));
+  check Alcotest.int "no readers" 0 (Lock_table.readers_total t);
+  check Alcotest.int "no locks" 0 (Lock_table.locked_slots t)
+
+let test_lock_table_whole_region () =
+  let t = Lock_table.create ~clock_now:0 ~granularity_log2:0 in
+  check Alcotest.int "one slot" 1 (Lock_table.slots t);
+  for i = 0 to 100 do
+    check Alcotest.int "all ids map to slot 0" 0 (Lock_table.slot_of_id t i)
+  done
+
+let prop_lock_table_slot_in_range =
+  qtest "slot_of_id in range"
+    QCheck2.Gen.(pair (int_range 0 12) (int_range 0 1_000_000))
+    (fun (g, id) ->
+      let t = Lock_table.create ~clock_now:0 ~granularity_log2:g in
+      let slot = Lock_table.slot_of_id t id in
+      slot >= 0 && slot < Lock_table.slots t)
+
+(* -- Region ---------------------------------------------------------------- *)
+
+let test_region_mode_and_reconfigure () =
+  let e = fresh_engine () in
+  let r = Region.create e ~name:"r" ~mode:(invisible_mode 4) () in
+  check Alcotest.bool "initial mode" true (Mode.equal (Region.mode r) (invisible_mode 4));
+  let table_before = r.Region.table in
+  Region.reconfigure r (visible_mode 4);
+  check Alcotest.bool "visibility switched" true (Mode.equal (Region.mode r) (visible_mode 4));
+  check Alcotest.bool "table kept (same granularity)" true (table_before == r.Region.table);
+  Region.reconfigure r (visible_mode 8);
+  check Alcotest.bool "granularity switched" true (Mode.equal (Region.mode r) (visible_mode 8));
+  check Alcotest.bool "table swapped" false (table_before == r.Region.table)
+
+let test_region_tvar_count () =
+  let e = fresh_engine () in
+  let r = Region.create e ~name:"r" () in
+  check Alcotest.int "empty" 0 (Region.tvar_count r);
+  let _ = Tvar.make r 0 and _ = Tvar.make r 0 in
+  check Alcotest.int "two" 2 (Region.tvar_count r)
+
+(* -- Region stats ---------------------------------------------------------- *)
+
+let test_region_stats_snapshot_diff () =
+  let stats = Region_stats.create ~max_workers:4 in
+  let s0 = Region_stats.shard stats 0 and s3 = Region_stats.shard stats 3 in
+  s0.Region_stats.commits <- 5;
+  s0.Region_stats.reads <- 10;
+  s3.Region_stats.commits <- 2;
+  s3.Region_stats.aborts <- 1;
+  let snap = Region_stats.snapshot stats in
+  check Alcotest.int "commits summed" 7 snap.Region_stats.s_commits;
+  check Alcotest.int "aborts summed" 1 snap.Region_stats.s_aborts;
+  check Alcotest.int "attempts" 8 (Region_stats.attempts snap);
+  check (Alcotest.float 1e-9) "abort rate" 0.125 (Region_stats.abort_rate snap);
+  s0.Region_stats.commits <- 9;
+  let diff = Region_stats.diff ~current:(Region_stats.snapshot stats) ~previous:snap in
+  check Alcotest.int "diff commits" 4 diff.Region_stats.s_commits;
+  Region_stats.reset stats;
+  check Alcotest.int "reset" 0 (Region_stats.snapshot stats).Region_stats.s_commits
+
+let test_region_stats_ratios () =
+  let snap =
+    {
+      Region_stats.empty_snapshot with
+      Region_stats.s_commits = 10;
+      s_ro_commits = 4;
+      s_reads = 30;
+      s_writes = 10;
+    }
+  in
+  check (Alcotest.float 1e-9) "update ratio" 0.6 (Region_stats.update_txn_ratio snap);
+  check (Alcotest.float 1e-9) "write ratio" 0.25 (Region_stats.write_ratio snap);
+  check (Alcotest.float 1e-9) "idle abort rate" 0.0
+    (Region_stats.abort_rate Region_stats.empty_snapshot)
+
+(* -- Contention managers --------------------------------------------------- *)
+
+let test_cm_delay_runs () =
+  let rng = Rng.make 1 in
+  List.iter
+    (fun cm ->
+      Cm.delay cm rng ~attempt:1;
+      Cm.delay cm rng ~attempt:10;
+      Cm.delay cm rng ~attempt:100)
+    [ Cm.Suicide; Cm.Backoff { min_delay = 1; max_delay = 8 }; Cm.Constant 4 ]
+
+let test_cm_to_string () =
+  check Alcotest.string "suicide" "suicide" (Cm.to_string Cm.Suicide);
+  check Alcotest.string "constant" "constant(4)" (Cm.to_string (Cm.Constant 4))
+
+(* -- Transactions: sequential semantics ------------------------------------ *)
+
+let with_txn_env ?mode f =
+  let e = fresh_engine () in
+  let r = Region.create e ~name:"main" ?mode () in
+  let txn = Txn.create e ~worker_id:0 in
+  f e r txn
+
+let test_txn_read_initial () =
+  with_txn_env (fun _ r txn ->
+      let v = Tvar.make r 41 in
+      check Alcotest.int "initial" 41 (Txn.atomically txn (fun t -> Txn.read t v)))
+
+let test_txn_write_then_read () =
+  with_txn_env (fun _ r txn ->
+      let v = Tvar.make r 0 in
+      Txn.atomically txn (fun t ->
+          Txn.write t v 10;
+          check Alcotest.int "read own write" 10 (Txn.read t v);
+          Txn.write t v 20;
+          check Alcotest.int "second own write" 20 (Txn.read t v));
+      check Alcotest.int "committed" 20 (Tvar.peek v))
+
+let test_txn_modify () =
+  with_txn_env (fun _ r txn ->
+      let v = Tvar.make r 5 in
+      Txn.atomically txn (fun t -> Txn.modify t v (fun x -> x * 3));
+      check Alcotest.int "modified" 15 (Tvar.peek v))
+
+let test_txn_user_exception_aborts () =
+  with_txn_env (fun _ r txn ->
+      let v = Tvar.make r 1 in
+      Alcotest.check_raises "propagates" Exit (fun () ->
+          Txn.atomically txn (fun t ->
+              Txn.write t v 99;
+              raise Exit));
+      check Alcotest.int "not published" 1 (Tvar.peek v);
+      (* The descriptor is reusable after the exception. *)
+      Txn.atomically txn (fun t -> Txn.write t v 2);
+      check Alcotest.int "next txn fine" 2 (Tvar.peek v))
+
+let test_txn_no_nesting () =
+  with_txn_env (fun _ r txn ->
+      let v = Tvar.make r 0 in
+      Alcotest.check_raises "nesting rejected"
+        (Invalid_argument "Txn.atomically: transactions do not nest") (fun () ->
+          Txn.atomically txn (fun _ -> ignore (Txn.atomically txn (fun t -> Txn.read t v)))))
+
+let test_txn_ops_outside_rejected () =
+  with_txn_env (fun _ r txn ->
+      let v = Tvar.make r 0 in
+      Alcotest.check_raises "read" (Invalid_argument "Txn.read: no transaction is running")
+        (fun () -> ignore (Txn.read txn v));
+      Alcotest.check_raises "write" (Invalid_argument "Txn.write: no transaction is running")
+        (fun () -> Txn.write txn v 1))
+
+let test_txn_worker_id_bounds () =
+  let e = fresh_engine ~max_workers:2 () in
+  ignore (Txn.create e ~worker_id:0);
+  ignore (Txn.create e ~worker_id:1);
+  Alcotest.check_raises "out of range" (Invalid_argument "Txn.create: worker_id out of range")
+    (fun () -> ignore (Txn.create e ~worker_id:2))
+
+let test_txn_return_value () =
+  with_txn_env (fun _ r txn ->
+      let v = Tvar.make r 7 in
+      check Alcotest.(pair int string) "value" (7, "ok")
+        (Txn.atomically txn (fun t -> (Txn.read t v, "ok"))))
+
+(* Same-slot co-location: with a whole-region table every tvar shares one
+   orec; writes and reads must still be correct. *)
+let test_txn_whole_region_colocation () =
+  with_txn_env ~mode:(invisible_mode 0) (fun _ r txn ->
+      let a = Tvar.make r 1 and b = Tvar.make r 2 and c = Tvar.make r 3 in
+      Txn.atomically txn (fun t ->
+          Txn.write t a 10;
+          (* b shares a's orec but was never written: must read committed. *)
+          check Alcotest.int "co-located read" 2 (Txn.read t b);
+          Txn.write t b 20;
+          check Alcotest.int "own write a" 10 (Txn.read t a);
+          check Alcotest.int "own write b" 20 (Txn.read t b);
+          check Alcotest.int "c untouched" 3 (Txn.read t c));
+      check Alcotest.int "a" 10 (Tvar.peek a);
+      check Alcotest.int "b" 20 (Tvar.peek b);
+      check Alcotest.int "c" 3 (Tvar.peek c))
+
+let test_txn_visible_mode_sequential () =
+  with_txn_env ~mode:(visible_mode 4) (fun _ r txn ->
+      let v = Tvar.make r 0 in
+      Txn.atomically txn (fun t ->
+          check Alcotest.int "visible read" 0 (Txn.read t v);
+          (* Re-read exercises the already-held fast path. *)
+          check Alcotest.int "re-read" 0 (Txn.read t v);
+          Txn.write t v 5;
+          check Alcotest.int "upgrade to write" 5 (Txn.read t v));
+      check Alcotest.int "committed" 5 (Tvar.peek v);
+      check Alcotest.int "reader counters released" 0
+        (Lock_table.readers_total r.Region.table))
+
+let test_txn_too_many_attempts () =
+  let e = fresh_engine ~max_attempts:3 ~contention_manager:Cm.Suicide () in
+  let r = Region.create e ~name:"main" () in
+  let v = Tvar.make r 0 in
+  (* A second descriptor grabs the lock and never releases (simulating a
+     stalled competitor); the victim must give up after max_attempts. *)
+  let blocker = Txn.create e ~worker_id:1 in
+  Txn.begin_txn blocker;
+  Txn.write blocker v 99;
+  let victim = Txn.create e ~worker_id:0 in
+  (try
+     ignore (Txn.atomically victim (fun t -> Txn.write t v 1));
+     Alcotest.fail "expected Too_many_attempts"
+   with Txn.Too_many_attempts n -> check Alcotest.int "attempts" 4 n);
+  Txn.rollback blocker;
+  (* After the blocker rolls back, progress resumes. *)
+  Txn.atomically victim (fun t -> Txn.write t v 1);
+  check Alcotest.int "eventually" 1 (Tvar.peek v)
+
+let test_txn_attempt_counter () =
+  with_txn_env (fun _ r txn ->
+      let v = Tvar.make r 0 in
+      Txn.atomically txn (fun t ->
+          check Alcotest.int "first try" 1 (Txn.attempt t);
+          Txn.write t v 1))
+
+(* Read-time validation must abort a transaction whose snapshot is stale —
+   exercised here deterministically via the internal API. *)
+let test_txn_stale_read_aborts_and_retries () =
+  with_txn_env (fun e r txn ->
+      let a = Tvar.make r 0 and b = Tvar.make r 0 in
+      let writer = Txn.create e ~worker_id:1 in
+      let tries = ref 0 in
+      let result =
+        Txn.atomically txn (fun t ->
+            incr tries;
+            let va = Txn.read t a in
+            (* A competitor commits to [a] after we read it (first try only). *)
+            if !tries = 1 then Txn.atomically writer (fun w -> Txn.write w a 100);
+            let vb = Txn.read t b in
+            (* Trigger validation by touching a location the competitor also
+               bumps; reading a fresh [a] version forces extension. *)
+            if !tries = 1 then ignore (Txn.read t a);
+            (va, vb))
+      in
+      check Alcotest.bool "retried" true (!tries >= 2);
+      check Alcotest.(pair int int) "consistent result" (100, 0) result)
+
+(* -- Write-through update strategy ----------------------------------------- *)
+
+let test_write_through_sequential () =
+  with_txn_env ~mode:(write_through_mode 8) (fun _ r txn ->
+      let v = Tvar.make r 0 in
+      Txn.atomically txn (fun t ->
+          Txn.write t v 5;
+          check Alcotest.int "in-place write readable" 5 (Txn.read t v);
+          Txn.write t v 9;
+          check Alcotest.int "second write" 9 (Txn.read t v));
+      check Alcotest.int "committed" 9 (Tvar.peek v))
+
+let test_write_through_undo_on_abort () =
+  with_txn_env ~mode:(write_through_mode 8) (fun _ r txn ->
+      let a = Tvar.make r 1 and b = Tvar.make r 2 in
+      Alcotest.check_raises "propagates" Exit (fun () ->
+          Txn.atomically txn (fun t ->
+              Txn.write t a 100;
+              Txn.write t b 200;
+              (* Multiple writes to one tvar: undo must restore the
+                 original, not an intermediate. *)
+              Txn.write t a 101;
+              Txn.write t a 102;
+              raise Exit));
+      check Alcotest.int "a restored" 1 (Tvar.peek a);
+      check Alcotest.int "b restored" 2 (Tvar.peek b);
+      (* The descriptor works again afterwards. *)
+      Txn.atomically txn (fun t -> Txn.write t a 7);
+      check Alcotest.int "next txn" 7 (Tvar.peek a))
+
+let test_write_through_mixed_with_write_back () =
+  let e = fresh_engine () in
+  let wt = Region.create e ~name:"wt" ~mode:(write_through_mode 8) () in
+  let wb = Region.create e ~name:"wb" ~mode:(invisible_mode 8) () in
+  let x = Tvar.make wt 0 and y = Tvar.make wb 0 in
+  let txn = Txn.create e ~worker_id:0 in
+  Txn.atomically txn (fun t ->
+      Txn.write t x 1;
+      Txn.write t y 1);
+  check Alcotest.int "wt committed" 1 (Tvar.peek x);
+  check Alcotest.int "wb committed" 1 (Tvar.peek y);
+  Alcotest.check_raises "abort" Exit (fun () ->
+      Txn.atomically txn (fun t ->
+          Txn.write t x 42;
+          Txn.write t y 42;
+          raise Exit));
+  check Alcotest.int "wt undone" 1 (Tvar.peek x);
+  check Alcotest.int "wb not published" 1 (Tvar.peek y)
+
+(* -- Blocking retry ---------------------------------------------------------- *)
+
+let test_retry_requires_reads () =
+  with_txn_env (fun _ r txn ->
+      let _ = Tvar.make r 0 in
+      Alcotest.check_raises "empty wait set"
+        (Invalid_argument "Txn.retry: nothing read invisibly (the wait set would be empty)")
+        (fun () -> Txn.atomically txn (fun t -> if true then Txn.retry t else ())))
+
+let test_retry_wakes_on_write () =
+  let e = fresh_engine () in
+  let r = Region.create e ~name:"main" () in
+  let flag = Tvar.make r false and value = Tvar.make r 0 in
+  let consumer =
+    Domain.spawn (fun () ->
+        let txn = Txn.create e ~worker_id:0 in
+        Txn.atomically txn (fun t ->
+            if not (Txn.read t flag) then Txn.retry t else Txn.read t value))
+  in
+  (* Give the consumer time to park, then publish. *)
+  for _ = 1 to 200_000 do
+    Domain.cpu_relax ()
+  done;
+  let producer = Txn.create e ~worker_id:1 in
+  Txn.atomically producer (fun t ->
+      Txn.write t value 42;
+      Txn.write t flag true);
+  check Alcotest.int "consumer observed the publish" 42 (Domain.join consumer)
+
+(* Producer/consumer through a queue: consumers block with [retry] instead
+   of spinning with polling loops; every element is consumed exactly once. *)
+let test_retry_producer_consumer () =
+  let e = fresh_engine () in
+  let r = Region.create e ~name:"main" () in
+  let slots = Array.init 64 (fun _ -> Tvar.make r None) in
+  let produced = 64 and consumers = 2 in
+  let take_index = Tvar.make r 0 in
+  let consumer_domain worker_id =
+    Domain.spawn (fun () ->
+        let txn = Txn.create e ~worker_id in
+        let taken = ref [] in
+        let finished = ref false in
+        while not !finished do
+          let outcome =
+            Txn.atomically txn (fun t ->
+                let i = Txn.read t take_index in
+                if i >= produced then `Done
+                else
+                  match Txn.read t slots.(i) with
+                  | None -> Txn.retry t  (* wait for the producer *)
+                  | Some v ->
+                      Txn.write t take_index (i + 1);
+                      `Got v)
+          in
+          match outcome with `Done -> finished := true | `Got v -> taken := v :: !taken
+        done;
+        !taken)
+  in
+  let consumer_domains = List.init consumers (fun i -> consumer_domain i) in
+  let producer = Txn.create e ~worker_id:consumers in
+  for i = 0 to produced - 1 do
+    Txn.atomically producer (fun t -> Txn.write t slots.(i) (Some i));
+    if i mod 7 = 0 then Domain.cpu_relax ()
+  done;
+  let consumed = List.concat_map Domain.join consumer_domains in
+  check Alcotest.(list int) "each element consumed exactly once"
+    (List.init produced Fun.id)
+    (List.sort compare consumed)
+
+(* -- Concurrency (real domains) -------------------------------------------- *)
+
+let run_workers n body =
+  let domains = List.init n (fun i -> Domain.spawn (fun () -> body i)) in
+  List.iter Domain.join domains
+
+let test_concurrent_counter mode () =
+  let e = fresh_engine () in
+  let r = Region.create e ~name:"main" ~mode () in
+  let counter = Tvar.make r 0 in
+  let workers = 4 and iterations = 3000 in
+  run_workers workers (fun w ->
+      let txn = Txn.create e ~worker_id:w in
+      for _ = 1 to iterations do
+        Txn.atomically txn (fun t -> Txn.write t counter (Txn.read t counter + 1))
+      done);
+  check Alcotest.int "no lost updates" (workers * iterations) (Tvar.peek counter)
+
+(* Opacity: a transaction must never observe x <> y, even transiently inside
+   the transaction body, while writers keep x = y. *)
+let test_opacity mode () =
+  let e = fresh_engine () in
+  let r = Region.create e ~name:"main" ~mode () in
+  let x = Tvar.make r 0 and y = Tvar.make r 0 in
+  let violations = Atomic.make 0 in
+  run_workers 4 (fun w ->
+      let txn = Txn.create e ~worker_id:w in
+      for _ = 1 to 2000 do
+        if w < 2 then
+          Txn.atomically txn (fun t ->
+              let a = Txn.read t x in
+              Txn.write t x (a + 1);
+              Txn.write t y (Txn.read t y + 1))
+        else
+          Txn.atomically txn (fun t ->
+              let a = Txn.read t x and b = Txn.read t y in
+              if a <> b then Atomic.incr violations)
+      done);
+  check Alcotest.int "no snapshot violations" 0 (Atomic.get violations);
+  check Alcotest.int "x=y finally" (Tvar.peek x) (Tvar.peek y)
+
+(* Write skew: T1 reads y, writes x; T2 reads x, writes y. Serializability
+   requires x + y <= limit to be maintained when each txn checks the sum. *)
+let test_no_write_skew mode () =
+  let e = fresh_engine () in
+  let r = Region.create e ~name:"main" ~mode () in
+  let x = Tvar.make r 0 and y = Tvar.make r 0 in
+  run_workers 4 (fun w ->
+      let txn = Txn.create e ~worker_id:w in
+      for _ = 1 to 1000 do
+        Txn.atomically txn (fun t ->
+            let a = Txn.read t x and b = Txn.read t y in
+            if a + b < 1 then if w mod 2 = 0 then Txn.write t x (a + 1) else Txn.write t y (b + 1))
+      done);
+  check Alcotest.bool "sum bounded" true (Tvar.peek x + Tvar.peek y <= 1)
+
+(* Mixed visibility inside one transaction: invariants must hold across a
+   visible and an invisible region. *)
+let test_cross_region_consistency () =
+  let e = fresh_engine () in
+  let rv = Region.create e ~name:"vis" ~mode:(visible_mode 4) () in
+  let ri = Region.create e ~name:"inv" ~mode:(invisible_mode 8) () in
+  let x = Tvar.make rv 0 and y = Tvar.make ri 0 in
+  let violations = Atomic.make 0 in
+  run_workers 4 (fun w ->
+      let txn = Txn.create e ~worker_id:w in
+      for _ = 1 to 2000 do
+        if w < 2 then
+          Txn.atomically txn (fun t ->
+              Txn.write t x (Txn.read t x + 1);
+              Txn.write t y (Txn.read t y + 1))
+        else
+          Txn.atomically txn (fun t ->
+              if Txn.read t x <> Txn.read t y then Atomic.incr violations)
+      done);
+  check Alcotest.int "cross-region snapshots consistent" 0 (Atomic.get violations);
+  check Alcotest.int "final equal" (Tvar.peek x) (Tvar.peek y)
+
+(* Online reconfiguration under load: flipping visibility and granularity
+   while workers hammer a counter must not lose updates. *)
+let test_reconfigure_under_load () =
+  let e = fresh_engine () in
+  let r = Region.create e ~name:"main" () in
+  let counter = Tvar.make r 0 in
+  let stop = Atomic.make false in
+  let workers = 3 and iterations = 4000 in
+  let domains =
+    List.init workers (fun w ->
+        Domain.spawn (fun () ->
+            let txn = Txn.create e ~worker_id:w in
+            for _ = 1 to iterations do
+              Txn.atomically txn (fun t -> Txn.write t counter (Txn.read t counter + 1))
+            done))
+  in
+  let tuner =
+    Domain.spawn (fun () ->
+        let modes =
+          [| invisible_mode 10; visible_mode 4; invisible_mode 0; visible_mode 10 |]
+        in
+        let i = ref 0 in
+        while not (Atomic.get stop) do
+          Region.reconfigure r modes.(!i mod Array.length modes);
+          incr i;
+          for _ = 1 to 2000 do
+            Domain.cpu_relax ()
+          done
+        done)
+  in
+  List.iter Domain.join domains;
+  Atomic.set stop true;
+  Domain.join tuner;
+  check Alcotest.int "no lost updates across reconfigurations" (workers * iterations)
+    (Tvar.peek counter)
+
+let () =
+  Alcotest.run "partstm_stm"
+    [
+      ("orec", [ Alcotest.test_case "encoding" `Quick test_orec_encoding; prop_orec_roundtrip ]);
+      ( "mode",
+        [
+          Alcotest.test_case "validate" `Quick test_mode_validate;
+          Alcotest.test_case "equal" `Quick test_mode_equal;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "clock" `Quick test_engine_clock;
+          Alcotest.test_case "unique ids" `Quick test_engine_ids_unique;
+          Alcotest.test_case "enter/leave" `Quick test_engine_enter_leave;
+          Alcotest.test_case "quiesce" `Quick test_engine_quiesce;
+          Alcotest.test_case "quiesce waits" `Quick test_engine_quiesce_waits_for_inflight;
+        ] );
+      ( "lock_table",
+        [
+          Alcotest.test_case "basics" `Quick test_lock_table_basics;
+          Alcotest.test_case "whole region" `Quick test_lock_table_whole_region;
+          prop_lock_table_slot_in_range;
+        ] );
+      ( "region",
+        [
+          Alcotest.test_case "mode and reconfigure" `Quick test_region_mode_and_reconfigure;
+          Alcotest.test_case "tvar count" `Quick test_region_tvar_count;
+        ] );
+      ( "region_stats",
+        [
+          Alcotest.test_case "snapshot/diff" `Quick test_region_stats_snapshot_diff;
+          Alcotest.test_case "ratios" `Quick test_region_stats_ratios;
+        ] );
+      ( "cm",
+        [
+          Alcotest.test_case "delay runs" `Quick test_cm_delay_runs;
+          Alcotest.test_case "to_string" `Quick test_cm_to_string;
+        ] );
+      ( "txn_sequential",
+        [
+          Alcotest.test_case "read initial" `Quick test_txn_read_initial;
+          Alcotest.test_case "write then read" `Quick test_txn_write_then_read;
+          Alcotest.test_case "modify" `Quick test_txn_modify;
+          Alcotest.test_case "user exception aborts" `Quick test_txn_user_exception_aborts;
+          Alcotest.test_case "no nesting" `Quick test_txn_no_nesting;
+          Alcotest.test_case "ops outside rejected" `Quick test_txn_ops_outside_rejected;
+          Alcotest.test_case "worker id bounds" `Quick test_txn_worker_id_bounds;
+          Alcotest.test_case "return value" `Quick test_txn_return_value;
+          Alcotest.test_case "whole-region colocation" `Quick test_txn_whole_region_colocation;
+          Alcotest.test_case "visible sequential" `Quick test_txn_visible_mode_sequential;
+          Alcotest.test_case "too many attempts" `Quick test_txn_too_many_attempts;
+          Alcotest.test_case "attempt counter" `Quick test_txn_attempt_counter;
+          Alcotest.test_case "stale read aborts+retries" `Quick
+            test_txn_stale_read_aborts_and_retries;
+          Alcotest.test_case "write-through sequential" `Quick test_write_through_sequential;
+          Alcotest.test_case "write-through undo" `Quick test_write_through_undo_on_abort;
+          Alcotest.test_case "write-through + write-back mix" `Quick
+            test_write_through_mixed_with_write_back;
+          Alcotest.test_case "retry requires reads" `Quick test_retry_requires_reads;
+        ] );
+      ( "txn_retry",
+        [
+          Alcotest.test_case "wakes on write" `Slow test_retry_wakes_on_write;
+          Alcotest.test_case "producer/consumer" `Slow test_retry_producer_consumer;
+        ] );
+      ( "txn_concurrent",
+        [
+          Alcotest.test_case "counter invisible" `Slow (test_concurrent_counter (invisible_mode 10));
+          Alcotest.test_case "counter visible" `Slow (test_concurrent_counter (visible_mode 10));
+          Alcotest.test_case "counter whole-region" `Slow (test_concurrent_counter (invisible_mode 0));
+          Alcotest.test_case "counter write-through" `Slow
+            (test_concurrent_counter (write_through_mode 10));
+          Alcotest.test_case "opacity write-through" `Slow (test_opacity (write_through_mode 10));
+          Alcotest.test_case "no write skew write-through" `Slow
+            (test_no_write_skew (write_through_mode 10));
+          Alcotest.test_case "opacity invisible" `Slow (test_opacity (invisible_mode 10));
+          Alcotest.test_case "opacity visible" `Slow (test_opacity (visible_mode 10));
+          Alcotest.test_case "no write skew invisible" `Slow (test_no_write_skew (invisible_mode 10));
+          Alcotest.test_case "no write skew visible" `Slow (test_no_write_skew (visible_mode 10));
+          Alcotest.test_case "cross-region consistency" `Slow test_cross_region_consistency;
+          Alcotest.test_case "reconfigure under load" `Slow test_reconfigure_under_load;
+        ] );
+    ]

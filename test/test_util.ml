@@ -1,0 +1,324 @@
+(* Unit and property tests for partstm_util. *)
+
+open Partstm_util
+
+let check = Alcotest.check
+let qtest ?(count = 200) name gen law =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen law)
+
+(* -- Bits ------------------------------------------------------------------ *)
+
+let test_is_power_of_two () =
+  List.iter (fun n -> check Alcotest.bool (string_of_int n) true (Bits.is_power_of_two n))
+    [ 1; 2; 4; 8; 1024; 1 lsl 40 ];
+  List.iter (fun n -> check Alcotest.bool (string_of_int n) false (Bits.is_power_of_two n))
+    [ 0; -1; 3; 6; 12; 1023 ]
+
+let test_ceil_power_of_two () =
+  List.iter
+    (fun (input, expected) -> check Alcotest.int (string_of_int input) expected (Bits.ceil_power_of_two input))
+    [ (1, 1); (2, 2); (3, 4); (5, 8); (17, 32); (1024, 1024); (1025, 2048) ]
+
+let test_log2 () =
+  check Alcotest.int "floor 1" 0 (Bits.floor_log2 1);
+  check Alcotest.int "floor 2" 1 (Bits.floor_log2 2);
+  check Alcotest.int "floor 3" 1 (Bits.floor_log2 3);
+  check Alcotest.int "floor 1024" 10 (Bits.floor_log2 1024);
+  check Alcotest.int "ceil 1" 0 (Bits.ceil_log2 1);
+  check Alcotest.int "ceil 3" 2 (Bits.ceil_log2 3);
+  check Alcotest.int "ceil 1025" 11 (Bits.ceil_log2 1025);
+  Alcotest.check_raises "floor_log2 0" (Invalid_argument "Bits.floor_log2") (fun () ->
+      ignore (Bits.floor_log2 0))
+
+let test_popcount () =
+  List.iter
+    (fun (input, expected) -> check Alcotest.int (string_of_int input) expected (Bits.popcount input))
+    [ (0, 0); (1, 1); (3, 2); (255, 8); (1 lsl 50, 1) ]
+
+let prop_floor_log2_of_power =
+  qtest "floor_log2 (2^k) = k"
+    QCheck2.Gen.(int_range 0 61)
+    (fun k -> Bits.floor_log2 (1 lsl k) = k)
+
+let prop_hash_to_slot_in_range =
+  qtest "hash_to_slot lands in range"
+    QCheck2.Gen.(pair (int_range 0 14) int)
+    (fun (g, x) ->
+      let slots = 1 lsl g in
+      let slot = Bits.hash_to_slot ~slots x in
+      slot >= 0 && slot < slots)
+
+let prop_mix_int_deterministic =
+  qtest "mix_int is deterministic and non-negative" QCheck2.Gen.int (fun x ->
+      Bits.mix_int x = Bits.mix_int x && Bits.mix_int x >= 0)
+
+(* -- Rng ------------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.make 42 and b = Rng.make 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int "same stream" (Rng.bits a) (Rng.bits b)
+  done
+
+let test_rng_split_independent () =
+  let parent = Rng.make 7 in
+  let c1 = Rng.split parent ~index:0 and c2 = Rng.split parent ~index:1 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits c1 = Rng.bits c2 then incr same
+  done;
+  check Alcotest.bool "children differ" true (!same < 4)
+
+let prop_rng_int_bounds =
+  qtest "int t bound in [0, bound)"
+    QCheck2.Gen.(pair (int_range 1 1_000_000) (int_range 0 10_000))
+    (fun (bound, seed) ->
+      let rng = Rng.make seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let prop_rng_range_bounds =
+  qtest "int_in_range inclusive"
+    QCheck2.Gen.(triple (int_range (-1000) 1000) (int_range 0 2000) (int_range 0 1000))
+    (fun (lo, span, seed) ->
+      let hi = lo + span in
+      let rng = Rng.make seed in
+      let v = Rng.int_in_range rng ~lo ~hi in
+      v >= lo && v <= hi)
+
+let test_rng_float_unit_interval () =
+  let rng = Rng.make 3 in
+  for _ = 1 to 1000 do
+    let f = Rng.float rng in
+    if f < 0.0 || f >= 1.0 then Alcotest.failf "float out of range: %f" f
+  done
+
+let test_rng_chance_extremes () =
+  let rng = Rng.make 5 in
+  for _ = 1 to 100 do
+    check Alcotest.bool "0%" false (Rng.chance rng ~percent:0);
+    check Alcotest.bool "100%" true (Rng.chance rng ~percent:100)
+  done
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.make 11 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle_in_place rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check Alcotest.(array int) "same multiset" (Array.init 50 Fun.id) sorted
+
+let test_zipf_range_and_skew () =
+  let rng = Rng.make 13 in
+  let z = Rng.zipf ~n:100 ~theta:1.0 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 10_000 do
+    let v = Rng.zipf_sample rng z in
+    check Alcotest.bool "in range" true (v >= 0 && v < 100);
+    counts.(v) <- counts.(v) + 1
+  done;
+  check Alcotest.bool "rank 0 most popular" true (counts.(0) > counts.(50))
+
+(* -- Stats ----------------------------------------------------------------- *)
+
+let test_summarize_known () =
+  let s = Stats.summarize [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  check (Alcotest.float 1e-9) "mean" 3.0 s.Stats.mean;
+  check (Alcotest.float 1e-9) "min" 1.0 s.Stats.min;
+  check (Alcotest.float 1e-9) "max" 5.0 s.Stats.max;
+  check (Alcotest.float 1e-9) "p50" 3.0 s.Stats.p50;
+  check Alcotest.int "count" 5 s.Stats.count;
+  check (Alcotest.float 1e-6) "stddev" (sqrt 2.5) s.Stats.stddev
+
+let test_summarize_single () =
+  let s = Stats.summarize [| 7.0 |] in
+  check (Alcotest.float 1e-9) "mean" 7.0 s.Stats.mean;
+  check (Alcotest.float 1e-9) "stddev" 0.0 s.Stats.stddev;
+  check (Alcotest.float 1e-9) "p99" 7.0 s.Stats.p99
+
+let test_summarize_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.summarize") (fun () ->
+      ignore (Stats.summarize [||]))
+
+let test_percentile_interpolation () =
+  let sorted = [| 0.0; 10.0 |] in
+  check (Alcotest.float 1e-9) "p50 midpoint" 5.0 (Stats.percentile_of_sorted sorted 50.0);
+  check (Alcotest.float 1e-9) "p0" 0.0 (Stats.percentile_of_sorted sorted 0.0);
+  check (Alcotest.float 1e-9) "p100" 10.0 (Stats.percentile_of_sorted sorted 100.0)
+
+let prop_online_matches_batch =
+  qtest "online mean/stddev matches batch"
+    QCheck2.Gen.(list_size (int_range 2 50) (float_bound_inclusive 1000.0))
+    (fun samples ->
+      let online = Stats.online () in
+      List.iter (Stats.add online) samples;
+      let batch = Stats.summarize (Array.of_list samples) in
+      Float.abs (Stats.online_mean online -. batch.Stats.mean) < 1e-6
+      && Float.abs (Stats.online_stddev online -. batch.Stats.stddev) < 1e-6)
+
+let test_ratio () =
+  check (Alcotest.float 1e-9) "normal" 0.5 (Stats.ratio 1 2);
+  check (Alcotest.float 1e-9) "zero denominator" 0.0 (Stats.ratio 5 0)
+
+(* -- Histogram ------------------------------------------------------------- *)
+
+let test_histogram_basics () =
+  let h = Histogram.create () in
+  List.iter (Histogram.observe h) [ 0; 1; 2; 3; 100; 1000 ];
+  check Alcotest.int "count" 6 (Histogram.count h);
+  check Alcotest.int "max" 1000 (Histogram.max_value h);
+  check (Alcotest.float 1e-6) "mean" (1106.0 /. 6.0) (Histogram.mean h)
+
+let test_histogram_percentile_monotone () =
+  let h = Histogram.create () in
+  for i = 1 to 1000 do
+    Histogram.observe h i
+  done;
+  let p50 = Histogram.percentile h 50.0 and p99 = Histogram.percentile h 99.0 in
+  check Alcotest.bool "monotone" true (p50 <= p99);
+  check Alcotest.bool "p50 plausible" true (p50 >= 256 && p50 <= 1024)
+
+let test_histogram_merge_reset () =
+  let a = Histogram.create () and b = Histogram.create () in
+  Histogram.observe a 5;
+  Histogram.observe b 50;
+  Histogram.merge_into ~dst:a b;
+  check Alcotest.int "merged count" 2 (Histogram.count a);
+  check Alcotest.int "merged max" 50 (Histogram.max_value a);
+  Histogram.reset a;
+  check Alcotest.int "reset count" 0 (Histogram.count a)
+
+(* -- Table / Csv ----------------------------------------------------------- *)
+
+let string_contains haystack needle =
+  let hn = String.length haystack and nn = String.length needle in
+  let rec loop i = i + nn <= hn && (String.sub haystack i nn = needle || loop (i + 1)) in
+  nn = 0 || loop 0
+
+let test_table_render () =
+  let t = Table.create ~title:"demo" ~header:[ "name"; "value" ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_rowf t "beta\t%d" 22;
+  let rendered = Table.render t in
+  List.iter
+    (fun needle -> check Alcotest.bool needle true (string_contains rendered needle))
+    [ "demo"; "alpha"; "beta"; "22"; "name" ]
+
+let test_csv_quoting () =
+  check Alcotest.string "plain" "a,b" (Csv.row_to_string [ "a"; "b" ]);
+  check Alcotest.string "comma" "\"a,b\",c" (Csv.row_to_string [ "a,b"; "c" ]);
+  check Alcotest.string "quote" "\"a\"\"b\"" (Csv.row_to_string [ "a\"b" ]);
+  check Alcotest.string "newline" "\"a\nb\"" (Csv.row_to_string [ "a\nb" ])
+
+(* -- Vec ------------------------------------------------------------------- *)
+
+let test_vec_push_get () =
+  let v = Vec.create ~capacity:2 ~dummy:(-1) () in
+  for i = 0 to 99 do
+    Vec.push v i
+  done;
+  check Alcotest.int "length" 100 (Vec.length v);
+  check Alcotest.int "get 0" 0 (Vec.get v 0);
+  check Alcotest.int "get 99" 99 (Vec.get v 99);
+  Alcotest.check_raises "out of bounds" (Invalid_argument "Vec.get") (fun () ->
+      ignore (Vec.get v 100))
+
+let test_vec_clear_reuse () =
+  let v = Vec.create ~dummy:0 () in
+  Vec.push v 1;
+  Vec.push v 2;
+  Vec.clear v;
+  check Alcotest.bool "empty" true (Vec.is_empty v);
+  Vec.push v 9;
+  check Alcotest.int "reused" 9 (Vec.get v 0);
+  check Alcotest.int "length" 1 (Vec.length v)
+
+let test_vec_iteration () =
+  let v = Vec.create ~dummy:0 () in
+  List.iter (Vec.push v) [ 3; 1; 4; 1; 5 ];
+  check Alcotest.(list int) "to_list" [ 3; 1; 4; 1; 5 ] (Vec.to_list v);
+  check Alcotest.int "count" 2 (Vec.count (fun x -> x = 1) v);
+  check Alcotest.bool "exists" true (Vec.exists (fun x -> x = 4) v);
+  check Alcotest.bool "for_all" false (Vec.for_all (fun x -> x < 5) v);
+  check Alcotest.(option int) "find" (Some 4) (Vec.find_opt (fun x -> x > 3) v);
+  let sum = ref 0 in
+  Vec.iter (fun x -> sum := !sum + x) v;
+  check Alcotest.int "iter sum" 14 !sum;
+  let indexed = ref [] in
+  Vec.iteri (fun i x -> indexed := (i, x) :: !indexed) v;
+  check Alcotest.int "iteri count" 5 (List.length !indexed)
+
+let test_vec_set_and_deep_clear () =
+  let v = Vec.create ~dummy:0 () in
+  Vec.push v 1;
+  Vec.set v 0 42;
+  check Alcotest.int "set" 42 (Vec.get v 0);
+  Vec.deep_clear v;
+  check Alcotest.int "cleared" 0 (Vec.length v)
+
+(* -- Runtime hook ---------------------------------------------------------- *)
+
+let test_runtime_hook_install_reset () =
+  let hits = ref 0 in
+  Runtime_hook.install ~charge:(fun _ -> incr hits) ~relax:(fun () -> incr hits);
+  Runtime_hook.charge (Runtime_hook.Step 1);
+  Runtime_hook.relax ();
+  check Alcotest.int "hooks fired" 2 !hits;
+  Runtime_hook.reset ();
+  Runtime_hook.charge (Runtime_hook.Step 1);
+  check Alcotest.int "default is silent" 2 !hits
+
+let () =
+  Alcotest.run "partstm_util"
+    [
+      ( "bits",
+        [
+          Alcotest.test_case "is_power_of_two" `Quick test_is_power_of_two;
+          Alcotest.test_case "ceil_power_of_two" `Quick test_ceil_power_of_two;
+          Alcotest.test_case "log2" `Quick test_log2;
+          Alcotest.test_case "popcount" `Quick test_popcount;
+          prop_floor_log2_of_power;
+          prop_hash_to_slot_in_range;
+          prop_mix_int_deterministic;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "float unit interval" `Quick test_rng_float_unit_interval;
+          Alcotest.test_case "chance extremes" `Quick test_rng_chance_extremes;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "zipf range and skew" `Quick test_zipf_range_and_skew;
+          prop_rng_int_bounds;
+          prop_rng_range_bounds;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "summarize known" `Quick test_summarize_known;
+          Alcotest.test_case "summarize single" `Quick test_summarize_single;
+          Alcotest.test_case "summarize empty" `Quick test_summarize_empty;
+          Alcotest.test_case "percentile interpolation" `Quick test_percentile_interpolation;
+          Alcotest.test_case "ratio" `Quick test_ratio;
+          prop_online_matches_batch;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "basics" `Quick test_histogram_basics;
+          Alcotest.test_case "percentile monotone" `Quick test_histogram_percentile_monotone;
+          Alcotest.test_case "merge and reset" `Quick test_histogram_merge_reset;
+        ] );
+      ( "table_csv",
+        [
+          Alcotest.test_case "table render" `Quick test_table_render;
+          Alcotest.test_case "csv quoting" `Quick test_csv_quoting;
+        ] );
+      ( "vec",
+        [
+          Alcotest.test_case "push get" `Quick test_vec_push_get;
+          Alcotest.test_case "clear reuse" `Quick test_vec_clear_reuse;
+          Alcotest.test_case "iteration" `Quick test_vec_iteration;
+          Alcotest.test_case "set deep_clear" `Quick test_vec_set_and_deep_clear;
+        ] );
+      ( "runtime_hook",
+        [ Alcotest.test_case "install reset" `Quick test_runtime_hook_install_reset ] );
+    ]
