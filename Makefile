@@ -1,0 +1,45 @@
+# Convenience targets; `make check` is the tier-1 gate (build + tests,
+# plus a formatting pass when ocamlformat is on PATH).
+
+.PHONY: all build test check fmt fmt-check bench clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# What CI and reviewers run: everything must build (including benches and
+# the CLI) and the full test suite must pass.  The ocamlformat gate is
+# skipped with a notice when the tool is not installed, so `make check`
+# works in minimal containers.
+check:
+	dune build @all
+	dune runtest
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  dune build @fmt || { echo "make check: formatting drift (run 'make fmt')"; exit 1; }; \
+	else \
+	  echo "make check: ocamlformat not installed, skipping format gate"; \
+	fi
+
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  dune fmt; \
+	else \
+	  echo "make fmt: ocamlformat not installed"; exit 1; \
+	fi
+
+fmt-check:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  dune build @fmt; \
+	else \
+	  echo "make fmt-check: ocamlformat not installed"; exit 1; \
+	fi
+
+bench:
+	dune exec bench/main.exe -- --quick
+
+clean:
+	dune clean

@@ -2,9 +2,11 @@
    converges to.
 
    Runs the mixed application and the contended linked list under the tuner
-   and prints the full decision log plus the final per-partition modes.
-   Expected convergence: mixed-stats to whole-region granularity,
-   mixed-tree refined invisible, the hot list towards visible reads. *)
+   with telemetry attached, and prints the per-period abort-rate trace, the
+   full decision log (virtual-time stamped) and the final per-partition
+   modes with their mode-switch counts.  Expected convergence: mixed-stats
+   to whole-region granularity, mixed-tree refined invisible, the hot list
+   towards visible reads. *)
 
 open Partstm_stm
 open Partstm_core
@@ -16,16 +18,22 @@ let trace_of cfg name setup worker =
   let state = setup system ~strategy:Strategy.tuned in
   Registry.reset_stats (System.registry system);
   let tuner = System.tuner system in
+  let telemetry = Telemetry.create (System.registry system) in
   ignore
-    (Driver.run ~tuner
+    (Driver.run ~tuner ~telemetry
        ~mode:(Driver.default_sim ~cycles:(2 * Bench_config.sim_cycles cfg) ())
        ~workers:16 (worker state));
-  Printf.printf "%s: %d tuner decisions\n" name (Tuner.switches tuner);
-  List.iter (fun ev -> Format.printf "  %a@." Tuner.pp_event ev) (Tuner.trace tuner);
+  Printf.printf "%s: %d tuner decisions over %d sampling periods\n" name (Tuner.switches tuner)
+    (Telemetry.periods telemetry);
+  List.iter
+    (fun d -> Format.printf "  %a@." Telemetry.pp_decision d)
+    (Telemetry.decisions telemetry);
+  let abort_figure = Telemetry.to_figure ~metric:"abort_rate" telemetry in
+  print_string (Figure.ascii_plot abort_figure);
   let table =
     Partstm_util.Table.create
       ~title:(name ^ ": final per-partition configuration")
-      ~header:[ "partition"; "tvars"; "final mode" ]
+      ~header:[ "partition"; "tvars"; "switches"; "final mode" ]
   in
   List.iter
     (fun row ->
@@ -33,10 +41,16 @@ let trace_of cfg name setup worker =
         [
           row.Registry.row_name;
           string_of_int row.Registry.row_tvars;
+          string_of_int row.Registry.row_stats.Region_stats.s_mode_switches;
           Fmt.str "%a" Mode.pp row.Registry.row_mode;
         ])
     (Registry.report (System.registry system));
   Partstm_util.Table.print table;
+  (match cfg.Bench_config.csv_dir with
+  | Some dir ->
+      let csv, json = Telemetry.save ~dir ~basename:("rt3-" ^ name ^ "-telemetry") telemetry in
+      Printf.printf "(telemetry: %s, %s)\n" csv json
+  | None -> ());
   print_newline ()
 
 let run (cfg : Bench_config.t) =

@@ -3,12 +3,15 @@
    Subcommands:
      dsa                     print the compile-time partition inventory
      run <workload> ...      run one workload and print throughput + stats
+     stats <workload> ...    run with telemetry and print per-partition summaries
+     trace <workload> ...    run with telemetry and print the per-period trace
      list                    list workloads and strategies
 
    Examples:
      dune exec bin/partstm_cli.exe -- dsa
      dune exec bin/partstm_cli.exe -- run mixed --workers 8 --strategy tuned
-     dune exec bin/partstm_cli.exe -- run intset-ll --backend domains --seconds 1 *)
+     dune exec bin/partstm_cli.exe -- stats intset-ll --backend domains --seconds 1
+     dune exec bin/partstm_cli.exe -- trace phased --telemetry-out results *)
 
 open Partstm_stm
 open Partstm_core
@@ -109,6 +112,110 @@ let strategies =
     ("tuned", Strategy.tuned);
   ]
 
+(* -- Shared run machinery ----------------------------------------------------- *)
+
+type run_spec = {
+  workload_name : string;
+  strategy_name : string;
+  workers : int;
+  backend : string;
+  seconds : float;
+  cycles : int;
+  seed : int;
+  telemetry_out : string option;
+}
+
+type run_outcome = {
+  ro_result : Driver.result;
+  ro_system : System.t;
+  ro_tuner : Tuner.t option;
+  ro_telemetry : Telemetry.t option;
+  ro_verified : bool;
+  ro_strategy : Strategy.t;
+  ro_mode : Driver.mode;
+}
+
+(* Run one workload per the spec; [with_telemetry] forces a telemetry
+   instance even without --telemetry-out (the stats/trace subcommands). *)
+let execute spec ~with_telemetry =
+  match
+    ( List.find_opt (fun (Workload { wl_name; _ }) -> wl_name = spec.workload_name) workloads,
+      List.assoc_opt spec.strategy_name strategies )
+  with
+  | None, _ ->
+      Printf.eprintf "unknown workload %S (try `partstm list`)\n" spec.workload_name;
+      Error 2
+  | _, None ->
+      Printf.eprintf "unknown strategy %S (try `partstm list`)\n" spec.strategy_name;
+      Error 2
+  | Some (Workload { wl_setup; wl_worker; wl_verify; _ }), Some strategy -> (
+      match spec.backend with
+      | ("sim" | "domains") as backend ->
+          let mode =
+            if backend = "sim" then Driver.default_sim ~cycles:spec.cycles ()
+            else Driver.Domains { seconds = spec.seconds }
+          in
+          let system = System.create ~max_workers:(spec.workers + 8) () in
+          let state = wl_setup system ~strategy in
+          Registry.reset_stats (System.registry system);
+          let tuner =
+            if Strategy.uses_tuner strategy then Some (System.tuner system) else None
+          in
+          let telemetry =
+            if with_telemetry || Option.is_some spec.telemetry_out then
+              Some (Telemetry.create (System.registry system))
+            else None
+          in
+          let result =
+            Driver.run ?tuner ?telemetry ~seed:spec.seed ~mode ~workers:spec.workers
+              (wl_worker state)
+          in
+          Option.iter
+            (fun dir ->
+              match telemetry with
+              | Some telemetry ->
+                  let csv, json =
+                    Telemetry.save ~dir ~basename:(spec.workload_name ^ "-telemetry") telemetry
+                  in
+                  Printf.printf "telemetry  : %s, %s\n" csv json
+              | None -> ())
+            spec.telemetry_out;
+          Ok
+            {
+              ro_result = result;
+              ro_system = system;
+              ro_tuner = tuner;
+              ro_telemetry = telemetry;
+              ro_verified = wl_verify state;
+              ro_strategy = strategy;
+              ro_mode = mode;
+            }
+      | other ->
+          Printf.eprintf "unknown backend %S (sim|domains)\n" other;
+          Error 2)
+
+let print_run_header spec outcome =
+  Printf.printf "workload   : %s\n" spec.workload_name;
+  Printf.printf "strategy   : %s\n" (Strategy.label outcome.ro_strategy);
+  Printf.printf "backend    : %s\n" (Driver.mode_to_string outcome.ro_mode);
+  Printf.printf "workers    : %d\n" spec.workers;
+  Printf.printf "operations : %d\n" outcome.ro_result.Driver.total_ops;
+  Printf.printf "throughput : %.1f %s\n" outcome.ro_result.Driver.throughput
+    (match spec.backend with "sim" -> "txn/Mcycle" | _ -> "txn/s");
+  Printf.printf "verified   : %b\n\n" outcome.ro_verified
+
+let print_decisions outcome =
+  match (outcome.ro_telemetry, outcome.ro_tuner) with
+  | Some telemetry, Some _ when Telemetry.decisions telemetry <> [] ->
+      print_endline "\ntuner decisions:";
+      List.iter
+        (fun d -> Format.printf "  %a@." Telemetry.pp_decision d)
+        (Telemetry.decisions telemetry)
+  | _, Some tuner when Tuner.switches tuner > 0 ->
+      print_endline "\ntuner decisions:";
+      List.iter (fun ev -> Format.printf "  %a@." Tuner.pp_event ev) (Tuner.trace tuner)
+  | _ -> ()
+
 (* -- Subcommand implementations ---------------------------------------------- *)
 
 let cmd_dsa () =
@@ -129,42 +236,14 @@ let cmd_list () =
   List.iter (fun (name, s) -> Printf.printf "  %-10s %s\n" name (Strategy.label s)) strategies;
   0
 
-let cmd_run workload_name strategy_name workers backend seconds cycles seed =
-  match
-    ( List.find_opt (fun (Workload { wl_name; _ }) -> wl_name = workload_name) workloads,
-      List.assoc_opt strategy_name strategies )
-  with
-  | None, _ ->
-      Printf.eprintf "unknown workload %S (try `partstm list`)\n" workload_name;
-      2
-  | _, None ->
-      Printf.eprintf "unknown strategy %S (try `partstm list`)\n" strategy_name;
-      2
-  | Some (Workload { wl_setup; wl_worker; wl_verify; _ }), Some strategy ->
-      let system = System.create ~max_workers:(workers + 8) () in
-      let state = wl_setup system ~strategy in
-      Registry.reset_stats (System.registry system);
-      let tuner = if Strategy.uses_tuner strategy then Some (System.tuner system) else None in
-      let mode =
-        match backend with
-        | "sim" -> Driver.default_sim ~cycles ()
-        | "domains" -> Driver.Domains { seconds }
-        | other ->
-            Printf.eprintf "unknown backend %S (sim|domains)\n" other;
-            exit 2
-      in
-      let result = Driver.run ?tuner ~seed ~mode ~workers (wl_worker state) in
-      Printf.printf "workload   : %s\n" workload_name;
-      Printf.printf "strategy   : %s\n" (Strategy.label strategy);
-      Printf.printf "backend    : %s\n" (Driver.mode_to_string mode);
-      Printf.printf "workers    : %d\n" workers;
-      Printf.printf "operations : %d\n" result.Driver.total_ops;
-      Printf.printf "throughput : %.1f %s\n" result.Driver.throughput
-        (match backend with "sim" -> "txn/Mcycle" | _ -> "txn/s");
-      Printf.printf "verified   : %b\n\n" (wl_verify state);
+let cmd_run spec =
+  match execute spec ~with_telemetry:false with
+  | Error code -> code
+  | Ok outcome ->
+      print_run_header spec outcome;
       let table =
         Partstm_util.Table.create ~title:"per-partition statistics"
-          ~header:[ "partition"; "tvars"; "access%"; "update-ratio"; "abort-rate"; "mode" ]
+          ~header:[ "partition"; "tvars"; "access%"; "update-ratio"; "abort-rate"; "switches"; "mode" ]
       in
       List.iter
         (fun row ->
@@ -175,16 +254,35 @@ let cmd_run workload_name strategy_name workers backend seconds cycles seed =
               Printf.sprintf "%.1f" (100.0 *. row.Registry.row_access_share);
               Printf.sprintf "%.3f" (Region_stats.update_txn_ratio row.Registry.row_stats);
               Printf.sprintf "%.3f" (Region_stats.abort_rate row.Registry.row_stats);
+              string_of_int row.Registry.row_stats.Region_stats.s_mode_switches;
               Fmt.str "%a" Mode.pp row.Registry.row_mode;
             ])
-        (Registry.report (System.registry system));
+        (Registry.report (System.registry outcome.ro_system));
       Partstm_util.Table.print table;
-      (match tuner with
-      | Some tuner when Tuner.switches tuner > 0 ->
-          print_endline "\ntuner decisions:";
-          List.iter (fun ev -> Format.printf "  %a@." Tuner.pp_event ev) (Tuner.trace tuner)
-      | Some _ | None -> ());
-      if wl_verify state then 0 else 1
+      print_decisions outcome;
+      if outcome.ro_verified then 0 else 1
+
+let cmd_stats spec =
+  match execute spec ~with_telemetry:true with
+  | Error code -> code
+  | Ok outcome ->
+      print_run_header spec outcome;
+      let telemetry = Option.get outcome.ro_telemetry in
+      Partstm_util.Table.print (Telemetry.summary_table telemetry);
+      print_newline ();
+      Figure.print (Telemetry.to_figure ~metric:"commits" telemetry);
+      print_decisions outcome;
+      if outcome.ro_verified then 0 else 1
+
+let cmd_trace spec =
+  match execute spec ~with_telemetry:true with
+  | Error code -> code
+  | Ok outcome ->
+      print_run_header spec outcome;
+      let telemetry = Option.get outcome.ro_telemetry in
+      Partstm_util.Table.print (Telemetry.trace_table telemetry);
+      print_decisions outcome;
+      if outcome.ro_verified then 0 else 1
 
 (* -- Cmdliner wiring ----------------------------------------------------------- *)
 
@@ -195,7 +293,7 @@ let dsa_cmd =
 let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List workloads and strategies") Term.(const cmd_list $ const ())
 
-let run_cmd =
+let spec_term =
   let workload =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc:"Workload name")
   in
@@ -213,12 +311,43 @@ let run_cmd =
     Arg.(value & opt int 3_000_000 & info [ "cycles" ] ~docv:"C" ~doc:"Virtual duration (sim backend)")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload RNG seed") in
+  let telemetry_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "telemetry-out" ] ~docv:"DIR"
+          ~doc:"Write the telemetry time series as CSV and JSON into $(docv)")
+  in
+  let make workload_name strategy_name workers backend seconds cycles seed telemetry_out =
+    { workload_name; strategy_name; workers; backend; seconds; cycles; seed; telemetry_out }
+  in
+  Term.(
+    const make $ workload $ strategy $ workers $ backend $ seconds $ cycles $ seed
+    $ telemetry_out)
+
+let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run one workload and print throughput and per-partition statistics")
-    Term.(const cmd_run $ workload $ strategy $ workers $ backend $ seconds $ cycles $ seed)
+    Term.(const cmd_run $ spec_term)
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run one workload under telemetry and print per-partition totals, mode switches and \
+          per-period sparklines")
+    Term.(const cmd_stats $ spec_term)
+
+let trace_cmd =
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run one workload under telemetry and print the per-partition per-period time series \
+          and the tuner decision log")
+    Term.(const cmd_trace $ spec_term)
 
 let main_cmd =
   let doc = "Partitioned software transactional memory playground" in
-  Cmd.group (Cmd.info "partstm" ~doc) [ dsa_cmd; list_cmd; run_cmd ]
+  Cmd.group (Cmd.info "partstm" ~doc) [ dsa_cmd; list_cmd; run_cmd; stats_cmd; trace_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -27,4 +27,4 @@ let modify = Txn.modify
 let retry = Txn.retry
 let tvar = Partition.tvar
 
-let tuner ?config ?cooldown t = Tuner.create ?config ?cooldown t.registry
+let tuner ?config ?cooldown ?max_trace t = Tuner.create ?config ?cooldown ?max_trace t.registry

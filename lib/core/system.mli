@@ -44,4 +44,5 @@ val retry : Txn.t -> 'a
 
 val tvar : Partition.t -> 'a -> 'a Tvar.t
 
-val tuner : ?config:Tuning_policy.config -> ?cooldown:int -> t -> Tuner.t
+val tuner :
+  ?config:Tuning_policy.config -> ?cooldown:int -> ?max_trace:int -> t -> Tuner.t

@@ -27,14 +27,44 @@ type t = {
   registry : Registry.t;
   config : Tuning_policy.config;
   cooldown_periods : int;
+  max_trace : int;
   mutable entries : entry list;
   mutable ticks : int;
-  mutable trace : event list;  (* newest first *)
+  mutable trace : event list;  (* newest first, capped at [max_trace] *)
+  mutable trace_len : int;
+  mutable dropped : int;  (* events evicted from [trace] by the cap *)
   mutable switches : int;
+  mutable listeners : (event -> unit) list;
 }
 
-let create ?(config = Tuning_policy.default_config) ?(cooldown = 2) registry =
-  { registry; config; cooldown_periods = cooldown; entries = []; ticks = 0; trace = []; switches = 0 }
+let create ?(config = Tuning_policy.default_config) ?(cooldown = 2) ?(max_trace = 1024) registry =
+  if max_trace < 1 then invalid_arg "Tuner.create: max_trace";
+  {
+    registry;
+    config;
+    cooldown_periods = cooldown;
+    max_trace;
+    entries = [];
+    ticks = 0;
+    trace = [];
+    trace_len = 0;
+    dropped = 0;
+    switches = 0;
+    listeners = [];
+  }
+
+let on_event t listener = t.listeners <- listener :: t.listeners
+
+let record_event t event =
+  if t.trace_len >= t.max_trace then begin
+    (* Drop the oldest event (tail of the newest-first list). *)
+    t.trace <- List.filteri (fun i _ -> i < t.max_trace - 1) t.trace;
+    t.dropped <- t.dropped + (t.trace_len - (t.max_trace - 1));
+    t.trace_len <- t.max_trace - 1
+  end;
+  t.trace <- event :: t.trace;
+  t.trace_len <- t.trace_len + 1;
+  List.iter (fun listener -> listener event) t.listeners
 
 let find_entry t partition =
   List.find_opt (fun e -> e.e_partition == partition) t.entries
@@ -73,9 +103,10 @@ let step t =
         | Tuning_policy.Keep -> ()
         | Tuning_policy.Switch new_mode ->
             Partition.set_mode partition new_mode;
+            Region_stats.record_mode_switch (Partition.region partition).Region.stats;
             entry.e_cooldown <- t.cooldown_periods;
             t.switches <- t.switches + 1;
-            t.trace <-
+            record_event t
               {
                 ev_tick = t.ticks;
                 ev_partition = Partition.name partition;
@@ -84,12 +115,12 @@ let step t =
                 ev_abort_rate = Region_stats.abort_rate delta;
                 ev_update_ratio = Region_stats.update_txn_ratio delta;
               }
-              :: t.trace
       end)
     t.entries
 
 let ticks t = t.ticks
 let switches t = t.switches
+let dropped_events t = t.dropped
 let trace t = List.rev t.trace
 
 let pp_event ppf ev =

@@ -15,18 +15,34 @@ type event = {
   ev_update_ratio : float;
 }
 
-val create : ?config:Tuning_policy.config -> ?cooldown:int -> Registry.t -> t
+val create :
+  ?config:Tuning_policy.config -> ?cooldown:int -> ?max_trace:int -> Registry.t -> t
 (** [cooldown] is the number of periods a freshly switched partition is left
-    alone. *)
+    alone. [max_trace] (default 1024) bounds the in-memory decision log:
+    once full, the oldest events are evicted ({!switches} keeps the exact
+    total, {!dropped_events} counts evictions). *)
+
+val on_event : t -> (event -> unit) -> unit
+(** Subscribe to decision events: the listener is called (from the tuner's
+    thread/fiber) on each applied switch, after the region has been
+    reconfigured. This is how the telemetry layer observes decisions without
+    polling the trace. *)
 
 val step : t -> unit
 (** Sample all partitions, decide, and apply switches (quiescing each
-    affected region). Single-threaded. *)
+    affected region). Each applied switch also bumps the owning partition's
+    [mode_switches] statistic. Single-threaded. *)
 
 val ticks : t -> int
+
 val switches : t -> int
+(** Total switches applied (never truncated, unlike {!trace}). *)
+
+val dropped_events : t -> int
+(** Events evicted from the bounded trace so far. *)
 
 val trace : t -> event list
-(** Chronological switch log (the data behind Table R-T3). *)
+(** Chronological switch log (the data behind Table R-T3); holds the most
+    recent [max_trace] events. *)
 
 val pp_event : Format.formatter -> event -> unit

@@ -44,9 +44,17 @@ let mode_to_string = function
   | Simulated { cycles; _ } -> Printf.sprintf "sim(%dc)" cycles
 
 (* Tuning is scheduled as [tuner_steps] evenly spaced samples across the
-   run, on a dedicated fiber (Simulated) or domain (Domains). *)
-let run ?tuner ?(tuner_steps = 40) ?(seed = 42) ~mode ~workers worker =
+   run, on a dedicated fiber (Simulated) or domain (Domains); telemetry
+   sampling runs the same way at [telemetry_steps] periods.  Attaching a
+   telemetry instance adds one observer fiber/domain, which (like any
+   profiler) perturbs the schedule slightly — compare runs with like
+   instrumentation. *)
+let run ?tuner ?(tuner_steps = 40) ?telemetry ?(telemetry_steps = 40) ?(seed = 42) ~mode
+    ~workers worker =
   if workers <= 0 then invalid_arg "Driver.run: workers";
+  (match (telemetry, tuner) with
+  | Some telemetry, Some tuner -> Telemetry.attach_tuner telemetry tuner
+  | _ -> ());
   let master = Rng.make seed in
   let ops = Array.make workers 0 in
   match mode with
@@ -69,23 +77,54 @@ let run ?tuner ?(tuner_steps = 40) ?(seed = 42) ~mode ~workers worker =
             let period = max 1 (cycles / tuner_steps) in
             while Sim.now () < cycles do
               Sim.yield period;
-              Tuner.step tuner
+              (* The last yield may overshoot the deadline; don't run a
+                 step outside the measured window. *)
+              if Sim.now () < cycles then Tuner.step tuner
             done
       in
-      let bodies = List.init workers (fun id -> worker_body id) @ [ tuner_body ] in
+      let telemetry_body _fiber =
+        match telemetry with
+        | None -> ()
+        | Some telemetry ->
+            let period = max 1 (cycles / telemetry_steps) in
+            while Sim.now () < cycles do
+              Sim.yield period;
+              if Sim.now () < cycles then
+                Telemetry.sample telemetry ~time:(float_of_int (Sim.now ()))
+            done
+      in
+      Option.iter
+        (fun telemetry ->
+          Telemetry.set_clock telemetry (fun () -> float_of_int (Sim.now ())))
+        telemetry;
+      (* The telemetry fiber is only added when requested so that runs
+         without telemetry keep their exact historical schedule. *)
+      let bodies =
+        List.init workers (fun id -> worker_body id)
+        @ [ tuner_body ]
+        @ (match telemetry with Some _ -> [ telemetry_body ] | None -> [])
+      in
       Sim_env.install ~model ();
       let outcome =
         Fun.protect ~finally:Sim_env.uninstall (fun () ->
             Sim.run ~jitter ~seed:sim_seed bodies)
       in
-      ignore outcome.Sim.makespan;
+      (* Workers stop at the first [should_stop] at or past the deadline, so
+         the run really ends at the makespan, not at the nominal budget;
+         using [cycles] here would overstate throughput. *)
+      let elapsed_cycles = max cycles outcome.Sim.makespan in
+      Option.iter
+        (fun telemetry ->
+          Telemetry.clear_clock telemetry;
+          Telemetry.finish telemetry ~time:(float_of_int elapsed_cycles))
+        telemetry;
       let total_ops = Array.fold_left ( + ) 0 ops in
       {
         workers;
-        elapsed = float_of_int cycles;
+        elapsed = float_of_int elapsed_cycles;
         total_ops;
         per_worker_ops = Array.copy ops;
-        throughput = float_of_int total_ops /. (float_of_int cycles /. 1_000_000.);
+        throughput = float_of_int total_ops /. (float_of_int elapsed_cycles /. 1_000_000.);
       }
   | Domains { seconds } ->
       let start = Unix.gettimeofday () in
@@ -114,24 +153,53 @@ let run ?tuner ?(tuner_steps = 40) ?(seed = 42) ~mode ~workers worker =
           progress = (fun () -> min 1.0 ((Unix.gettimeofday () -. start) /. seconds));
         }
       in
+      (* Sleep at most to the deadline and never act past it: an unclamped
+         sleep could overrun the measured window and run one step after the
+         workers have stopped (holding the join meanwhile). *)
+      let periodic interval action =
+        let rec loop () =
+          let now = Unix.gettimeofday () in
+          if now < deadline then begin
+            Unix.sleepf (Float.min interval (deadline -. now));
+            if Unix.gettimeofday () < deadline then action ();
+            loop ()
+          end
+        in
+        loop ()
+      in
       let tuner_thread () =
         match tuner with
         | None -> ()
         | Some tuner ->
-            let interval = seconds /. float_of_int tuner_steps in
-            while Unix.gettimeofday () < deadline do
-              Unix.sleepf interval;
-              Tuner.step tuner
-            done
+            periodic (seconds /. float_of_int tuner_steps) (fun () -> Tuner.step tuner)
       in
+      let telemetry_thread () =
+        match telemetry with
+        | None -> ()
+        | Some telemetry ->
+            periodic
+              (seconds /. float_of_int telemetry_steps)
+              (fun () -> Telemetry.sample telemetry ~time:(Unix.gettimeofday () -. start))
+      in
+      Option.iter
+        (fun telemetry ->
+          Telemetry.set_clock telemetry (fun () -> Unix.gettimeofday () -. start))
+        telemetry;
       let domains =
         List.init workers (fun id ->
             Domain.spawn (fun () -> ops.(id) <- worker (make_ctx id)))
       in
       let tuner_domain = Domain.spawn tuner_thread in
+      let telemetry_domain = Domain.spawn telemetry_thread in
       List.iter Domain.join domains;
       Domain.join tuner_domain;
+      Domain.join telemetry_domain;
       let elapsed = Unix.gettimeofday () -. start in
+      Option.iter
+        (fun telemetry ->
+          Telemetry.clear_clock telemetry;
+          Telemetry.finish telemetry ~time:elapsed)
+        telemetry;
       let total_ops = Array.fold_left ( + ) 0 ops in
       {
         workers;

@@ -33,6 +33,8 @@ type result = {
 val run :
   ?tuner:Tuner.t ->
   ?tuner_steps:int ->
+  ?telemetry:Telemetry.t ->
+  ?telemetry_steps:int ->
   ?seed:int ->
   mode:mode ->
   workers:int ->
@@ -40,4 +42,9 @@ val run :
   result
 (** Run one worker function per worker until the duration elapses; the
     worker returns its operation count. When [tuner] is given, its [step]
-    runs [tuner_steps] times, evenly spaced, on a dedicated fiber/domain. *)
+    runs [tuner_steps] times, evenly spaced, on a dedicated fiber/domain
+    (steps never run past the deadline). When [telemetry] is given, it is
+    sampled [telemetry_steps] times the same way, plus a final sample after
+    the run (and it is subscribed to [tuner]'s decision events). On the
+    Simulated backend, [elapsed]/[throughput] use the actual makespan, not
+    the nominal cycle budget. *)

@@ -68,6 +68,33 @@ let save_csv ?(dir = "results") t =
   Csv.write_file path (to_csv_rows t);
   path
 
+(* One-line ASCII sparkline: each value scaled against the max into a ramp
+   character; wider inputs are bucket-averaged down to [width]. *)
+let sparkline ?(width = 40) values =
+  let ramp = " .:-=+*#@" in
+  let levels = String.length ramp in
+  let values = Array.of_list values in
+  let n = Array.length values in
+  if n = 0 then ""
+  else begin
+    let buckets = min width n in
+    let condensed =
+      Array.init buckets (fun b ->
+          let lo = b * n / buckets and hi = max (((b + 1) * n / buckets) - 1) (b * n / buckets) in
+          let sum = ref 0.0 in
+          for i = lo to hi do
+            sum := !sum +. values.(i)
+          done;
+          !sum /. float_of_int (hi - lo + 1))
+    in
+    let vmax = Array.fold_left Float.max 0.0 condensed in
+    if vmax <= 0.0 then String.make buckets ramp.[0]
+    else
+      String.init buckets (fun b ->
+          let level = int_of_float (condensed.(b) /. vmax *. float_of_int (levels - 1)) in
+          ramp.[max 0 (min (levels - 1) level)])
+  end
+
 (* Coarse ASCII plot: one mark per series per x position; y is scaled into
    [height] rows.  Enough to eyeball the shapes the paper's figures show. *)
 let ascii_plot ?(height = 12) t =

@@ -14,5 +14,9 @@ val to_csv_rows : t -> string list list
 val save_csv : ?dir:string -> t -> string
 (** Writes [dir]/[id].csv and returns the path. *)
 
+val sparkline : ?width:int -> float list -> string
+(** One-line ASCII sparkline of the values scaled against their max;
+    longer inputs are bucket-averaged down to [width] characters. *)
+
 val ascii_plot : ?height:int -> t -> string
 val print : ?plot:bool -> t -> unit

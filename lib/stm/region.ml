@@ -55,8 +55,6 @@ let reconfigure t (new_mode : Mode.t) =
           Lock_table.create ~clock_now:(Engine.now t.engine)
             ~granularity_log2:new_mode.Mode.granularity_log2;
       t.visibility <- new_mode.Mode.visibility;
-      t.update <- new_mode.Mode.update;
-      (Region_stats.shard t.stats 0).Region_stats.mode_switches <-
-        (Region_stats.shard t.stats 0).Region_stats.mode_switches + 1)
+      t.update <- new_mode.Mode.update)
 
 let pp ppf t = Fmt.pf ppf "region %d (%s) %a" t.id t.name Mode.pp (mode t)

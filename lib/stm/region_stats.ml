@@ -16,7 +16,7 @@ type shard = {
   mutable reader_conflicts : int;  (* writer gave up waiting for visible readers *)
   mutable validation_fails : int;  (* read-set validation failed *)
   mutable extensions : int;  (* successful timestamp extensions *)
-  mutable mode_switches : int;  (* incremented by the tuner *)
+  mutable mode_switches : int;  (* tuner-applied reconfigurations, see [record_mode_switch] *)
 }
 
 type t = { shards : shard array }
@@ -38,6 +38,10 @@ let make_shard () =
 let create ~max_workers = { shards = Array.init max_workers (fun _ -> make_shard ()) }
 
 let shard t worker_id = t.shards.(worker_id)
+
+(* The tuner is single-threaded and is the only writer of this field, so
+   parking it on shard 0 keeps the single-writer-per-field discipline. *)
+let record_mode_switch t = t.shards.(0).mode_switches <- t.shards.(0).mode_switches + 1
 
 let max_workers t = Array.length t.shards
 
@@ -114,6 +118,22 @@ let reset t =
       s.mode_switches <- 0)
     t.shards
 
+(* Canonical export order for the snapshot counters: telemetry CSV columns,
+   JSON keys and the round-trip tests all iterate this list. *)
+let fields =
+  [
+    ("commits", fun s -> s.s_commits);
+    ("ro_commits", fun s -> s.s_ro_commits);
+    ("aborts", fun s -> s.s_aborts);
+    ("reads", fun s -> s.s_reads);
+    ("writes", fun s -> s.s_writes);
+    ("lock_conflicts", fun s -> s.s_lock_conflicts);
+    ("reader_conflicts", fun s -> s.s_reader_conflicts);
+    ("validation_fails", fun s -> s.s_validation_fails);
+    ("extensions", fun s -> s.s_extensions);
+    ("mode_switches", fun s -> s.s_mode_switches);
+  ]
+
 (* Derived metrics used by the tuner and the reports. *)
 
 let attempts snap = snap.s_commits + snap.s_aborts
@@ -132,6 +152,7 @@ let write_ratio snap =
 
 let pp_snapshot ppf s =
   Fmt.pf ppf
-    "commits=%d (ro=%d) aborts=%d reads=%d writes=%d lock_cf=%d reader_cf=%d val_fail=%d ext=%d"
+    "commits=%d (ro=%d) aborts=%d reads=%d writes=%d lock_cf=%d reader_cf=%d val_fail=%d ext=%d \
+     switches=%d"
     s.s_commits s.s_ro_commits s.s_aborts s.s_reads s.s_writes s.s_lock_conflicts
-    s.s_reader_conflicts s.s_validation_fails s.s_extensions
+    s.s_reader_conflicts s.s_validation_fails s.s_extensions s.s_mode_switches

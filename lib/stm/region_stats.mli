@@ -20,6 +20,11 @@ val create : max_workers:int -> t
 val shard : t -> int -> shard
 val max_workers : t -> int
 
+val record_mode_switch : t -> unit
+(** Count one tuner-applied reconfiguration. Caller must be the
+    single-threaded tuner (the counter lives on shard 0, whose other fields
+    keep their own single writer). *)
+
 type snapshot = {
   s_commits : int;
   s_ro_commits : int;
@@ -37,6 +42,10 @@ val empty_snapshot : snapshot
 val snapshot : t -> snapshot
 val diff : current:snapshot -> previous:snapshot -> snapshot
 val reset : t -> unit
+
+val fields : (string * (snapshot -> int)) list
+(** Snapshot counters in canonical export order (telemetry CSV columns and
+    JSON keys). *)
 
 val attempts : snapshot -> int
 (** commits + aborts *)

@@ -1,0 +1,23 @@
+(** Minimal JSON tree, printer and parser (no external dependency); used by
+    the telemetry exports. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact one-line rendering. NaN floats become [null]. *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document (trailing garbage is an error). *)
+
+val member : string -> t -> t option
+val to_list : t -> t list option
+val to_float : t -> float option
+val to_int : t -> int option
+val to_str : t -> string option

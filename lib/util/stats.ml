@@ -27,7 +27,7 @@ let summarize samples =
   let n = Array.length samples in
   if n = 0 then invalid_arg "Stats.summarize";
   let sorted = Array.copy samples in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let sum = Array.fold_left ( +. ) 0.0 sorted in
   let mean = sum /. float_of_int n in
   let sq_diff = Array.fold_left (fun acc x -> acc +. ((x -. mean) *. (x -. mean))) 0.0 sorted in

@@ -255,6 +255,77 @@ let test_tuner_reacts_and_traces () =
       check Alcotest.bool "tick recorded" true (first.Tuner.ev_tick >= 1)
   | [] -> Alcotest.fail "empty trace")
 
+(* Force a deterministic switch by writing the policy-triggering counters
+   straight into a stats shard (update-heavy + wasted validation work =>
+   switch to visible reads), then check the tuner's bookkeeping: the
+   partition's [mode_switches] statistic, the switches counter, the trace
+   and the structured event listeners must all agree. *)
+let test_tuner_forced_switch_accounting () =
+  let system = fresh_system () in
+  let p = System.partition system "forced" ~mode:(invisible 10) in
+  let tuner = System.tuner system ~cooldown:0 in
+  let events = ref [] in
+  Tuner.on_event tuner (fun ev -> events := ev :: !events);
+  Tuner.step tuner;
+  (* baseline: entry created, no traffic *)
+  check Alcotest.int "no switch yet" 0 (Tuner.switches tuner);
+  check Alcotest.int "stat still zero" 0
+    (Partition.snapshot p).Region_stats.s_mode_switches;
+  let shard = Region_stats.shard (Partition.region p).Region.stats 0 in
+  shard.Region_stats.commits <- 1000;
+  shard.Region_stats.ro_commits <- 300;
+  shard.Region_stats.aborts <- 400;
+  shard.Region_stats.validation_fails <- 250;
+  Tuner.step tuner;
+  check Alcotest.int "one switch" 1 (Tuner.switches tuner);
+  check Alcotest.int "mode_switches stat bumped" 1
+    (Partition.snapshot p).Region_stats.s_mode_switches;
+  check Alcotest.bool "now visible" true
+    (Mode.equal (visible 10) (Partition.mode p));
+  (match (Tuner.trace tuner, !events) with
+  | [ traced ], [ heard ] ->
+      check Alcotest.string "trace partition" "forced" traced.Tuner.ev_partition;
+      check Alcotest.int "trace tick" 2 traced.Tuner.ev_tick;
+      check Alcotest.bool "listener saw the same event" true (traced = heard)
+  | trace, events ->
+      Alcotest.failf "expected 1 trace event and 1 listener event, got %d and %d"
+        (List.length trace) (List.length events));
+  (* A further quiet step must not bump anything again. *)
+  Tuner.step tuner;
+  check Alcotest.int "still one switch" 1
+    (Partition.snapshot p).Region_stats.s_mode_switches
+
+let test_tuner_trace_capped () =
+  let system = fresh_system () in
+  let p = System.partition system "capped" ~mode:(invisible 10) in
+  let tuner = System.tuner system ~cooldown:0 ~max_trace:3 in
+  let shard = Region_stats.shard (Partition.region p).Region.stats 0 in
+  Tuner.step tuner;
+  (* Alternate the visible-switch and invisible-switch conditions so every
+     step applies one switch. *)
+  for i = 1 to 5 do
+    if i mod 2 = 1 then begin
+      shard.Region_stats.commits <- shard.Region_stats.commits + 1000;
+      shard.Region_stats.ro_commits <- shard.Region_stats.ro_commits + 300;
+      shard.Region_stats.aborts <- shard.Region_stats.aborts + 400;
+      shard.Region_stats.validation_fails <- shard.Region_stats.validation_fails + 250
+    end
+    else begin
+      shard.Region_stats.commits <- shard.Region_stats.commits + 1000;
+      shard.Region_stats.ro_commits <- shard.Region_stats.ro_commits + 980;
+      shard.Region_stats.aborts <- shard.Region_stats.aborts + 100
+    end;
+    Tuner.step tuner
+  done;
+  check Alcotest.int "five switches" 5 (Tuner.switches tuner);
+  check Alcotest.int "five stat bumps" 5 (Partition.snapshot p).Region_stats.s_mode_switches;
+  check Alcotest.int "trace capped" 3 (List.length (Tuner.trace tuner));
+  check Alcotest.int "dropped counted" 2 (Tuner.dropped_events tuner);
+  (* The retained events are the newest ones. *)
+  match List.rev (Tuner.trace tuner) with
+  | newest :: _ -> check Alcotest.int "newest kept" 6 newest.Tuner.ev_tick
+  | [] -> Alcotest.fail "empty trace"
+
 let test_tuner_respects_tunable_flag () =
   let system = fresh_system () in
   let p = System.partition system "frozen" ~mode:(invisible 10) ~tunable:false in
@@ -342,6 +413,8 @@ let () =
       ( "tuner",
         [
           Alcotest.test_case "reacts and traces" `Slow test_tuner_reacts_and_traces;
+          Alcotest.test_case "forced switch accounting" `Quick test_tuner_forced_switch_accounting;
+          Alcotest.test_case "trace capped" `Quick test_tuner_trace_capped;
           Alcotest.test_case "respects tunable flag" `Quick test_tuner_respects_tunable_flag;
           Alcotest.test_case "cooldown" `Quick test_tuner_cooldown;
           Alcotest.test_case "picks up new partitions" `Quick test_tuner_picks_up_new_partitions;

@@ -201,6 +201,62 @@ let test_region_stats_ratios () =
   check (Alcotest.float 1e-9) "idle abort rate" 0.0
     (Region_stats.abort_rate Region_stats.empty_snapshot)
 
+(* Every counter field must survive snapshot -> diff -> re-add; exercised
+   through the canonical [fields] list so a newly added counter cannot be
+   forgotten in [snapshot]/[diff] without failing here. *)
+let test_region_stats_diff_roundtrip () =
+  let stats = Region_stats.create ~max_workers:3 in
+  let fill shard base =
+    shard.Region_stats.commits <- base;
+    shard.Region_stats.ro_commits <- base + 1;
+    shard.Region_stats.aborts <- base + 2;
+    shard.Region_stats.reads <- base + 3;
+    shard.Region_stats.writes <- base + 4;
+    shard.Region_stats.lock_conflicts <- base + 5;
+    shard.Region_stats.reader_conflicts <- base + 6;
+    shard.Region_stats.validation_fails <- base + 7;
+    shard.Region_stats.extensions <- base + 8;
+    shard.Region_stats.mode_switches <- base + 9
+  in
+  fill (Region_stats.shard stats 0) 10;
+  fill (Region_stats.shard stats 2) 100;
+  let previous = Region_stats.snapshot stats in
+  (* Each field must see the sum of both written shards. *)
+  List.iteri
+    (fun i (name, get) -> check Alcotest.int name ((10 + i) + (100 + i)) (get previous))
+    Region_stats.fields;
+  fill (Region_stats.shard stats 1) 1000;
+  let current = Region_stats.snapshot stats in
+  let delta = Region_stats.diff ~current ~previous in
+  List.iteri
+    (fun i (name, get) ->
+      check Alcotest.int ("delta " ^ name) (1000 + i) (get delta);
+      check Alcotest.int ("re-add " ^ name) (get current) (get previous + get delta))
+    Region_stats.fields;
+  check Alcotest.int "diff with self is zero" 0
+    (List.fold_left
+       (fun acc (_, get) -> acc + abs (get (Region_stats.diff ~current ~previous:current)))
+       0 Region_stats.fields)
+
+let test_region_stats_record_mode_switch () =
+  let stats = Region_stats.create ~max_workers:4 in
+  check Alcotest.int "starts at zero" 0 (Region_stats.snapshot stats).Region_stats.s_mode_switches;
+  Region_stats.record_mode_switch stats;
+  Region_stats.record_mode_switch stats;
+  check Alcotest.int "counted" 2 (Region_stats.snapshot stats).Region_stats.s_mode_switches;
+  Region_stats.reset stats;
+  check Alcotest.int "reset clears" 0
+    (Region_stats.snapshot stats).Region_stats.s_mode_switches
+
+(* Plain [Region.reconfigure] is not a tuner switch: only the tuner
+   accounts switches (see Tuner tests in test_core). *)
+let test_region_reconfigure_not_counted () =
+  let engine = fresh_engine () in
+  let region = Region.create engine ~name:"r" () in
+  Region.reconfigure region (visible_mode 4);
+  check Alcotest.int "no switch recorded" 0
+    (Region_stats.snapshot region.Region.stats).Region_stats.s_mode_switches
+
 (* -- Contention managers --------------------------------------------------- *)
 
 let test_cm_delay_runs () =
@@ -627,6 +683,9 @@ let () =
         [
           Alcotest.test_case "snapshot/diff" `Quick test_region_stats_snapshot_diff;
           Alcotest.test_case "ratios" `Quick test_region_stats_ratios;
+          Alcotest.test_case "diff roundtrip all fields" `Quick test_region_stats_diff_roundtrip;
+          Alcotest.test_case "record mode switch" `Quick test_region_stats_record_mode_switch;
+          Alcotest.test_case "reconfigure not counted" `Quick test_region_reconfigure_not_counted;
         ] );
       ( "cm",
         [

@@ -1,0 +1,137 @@
+(* Telemetry layer: per-period delta sums must match the final partition
+   snapshots on a deterministic simulated run, exports must parse back
+   cleanly, and the phased workload must provably switch modes (non-zero
+   [mode_switches]) with the decision log agreeing with the tuner. *)
+
+open Partstm_util
+open Partstm_stm
+open Partstm_core
+open Partstm_harness
+open Partstm_workloads
+
+let check = Alcotest.check
+
+(* One deterministic tuned run of the phased workload with telemetry
+   attached; shared by all cases below. *)
+let tuned_phased_run () =
+  let system = System.create ~max_workers:16 () in
+  let state = Phased.setup system ~strategy:Strategy.tuned Phased.default_config in
+  Registry.reset_stats (System.registry system);
+  let tuner = System.tuner system in
+  let telemetry = Telemetry.create (System.registry system) in
+  let result =
+    (* Enough cycles that each sampling period clears the policy's
+       [min_attempts] floor and the phase flips provably trigger switches. *)
+    Driver.run ~tuner ~telemetry ~mode:(Driver.default_sim ~cycles:500_000 ()) ~workers:8
+      (fun ctx -> Phased.worker state ctx)
+  in
+  if not (Phased.check state) then Alcotest.fail "phased invariants violated";
+  (system, tuner, telemetry, result)
+
+let test_sums_match_final_snapshot () =
+  let system, _, telemetry, _ = tuned_phased_run () in
+  let report = Registry.report (System.registry system) in
+  check Alcotest.bool "at least 2 sampling periods" true (Telemetry.periods telemetry >= 2);
+  check Alcotest.int "no samples dropped" 0 (Telemetry.dropped_samples telemetry);
+  let totals = Telemetry.totals telemetry in
+  check Alcotest.int "one total per partition" (List.length report) (List.length totals);
+  List.iter
+    (fun row ->
+      let name = row.Registry.row_name in
+      let final = row.Registry.row_stats in
+      match List.assoc_opt name totals with
+      | None -> Alcotest.failf "no telemetry totals for partition %s" name
+      | Some summed ->
+          List.iter
+            (fun (field, get) ->
+              check Alcotest.int
+                (Printf.sprintf "%s/%s: period deltas sum to final snapshot" name field)
+                (get final) (get summed))
+            Region_stats.fields)
+    report
+
+let test_mode_switches_and_decisions () =
+  let system, tuner, telemetry, _ = tuned_phased_run () in
+  let switches = Tuner.switches tuner in
+  check Alcotest.bool "phased workload provably switches modes" true (switches > 0);
+  let report = Registry.report (System.registry system) in
+  let counted =
+    List.fold_left
+      (fun acc row -> acc + row.Registry.row_stats.Region_stats.s_mode_switches)
+      0 report
+  in
+  check Alcotest.int "mode_switches stat counts every applied switch" switches counted;
+  let decisions = Telemetry.decisions telemetry in
+  check Alcotest.int "telemetry heard every decision" switches (List.length decisions);
+  List.iter
+    (fun d ->
+      check Alcotest.bool "decision stamped with virtual time" true
+        (Float.is_finite d.Telemetry.dc_time && d.Telemetry.dc_time >= 0.0))
+    decisions
+
+let test_csv_roundtrip () =
+  let _, _, telemetry, _ = tuned_phased_run () in
+  let rows = Telemetry.to_csv_rows telemetry in
+  check Alcotest.(list string) "header row" Telemetry.columns (List.hd rows);
+  check Alcotest.int "one row per sample (plus header)"
+    (List.length (Telemetry.samples telemetry) + 1)
+    (List.length rows);
+  let text = String.concat "" (List.map (fun r -> Csv.row_to_string r ^ "\n") rows) in
+  check Alcotest.(list (list string)) "CSV parses back to the same rows" rows
+    (Csv.parse_string text);
+  (* every data row is fully populated: one cell per column *)
+  let width = List.length Telemetry.columns in
+  List.iter
+    (fun row -> check Alcotest.int "row width" width (List.length row))
+    rows
+
+let test_json_roundtrip () =
+  let _, tuner, telemetry, _ = tuned_phased_run () in
+  let json = Telemetry.to_json telemetry in
+  match Json.of_string (Json.to_string json) with
+  | Error message -> Alcotest.failf "exported JSON does not parse: %s" message
+  | Ok parsed ->
+      check Alcotest.bool "JSON roundtrips structurally" true (parsed = json);
+      check Alcotest.(option string) "schema tag" (Some "partstm.telemetry/1")
+        (Option.bind (Json.member "schema" parsed) Json.to_str);
+      let list_len key =
+        match Option.bind (Json.member key parsed) Json.to_list with
+        | Some items -> List.length items
+        | None -> Alcotest.failf "missing %s array" key
+      in
+      check Alcotest.int "samples array" (List.length (Telemetry.samples telemetry))
+        (list_len "samples");
+      check Alcotest.int "decisions array" (Tuner.switches tuner) (list_len "decisions")
+
+(* Telemetry sampling must not perturb the deterministic schedule: two
+   identical runs yield the identical sample series and decision log. *)
+let test_deterministic_series () =
+  let series () =
+    let _, _, telemetry, _ = tuned_phased_run () in
+    ( List.map
+        (fun s ->
+          ( s.Telemetry.sm_index,
+            s.Telemetry.sm_time,
+            s.Telemetry.sm_partition,
+            s.Telemetry.sm_delta.Region_stats.s_commits,
+            s.Telemetry.sm_total.Region_stats.s_aborts ))
+        (Telemetry.samples telemetry),
+      List.map (fun d -> (d.Telemetry.dc_time, d.Telemetry.dc_event)) (Telemetry.decisions telemetry)
+    )
+  in
+  let a = series () and b = series () in
+  check Alcotest.bool "identical sample series" true (fst a = fst b);
+  check Alcotest.bool "identical decision log" true (snd a = snd b)
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "telemetry",
+        [
+          Alcotest.test_case "period sums = final snapshot" `Quick test_sums_match_final_snapshot;
+          Alcotest.test_case "mode switches + decisions" `Quick test_mode_switches_and_decisions;
+          Alcotest.test_case "csv roundtrip" `Quick test_csv_roundtrip;
+          Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "deterministic series" `Quick test_deterministic_series;
+        ] );
+    ]

@@ -210,6 +210,81 @@ let test_csv_quoting () =
   check Alcotest.string "quote" "\"a\"\"b\"" (Csv.row_to_string [ "a\"b" ]);
   check Alcotest.string "newline" "\"a\nb\"" (Csv.row_to_string [ "a\nb" ])
 
+let rows_testable = Alcotest.(list (list string))
+
+let test_csv_parse_roundtrip () =
+  let rows =
+    [
+      [ "sample"; "partition"; "commits" ];
+      [ "0"; "plain"; "12" ];
+      [ "1"; "with,comma"; "0" ];
+      [ "2"; "with\"quote"; "3" ];
+      [ "3"; "multi\nline"; "" ];
+    ]
+  in
+  let emitted = String.concat "" (List.map (fun r -> Csv.row_to_string r ^ "\n") rows) in
+  check rows_testable "roundtrip" rows (Csv.parse_string emitted);
+  check rows_testable "no final newline" [ [ "a"; "b" ] ] (Csv.parse_string "a,b");
+  check rows_testable "crlf tolerated" [ [ "a"; "b" ]; [ "c"; "d" ] ]
+    (Csv.parse_string "a,b\r\nc,d\r\n");
+  check rows_testable "empty input" [] (Csv.parse_string "")
+
+(* -- Json ------------------------------------------------------------------- *)
+
+let json_roundtrip value = Json.of_string (Json.to_string value)
+
+let test_json_roundtrip () =
+  let value =
+    Json.Obj
+      [
+        ("schema", Json.String "partstm.telemetry/1");
+        ("count", Json.Int 42);
+        ("rate", Json.Float 0.125);
+        ("whole", Json.Float 3.0);
+        ("ok", Json.Bool true);
+        ("nothing", Json.Null);
+        ( "samples",
+          Json.List
+            [
+              Json.Obj [ ("partition", Json.String "tricky \"name\", with\nescapes") ];
+              Json.List [ Json.Int 1; Json.Int (-2) ];
+            ] );
+      ]
+  in
+  match json_roundtrip value with
+  | Ok parsed -> check Alcotest.bool "roundtrip equal" true (parsed = value)
+  | Error message -> Alcotest.failf "parse failed: %s" message
+
+let test_json_parse_basics () =
+  check Alcotest.bool "whitespace" true
+    (Json.of_string " { \"a\" : [ 1 , 2.5 , null , true ] } "
+    = Ok (Json.Obj [ ("a", Json.List [ Json.Int 1; Json.Float 2.5; Json.Null; Json.Bool true ]) ]));
+  check Alcotest.bool "unicode escape" true
+    (Json.of_string "\"\\u0041\"" = Ok (Json.String "A"));
+  check Alcotest.bool "negative float" true
+    (Json.of_string "-1.5e2" = Ok (Json.Float (-150.0)));
+  (match Json.of_string "{\"a\":1" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unterminated object accepted");
+  (match Json.of_string "[1,2] trailing" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing garbage accepted");
+  match Json.of_string "" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty input accepted"
+
+let test_json_accessors () =
+  let value = Json.Obj [ ("xs", Json.List [ Json.Int 7 ]); ("name", Json.String "n") ] in
+  check Alcotest.(option int) "member int" (Some 7)
+    (Option.bind (Json.member "xs" value) Json.to_list
+    |> Option.map List.hd
+    |> Fun.flip Option.bind Json.to_int);
+  check Alcotest.(option string) "member string" (Some "n")
+    (Option.bind (Json.member "name" value) Json.to_str);
+  check Alcotest.bool "missing member" true (Json.member "zzz" value = None);
+  check Alcotest.(option (float 1e-9)) "int as float" (Some 7.0)
+    (Json.to_float (Json.Int 7))
+
 (* -- Vec ------------------------------------------------------------------- *)
 
 let test_vec_push_get () =
@@ -311,6 +386,13 @@ let () =
         [
           Alcotest.test_case "table render" `Quick test_table_render;
           Alcotest.test_case "csv quoting" `Quick test_csv_quoting;
+          Alcotest.test_case "csv parse roundtrip" `Quick test_csv_parse_roundtrip;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parse basics" `Quick test_json_parse_basics;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
         ] );
       ( "vec",
         [
