@@ -5,18 +5,22 @@
      run <workload> ...      run one workload and print throughput + stats
      stats <workload> ...    run with telemetry and print per-partition summaries
      trace <workload> ...    run with telemetry and print the per-period trace
-     list                    list workloads and strategies
+     check [<scenario>] ...  systematic schedule exploration + opacity oracle
+     list                    list workloads, strategies and check scenarios
 
    Examples:
      dune exec bin/partstm_cli.exe -- dsa
      dune exec bin/partstm_cli.exe -- run mixed --workers 8 --strategy tuned
      dune exec bin/partstm_cli.exe -- stats intset-ll --backend domains --seconds 1
-     dune exec bin/partstm_cli.exe -- trace phased --telemetry-out results *)
+     dune exec bin/partstm_cli.exe -- trace phased --telemetry-out results
+     dune exec bin/partstm_cli.exe -- check --budget 500 --kills 2
+     dune exec bin/partstm_cli.exe -- check --bug skip-commit-validation *)
 
 open Partstm_stm
 open Partstm_core
 open Partstm_harness
 open Partstm_workloads
+module Check = Partstm_check
 open Cmdliner
 
 (* -- Workload catalogue ----------------------------------------------------- *)
@@ -234,7 +238,109 @@ let cmd_list () =
   List.iter (fun (Workload { wl_name; _ }) -> Printf.printf "  %s\n" wl_name) workloads;
   print_endline "strategies:";
   List.iter (fun (name, s) -> Printf.printf "  %-10s %s\n" name (Strategy.label s)) strategies;
+  print_endline "check scenarios:";
+  List.iter
+    (fun s -> Printf.printf "  %-18s %d fibers\n" s.Check.Scenario.name s.Check.Scenario.fibers)
+    Check.Scenario.all;
+  print_endline "seeded bugs (check --bug):";
+  List.iter (fun b -> Printf.printf "  %s\n" (Bug.to_string b)) Bug.all;
   0
+
+(* -- check: systematic concurrency testing ------------------------------------ *)
+
+type check_spec = {
+  ck_scenario : string option;
+  ck_strategy : string;
+  ck_budget : int;
+  ck_seed : int;
+  ck_kills : int;
+  ck_depth : int;
+  ck_preemptions : int;
+  ck_bug : string option;
+}
+
+let check_strategy spec =
+  match spec.ck_strategy with
+  | "random" -> Ok Check.Explore.Random_walk
+  | "pct" -> Ok (Check.Explore.Pct { depth = spec.ck_depth })
+  | "dfs" -> Ok (Check.Explore.Dfs { max_preemptions = spec.ck_preemptions })
+  | other ->
+      Printf.eprintf "unknown exploration strategy %S (random|pct|dfs)\n" other;
+      Error 2
+
+(* Explore one scenario; returns true when the run matched expectations:
+   nothing found on the correct engine, or — under [--bug] — the seeded
+   bug detected within budget. *)
+let check_one ~strategy ~spec ~expect_failure scenario =
+  Printf.printf "%-18s %-12s budget=%d kills=%d ... %!" scenario.Check.Scenario.name
+    (Check.Explore.strategy_name strategy)
+    spec.ck_budget spec.ck_kills;
+  let outcome =
+    Check.Explore.run ~seed:spec.ck_seed ~budget:spec.ck_budget ~kills:spec.ck_kills strategy
+      scenario
+  in
+  match (outcome, expect_failure) with
+  | Check.Explore.Passed { schedules; abandoned; committed; aborted }, false ->
+      Printf.printf "ok (%d schedules, %d abandoned, %d commits, %d aborts)\n" schedules abandoned
+        committed aborted;
+      true
+  | Check.Explore.Passed { schedules; _ }, true ->
+      Printf.printf "MISSED the seeded bug after %d schedules\n" schedules;
+      false
+  | Check.Explore.Failed f, expected ->
+      Printf.printf "%s after %d schedules\n"
+        (if expected then "detected" else "FAILED")
+        f.Check.Explore.f_schedules_run;
+      Format.printf "%a@." Check.Explore.pp_failure f;
+      expected
+
+let cmd_check spec =
+  match check_strategy spec with
+  | Error code -> code
+  | Ok strategy -> (
+      let scenario_of_name name =
+        match Check.Scenario.find name with
+        | Some s -> Ok s
+        | None ->
+            Printf.eprintf "unknown scenario %S (try `partstm list`)\n" name;
+            Error 2
+      in
+      match spec.ck_bug with
+      | Some bug_name -> (
+          match Bug.of_string bug_name with
+          | None ->
+              Printf.eprintf "unknown bug %S (try `partstm list`)\n" bug_name;
+              2
+          | Some bug -> (
+              let scenario =
+                match spec.ck_scenario with
+                | None -> Ok (Check.Scenario.for_bug bug)
+                | Some name -> scenario_of_name name
+              in
+              match scenario with
+              | Error code -> code
+              | Ok scenario ->
+                  Printf.printf "injecting %s; success = detection\n" (Bug.to_string bug);
+                  let caught =
+                    Bug.with_bug bug (fun () ->
+                        check_one ~strategy ~spec ~expect_failure:true scenario)
+                  in
+                  if caught then 0 else 1))
+      | None -> (
+          let scenarios =
+            match spec.ck_scenario with
+            | None -> Ok Check.Scenario.all
+            | Some name -> Result.map (fun s -> [ s ]) (scenario_of_name name)
+          in
+          match scenarios with
+          | Error code -> code
+          | Ok scenarios ->
+              let ok =
+                List.fold_left
+                  (fun acc s -> check_one ~strategy ~spec ~expect_failure:false s && acc)
+                  true scenarios
+              in
+              if ok then 0 else 1))
 
 let cmd_run spec =
   match execute spec ~with_telemetry:false with
@@ -346,8 +452,60 @@ let trace_cmd =
           and the tuner decision log")
     Term.(const cmd_trace $ spec_term)
 
+let check_spec_term =
+  let scenario =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"SCENARIO" ~doc:"Check scenario (default: all; see `partstm list`)")
+  in
+  let strategy =
+    Arg.(
+      value & opt string "pct"
+      & info [ "strategy"; "s" ] ~docv:"STRATEGY" ~doc:"Exploration strategy: random, pct or dfs")
+  in
+  let budget =
+    Arg.(value & opt int 256 & info [ "budget" ] ~docv:"N" ~doc:"Schedules per scenario")
+  in
+  let seed = Arg.(value & opt int 0x9e3779b9 & info [ "seed" ] ~docv:"SEED" ~doc:"Master seed") in
+  let kills =
+    Arg.(
+      value & opt int 0
+      & info [ "kills" ] ~docv:"N"
+          ~doc:"Fault-injection points (fiber kills) per schedule, randomized strategies only")
+  in
+  let depth =
+    Arg.(value & opt int 3 & info [ "depth" ] ~docv:"D" ~doc:"PCT depth (priority-change points + 1)")
+  in
+  let preemptions =
+    Arg.(value & opt int 2 & info [ "preemptions" ] ~docv:"P" ~doc:"DFS preemption bound")
+  in
+  let bug =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bug" ] ~docv:"BUG"
+          ~doc:
+            "Inject a seeded engine bug; the run succeeds only if the checker detects it \
+             (mutation testing; see `partstm list`)")
+  in
+  let make ck_scenario ck_strategy ck_budget ck_seed ck_kills ck_depth ck_preemptions ck_bug =
+    { ck_scenario; ck_strategy; ck_budget; ck_seed; ck_kills; ck_depth; ck_preemptions; ck_bug }
+  in
+  Term.(const make $ scenario $ strategy $ budget $ seed $ kills $ depth $ preemptions $ bug)
+
+let check_cmd =
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Systematically explore schedules of conflict-heavy scenarios under the deterministic \
+          simulator, validating every execution against the opacity oracle and scenario \
+          invariants; failures are shrunk to a minimal replayable schedule")
+    Term.(const cmd_check $ check_spec_term)
+
 let main_cmd =
   let doc = "Partitioned software transactional memory playground" in
-  Cmd.group (Cmd.info "partstm" ~doc) [ dsa_cmd; list_cmd; run_cmd; stats_cmd; trace_cmd ]
+  Cmd.group (Cmd.info "partstm" ~doc)
+    [ dsa_cmd; list_cmd; run_cmd; stats_cmd; trace_cmd; check_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,59 @@
+(* Transaction-history recorder: the concrete sink behind
+   [Engine.recorder].  Events are appended in real-time order; under the
+   deterministic simulator that order is total, under domains a mutex
+   imposes one.  The recorder is attached around a run and the collected
+   stream is fed to {!Oracle.check}. *)
+
+open Partstm_stm
+
+type event =
+  | Begin of { txn : int; rv : int }
+  | Read of { txn : int; region : int; slot : int; version : int }
+  | Write of { txn : int; region : int; slot : int }
+  | Commit of { txn : int; stamp : int }
+  | Abort of { txn : int }
+  | Generation of { region : int; version : int }
+
+type t = {
+  mutable events : event list;  (* newest first *)
+  mutable count : int;
+  mutex : Mutex.t;
+}
+
+let create () = { events = []; count = 0; mutex = Mutex.create () }
+
+let push t event =
+  Mutex.lock t.mutex;
+  t.events <- event :: t.events;
+  t.count <- t.count + 1;
+  Mutex.unlock t.mutex
+
+let recorder t =
+  {
+    Engine.rec_begin = (fun ~txn ~rv -> push t (Begin { txn; rv }));
+    rec_read = (fun ~txn ~region ~slot ~version -> push t (Read { txn; region; slot; version }));
+    rec_write = (fun ~txn ~region ~slot -> push t (Write { txn; region; slot }));
+    rec_commit = (fun ~txn ~stamp -> push t (Commit { txn; stamp }));
+    rec_abort = (fun ~txn -> push t (Abort { txn }));
+    rec_generation = (fun ~region ~version -> push t (Generation { region; version }));
+  }
+
+let attach t engine = Engine.set_recorder engine (Some (recorder t))
+let detach engine = Engine.set_recorder engine None
+
+let events t = List.rev t.events
+let length t = t.count
+
+let clear t =
+  Mutex.lock t.mutex;
+  t.events <- [];
+  t.count <- 0;
+  Mutex.unlock t.mutex
+
+let pp_event ppf = function
+  | Begin { txn; rv } -> Fmt.pf ppf "begin t%d rv=%d" txn rv
+  | Read { txn; region; slot; version } -> Fmt.pf ppf "read t%d r%d/%d v=%d" txn region slot version
+  | Write { txn; region; slot } -> Fmt.pf ppf "write t%d r%d/%d" txn region slot
+  | Commit { txn; stamp } -> Fmt.pf ppf "commit t%d stamp=%d" txn stamp
+  | Abort { txn } -> Fmt.pf ppf "abort t%d" txn
+  | Generation { region; version } -> Fmt.pf ppf "generation r%d base=%d" region version

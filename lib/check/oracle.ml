@@ -1,0 +1,168 @@
+(* Opacity/serializability oracle over a recorded history (DESIGN.md §9).
+
+   Soundness of the core rule: in this engine, write locks are held from
+   encounter-time acquire through commit release, and a recorded read
+   carries the version of an *unlocked* orec word.  So if a committed
+   transaction T read (region, slot) at version [v], any other committed
+   transaction W writing that slot with stamp [w], [v < w <= T.stamp],
+   is impossible in a correct engine:
+
+   - W's lock span (acquire .. release) covers its tick of [w].  T's read
+     saw the word unlocked with version [v < w], so the read happened
+     before W's acquire (after W's release the word carries [w]).
+   - For T to commit with stamp >= w it must either have started with
+     [rv >= w] (then W ticked before T began, so W's lock span covered
+     T's read — contradiction), or have moved its snapshot past [w] via
+     extension or commit-time validation, both of which revalidate the
+     read word and fail (the word now carries [w] or W's lock).
+
+   Therefore any such pair is an anomaly: a stale read, and a lost update
+   if T also wrote the slot.  The rule is tight — it flags nothing on a
+   correct engine and catches every seeded-bug variant that lets a stale
+   invisible or visible read commit.
+
+   Reconfiguration: slot numbers are only meaningful within one lock-table
+   generation, so reads/writes are keyed by (region, generation, slot).
+   An attempt observes a single generation per region (the quiesce drains
+   all in-flight transactions before a swap), and [Generation] events
+   totally order against attempt events, so annotating each access with
+   the generation current at access time is exact. *)
+
+type access = { a_region : int; a_gen : int; a_slot : int }
+
+type anomaly =
+  | Stale_read of { txn : int; stamp : int; access : access; observed : int; conflict : int }
+  | Lost_update of { txn : int; stamp : int; access : access; observed : int; conflict : int }
+  | Phantom_version of { txn : int; stamp : int; access : access; observed : int }
+
+type report = { committed : int; aborted : int; anomalies : anomaly list }
+
+let pp_access ppf a = Fmt.pf ppf "region %d gen %d slot %d" a.a_region a.a_gen a.a_slot
+
+let pp_anomaly ppf = function
+  | Stale_read { txn; stamp; access; observed; conflict } ->
+      Fmt.pf ppf "stale read: txn %d (stamp %d) read %a at version %d, overwritten by commit %d"
+        txn stamp pp_access access observed conflict
+  | Lost_update { txn; stamp; access; observed; conflict } ->
+      Fmt.pf ppf "lost update: txn %d (stamp %d) read-modified %a at version %d over commit %d" txn
+        stamp pp_access access observed conflict
+  | Phantom_version { txn; stamp; access; observed } ->
+      Fmt.pf ppf "phantom version: txn %d (stamp %d) read %a at version %d, never committed" txn
+        stamp pp_access access observed
+
+(* One transaction attempt, accumulated between Begin and Commit/Abort. *)
+type attempt = {
+  at_txn : int;
+  at_rv : int;
+  mutable at_reads : (access * int) list;  (* access, observed version *)
+  mutable at_writes : access list;
+}
+
+type committed = { c_uid : int; c_txn : int; c_stamp : int; c_reads : (access * int) list; c_writes : access list }
+
+let check events =
+  let gens : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let gen_base : (int * int, int) Hashtbl.t = Hashtbl.create 8 in
+  let inflight : (int, attempt) Hashtbl.t = Hashtbl.create 16 in
+  let committed = ref [] in
+  let n_committed = ref 0 and n_aborted = ref 0 in
+  let gen_of region = match Hashtbl.find_opt gens region with Some g -> g | None -> 0 in
+  let access region slot = { a_region = region; a_gen = gen_of region; a_slot = slot } in
+  List.iter
+    (fun event ->
+      match event with
+      | History.Generation { region; version } ->
+          let g = match Hashtbl.find_opt gens region with Some g -> g + 1 | None -> 0 in
+          Hashtbl.replace gens region g;
+          Hashtbl.replace gen_base (region, g) version
+      | History.Begin { txn; rv } ->
+          Hashtbl.replace inflight txn { at_txn = txn; at_rv = rv; at_reads = []; at_writes = [] }
+      | History.Read { txn; region; slot; version } -> (
+          match Hashtbl.find_opt inflight txn with
+          | Some a -> a.at_reads <- (access region slot, version) :: a.at_reads
+          | None -> ())
+      | History.Write { txn; region; slot } -> (
+          match Hashtbl.find_opt inflight txn with
+          | Some a -> a.at_writes <- access region slot :: a.at_writes
+          | None -> ())
+      | History.Commit { txn; stamp } -> (
+          match Hashtbl.find_opt inflight txn with
+          | Some a ->
+              Hashtbl.remove inflight txn;
+              incr n_committed;
+              committed :=
+                {
+                  c_uid = !n_committed;
+                  c_txn = txn;
+                  c_stamp = stamp;
+                  c_reads = List.rev a.at_reads;
+                  c_writes = a.at_writes;
+                }
+                :: !committed
+          | None -> ())
+      | History.Abort { txn } ->
+          if Hashtbl.mem inflight txn then begin
+            Hashtbl.remove inflight txn;
+            incr n_aborted
+          end)
+    events;
+  let committed = List.rev !committed in
+  (* Index of committed writes: access -> (stamp, uid) list. *)
+  let writes : (access, (int * int) list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun a ->
+          let existing = Option.value (Hashtbl.find_opt writes a) ~default:[] in
+          Hashtbl.replace writes a ((c.c_stamp, c.c_uid) :: existing))
+        c.c_writes)
+    committed;
+  let anomalies = ref [] in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun (a, v) ->
+          let commits_here = Option.value (Hashtbl.find_opt writes a) ~default:[] in
+          (* Core rule: another committed write in (v, stamp]. *)
+          (match
+             List.find_opt (fun (w, uid) -> uid <> c.c_uid && v < w && w <= c.c_stamp) commits_here
+           with
+          | Some (w, _) ->
+              let wrote_too = List.mem a c.c_writes in
+              let mk =
+                if wrote_too then
+                  Lost_update
+                    { txn = c.c_txn; stamp = c.c_stamp; access = a; observed = v; conflict = w }
+                else
+                  Stale_read
+                    { txn = c.c_txn; stamp = c.c_stamp; access = a; observed = v; conflict = w }
+              in
+              anomalies := mk :: !anomalies
+          | None -> ());
+          (* Every observed version must be the generation base or the
+             stamp of a committed write to that slot: anything else is a
+             value no committed transaction produced. *)
+          let legal =
+            (match Hashtbl.find_opt gen_base (a.a_region, a.a_gen) with
+            | Some base -> v = base
+            | None -> false)
+            || List.exists (fun (w, _) -> w = v) commits_here
+          in
+          if not legal then
+            anomalies :=
+              Phantom_version { txn = c.c_txn; stamp = c.c_stamp; access = a; observed = v }
+              :: !anomalies)
+        c.c_reads)
+    committed;
+  { committed = !n_committed; aborted = !n_aborted; anomalies = List.rev !anomalies }
+
+(* Serial-replay ordering shared by the replay-based tests: stamp
+   ascending, updates before read-only transactions at equal stamps (a
+   read-only transaction whose snapshot version equals an update's commit
+   version observed that update — see the lock-span argument above). *)
+let replay_sort ~stamp ~is_update items =
+  List.sort
+    (fun x y ->
+      let c = compare (stamp x) (stamp y) in
+      if c <> 0 then c else compare (is_update y) (is_update x))
+    items

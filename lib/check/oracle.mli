@@ -1,0 +1,27 @@
+(** Opacity/serializability oracle over a recorded {!History}.
+
+    Checks every committed transaction's reads against all committed
+    writes: a read of version [v] on a slot overwritten by another commit
+    with stamp in [(v, stamp]] is a stale read (a lost update if the
+    reader also wrote the slot), and an observed version that no committed
+    transaction produced is a phantom. Sound and tight for this engine —
+    zero anomalies on a correct run, see the proof sketch in the
+    implementation. *)
+
+type access = { a_region : int; a_gen : int; a_slot : int }
+(** An orec, identified within one lock-table generation of a region. *)
+
+type anomaly =
+  | Stale_read of { txn : int; stamp : int; access : access; observed : int; conflict : int }
+  | Lost_update of { txn : int; stamp : int; access : access; observed : int; conflict : int }
+  | Phantom_version of { txn : int; stamp : int; access : access; observed : int }
+
+type report = { committed : int; aborted : int; anomalies : anomaly list }
+
+val check : History.event list -> report
+
+val pp_anomaly : Format.formatter -> anomaly -> unit
+
+val replay_sort : stamp:('a -> int) -> is_update:('a -> bool) -> 'a list -> 'a list
+(** Sort recorded operations into serial-replay order: stamp ascending,
+    updates before read-only operations at equal stamps. *)

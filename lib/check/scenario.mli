@@ -1,0 +1,49 @@
+(** Checker workloads: small, deterministic, conflict-heavy scenarios
+    with post-run invariant checks. A scenario builds a fresh system per
+    schedule so replays are exact. *)
+
+open Partstm_stm
+
+type instance = {
+  bodies : (int -> unit) list;  (** fiber bodies for {!Partstm_simcore.Sim.run} *)
+  history : History.t;  (** recorder already attached to the instance's engine *)
+  check : unit -> string list;  (** post-run invariant violations *)
+}
+
+type t = { name : string; fibers : int; make : unit -> instance }
+
+val bank :
+  ?mode:Mode.t ->
+  ?accounts:int ->
+  ?workers:int ->
+  ?transfers:int ->
+  ?observer:bool ->
+  name:string ->
+  unit ->
+  t
+(** Overlapping transfers plus a read-only summing observer; invariants:
+    conservation and consistent observed sums. *)
+
+val queue : ?producers:int -> ?consumers:int -> ?items:int -> name:string -> unit -> t
+(** Producer/consumer over {!Partstm_structures.Tqueue}; invariant: no
+    item lost or duplicated. *)
+
+val reconfigure : ?workers:int -> ?transfers:int -> name:string -> unit -> t
+(** Bank plus a tuner fiber swapping the partition's mode mid-run. *)
+
+val mixed_modes : ?workers:int -> ?transfers:int -> name:string -> unit -> t
+(** Transfers spanning an invisible/write-back and a visible/write-through
+    partition in one transaction. *)
+
+val bank_invisible : t
+val bank_visible : t
+val bank_write_through : t
+val queue_default : t
+val reconfigure_default : t
+val mixed_modes_default : t
+
+val all : t list
+val find : string -> t option
+
+val for_bug : Bug.t -> t
+(** The workload on which a given seeded bug is observable. *)

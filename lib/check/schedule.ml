@@ -1,0 +1,71 @@
+(* A schedule: everything needed to replay one simulated execution of a
+   scenario — the master seed, the scheduling decisions (chosen fiber ids,
+   in order), and the fault-injection kill points.  Replays are exact
+   because the simulator is deterministic given these inputs; decisions
+   record fiber *ids* (not indices) so a trace stays meaningful when the
+   runnable set differs slightly, with a min-clock fallback. *)
+
+open Partstm_simcore
+
+type t = {
+  seed : int;  (* master Rng seed the schedule was derived from *)
+  decisions : int list;  (* chosen fiber id at each scheduling point *)
+  kills : (int * int) list;  (* (fiber, global yield count) kill points *)
+}
+
+let make ?(kills = []) ~seed decisions = { seed; decisions; kills }
+
+(* Min-clock, min-id — the simulator's default policy, used beyond the
+   end of a recorded decision list and when the recorded fiber is not
+   runnable. *)
+let min_clock_index (runnable : Sim.choice array) =
+  let best = ref 0 in
+  Array.iteri
+    (fun i c ->
+      let b = runnable.(!best) in
+      if c.Sim.c_clock < b.Sim.c_clock || (c.Sim.c_clock = b.Sim.c_clock && c.Sim.c_fiber < b.Sim.c_fiber)
+      then best := i)
+    runnable;
+  !best
+
+let index_of_fiber (runnable : Sim.choice array) fiber =
+  let n = Array.length runnable in
+  let rec scan i = if i >= n then None else if runnable.(i).Sim.c_fiber = fiber then Some i else scan (i + 1) in
+  scan 0
+
+(* A [choose] function replaying this schedule's decisions. *)
+let replayer t =
+  let remaining = ref t.decisions in
+  fun (runnable : Sim.choice array) ->
+    match !remaining with
+    | [] -> min_clock_index runnable
+    | fiber :: rest -> (
+        remaining := rest;
+        match index_of_fiber runnable fiber with
+        | Some i -> i
+        | None -> min_clock_index runnable)
+
+(* An [interrupt] function firing this schedule's kill points. *)
+let interrupter t =
+  if t.kills = [] then None
+  else Some (fun ~fiber ~yields -> List.mem (fiber, yields) t.kills)
+
+(* Wrap a strategy's [choose], recording each decision as a fiber id so
+   the run can be replayed and minimized afterwards. *)
+let recording choose =
+  let trace = ref [] in
+  let choose' (runnable : Sim.choice array) =
+    let i = choose runnable in
+    if i >= 0 && i < Array.length runnable then trace := runnable.(i).Sim.c_fiber :: !trace;
+    i
+  in
+  (choose', fun () -> List.rev !trace)
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>seed: %#x@,decisions (%d): %a@,kills: %a@]" t.seed (List.length t.decisions)
+    Fmt.(list ~sep:(any " ") int)
+    t.decisions
+    Fmt.(list ~sep:(any " ") (pair ~sep:(any "@") int int))
+    t.kills
+
+let to_string t = Fmt.str "%a" pp t

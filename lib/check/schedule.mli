@@ -1,0 +1,31 @@
+(** A replayable schedule: master seed + scheduling decisions + kill
+    points. Feed {!replayer}/{!interrupter} to {!Partstm_simcore.Sim.run}
+    to reproduce an execution exactly. *)
+
+open Partstm_simcore
+
+type t = {
+  seed : int;
+  decisions : int list;  (** chosen fiber id at each scheduling point *)
+  kills : (int * int) list;  (** (fiber, global yield count) kill points *)
+}
+
+val make : ?kills:(int * int) list -> seed:int -> int list -> t
+
+val replayer : t -> Sim.choice array -> int
+(** Stateful [choose] following the recorded decisions; past the end of
+    the list (or if the recorded fiber is not runnable) it falls back to
+    the simulator's min-clock policy. *)
+
+val interrupter : t -> (fiber:int -> yields:int -> bool) option
+(** [interrupt] firing the recorded kill points; [None] if there are none. *)
+
+val recording : (Sim.choice array -> int) -> (Sim.choice array -> int) * (unit -> int list)
+(** [recording choose] wraps a strategy so its decisions are captured;
+    the second component returns the trace so far. *)
+
+val min_clock_index : Sim.choice array -> int
+(** The simulator's default policy as a [choose] function. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

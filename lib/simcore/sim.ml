@@ -22,8 +22,11 @@ type _ Effect.t +=
 
 exception Not_in_simulation
 exception Step_limit_exceeded of int
+exception Fiber_killed
 
-type outcome = { vtimes : int array; makespan : int; total_yields : int }
+type choice = { c_fiber : int; c_clock : int }
+
+type outcome = { vtimes : int array; makespan : int; total_yields : int; killed : int }
 
 type step_result = Fiber_done | Fiber_suspended
 
@@ -87,17 +90,20 @@ module Heap = struct
       down 0;
       Some top
     end
-
-  let size t = t.size
 end
 
 type state = {
   clocks : int array;
-  ready : Heap.t;
+  ready : Heap.t;  (* default min-clock scheduling *)
+  mutable pending : ready_entry list;  (* ready set under a custom scheduler *)
+  masked : bool array;  (* fibers inside a Runtime_hook.critical section *)
+  mutable kills : int;
   mutable yields : int;
   max_yields : int;
   jitter : int;
   rng : Rng.t;
+  choose : (choice array -> int) option;
+  interrupt : (fiber:int -> yields:int -> bool) option;
 }
 
 (* The simulation currently driving this (real) domain, if any.  The
@@ -115,7 +121,22 @@ let self () =
 let yield cost =
   match !active with Some _ -> Effect.perform (Yield cost) | None -> raise Not_in_simulation
 
-let run ?(jitter = 0) ?(seed = 0x5157) ?(max_yields = max_int) bodies =
+(* Suppress fault injection for the current fiber while [f] runs: engine
+   phases such as the commit publish/release sequence are not abortable, so
+   a kill landing inside them would corrupt shared state rather than test
+   recovery.  [Sim_env] routes [Runtime_hook.critical] here. *)
+let masked f =
+  match !active with
+  | None -> f ()
+  | Some state ->
+      let id = Effect.perform Self in
+      if state.masked.(id) then f ()
+      else begin
+        state.masked.(id) <- true;
+        Fun.protect ~finally:(fun () -> state.masked.(id) <- false) f
+      end
+
+let run ?(jitter = 0) ?(seed = 0x5157) ?(max_yields = max_int) ?choose ?interrupt bodies =
   let bodies = Array.of_list bodies in
   let n = Array.length bodies in
   if n = 0 then invalid_arg "Sim.run: no fibers";
@@ -124,17 +145,54 @@ let run ?(jitter = 0) ?(seed = 0x5157) ?(max_yields = max_int) bodies =
     {
       clocks = Array.make n 0;
       ready = Heap.create (2 * n);
+      pending = [];
+      masked = Array.make n false;
+      kills = 0;
       yields = 0;
       max_yields;
       jitter;
       rng = Rng.make seed;
+      choose;
+      interrupt;
     }
   in
   active := Some state;
+  let enqueue entry =
+    match state.choose with
+    | None -> Heap.push state.ready entry
+    | Some _ -> state.pending <- entry :: state.pending
+  in
+  (* Next fiber to resume: the minimum-clock heap by default; under a custom
+     scheduler, present the full runnable set (sorted by fiber id, so the
+     strategy sees a deterministic view) and follow its pick. *)
+  let dequeue () =
+    match state.choose with
+    | None -> Heap.pop state.ready
+    | Some pick -> (
+        match state.pending with
+        | [] -> None
+        | pending ->
+            let entries =
+              List.sort (fun a b -> compare a.entry_id b.entry_id) pending
+            in
+            let runnable =
+              Array.of_list
+                (List.map (fun e -> { c_fiber = e.entry_id; c_clock = e.entry_clock }) entries)
+            in
+            let index = pick runnable in
+            if index < 0 || index >= Array.length runnable then
+              invalid_arg "Sim.run: scheduler chose an out-of-range fiber";
+            let entry = List.nth entries index in
+            state.pending <- List.filter (fun e -> e != entry) state.pending;
+            Some entry)
+  in
   let handler id =
     {
       Effect.Deep.retc = (fun () -> Fiber_done);
-      exnc = (fun exn -> raise exn);
+      (* An injected kill terminates just this fiber (after its unwind
+         handlers — e.g. transaction rollback — have run); anything else
+         aborts the whole simulation. *)
+      exnc = (fun exn -> match exn with Fiber_killed -> Fiber_done | _ -> raise exn);
       effc =
         (fun (type a) (eff : a Effect.t) ->
           match eff with
@@ -144,13 +202,18 @@ let run ?(jitter = 0) ?(seed = 0x5157) ?(max_yields = max_int) bodies =
                   state.yields <- state.yields + 1;
                   if state.yields > state.max_yields then
                     raise (Step_limit_exceeded state.max_yields);
-                  let jitter =
-                    if state.jitter > 0 then Rng.int state.rng (state.jitter + 1) else 0
-                  in
-                  state.clocks.(id) <- state.clocks.(id) + max cost 0 + jitter;
-                  Heap.push state.ready
-                    { entry_clock = state.clocks.(id); entry_id = id; entry_k = k };
-                  Fiber_suspended)
+                  match state.interrupt with
+                  | Some hit when (not state.masked.(id)) && hit ~fiber:id ~yields:state.yields
+                    ->
+                      state.kills <- state.kills + 1;
+                      Effect.Deep.discontinue k Fiber_killed
+                  | _ ->
+                      let jitter =
+                        if state.jitter > 0 then Rng.int state.rng (state.jitter + 1) else 0
+                      in
+                      state.clocks.(id) <- state.clocks.(id) + max cost 0 + jitter;
+                      enqueue { entry_clock = state.clocks.(id); entry_id = id; entry_k = k };
+                      Fiber_suspended)
           | Now ->
               Some
                 (fun (k : (a, step_result) Effect.Deep.continuation) ->
@@ -169,16 +232,15 @@ let run ?(jitter = 0) ?(seed = 0x5157) ?(max_yields = max_int) bodies =
         | Fiber_done -> decr remaining
         | Fiber_suspended -> ()
       done;
-      (* Main loop: always resume the fiber with the smallest virtual clock. *)
+      (* Main loop: resume the scheduler's pick until every fiber is done. *)
       while !remaining > 0 do
-        match Heap.pop state.ready with
+        match dequeue () with
         | Some entry -> begin
             match Effect.Deep.continue entry.entry_k () with
             | Fiber_done -> decr remaining
             | Fiber_suspended -> ()
           end
         | None -> failwith "Sim.run: deadlock (fibers blocked without yielding)"
-      done;
-      ignore (Heap.size state.ready));
+      done);
   let makespan = Array.fold_left max 0 state.clocks in
-  { vtimes = Array.copy state.clocks; makespan; total_yields = state.yields }
+  { vtimes = Array.copy state.clocks; makespan; total_yields = state.yields; killed = state.kills }

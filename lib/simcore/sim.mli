@@ -17,10 +17,19 @@ exception Not_in_simulation
 exception Step_limit_exceeded of int
 (** Raised when the total yield budget is exhausted (runaway-loop guard). *)
 
+exception Fiber_killed
+(** Raised inside a fiber by the fault-injection plane ([interrupt]); the
+    fiber unwinds (running its handlers, e.g. transaction rollback) and
+    terminates while the other fibers continue. *)
+
+type choice = { c_fiber : int; c_clock : int }
+(** One runnable fiber as presented to a custom scheduler. *)
+
 type outcome = {
   vtimes : int array;  (** final virtual clock of each fiber *)
   makespan : int;  (** max over fibers — the simulated wall-clock *)
   total_yields : int;
+  killed : int;  (** fibers terminated by fault injection *)
 }
 
 val in_simulation : unit -> bool
@@ -36,9 +45,32 @@ val yield : int -> unit
 (** Charge the given number of cycles and let other fibers run. Raises
     {!Not_in_simulation} outside. *)
 
+val masked : (unit -> 'a) -> 'a
+(** Run [f] with fault injection suppressed for the current fiber (identity
+    outside a simulation). The engine's non-abortable phases route
+    {!Partstm_util.Runtime_hook.critical} here via [Sim_env]. *)
+
 val run :
-  ?jitter:int -> ?seed:int -> ?max_yields:int -> (int -> unit) list -> outcome
+  ?jitter:int ->
+  ?seed:int ->
+  ?max_yields:int ->
+  ?choose:(choice array -> int) ->
+  ?interrupt:(fiber:int -> yields:int -> bool) ->
+  (int -> unit) list ->
+  outcome
 (** [run bodies] executes one fiber per body (the body receives its fiber
     id) to completion and returns the timing outcome. [jitter] adds a random
     0..jitter cycles to every yield (deterministic given [seed]) to break
-    pathological lockstep. Single-domain; nested runs are rejected. *)
+    pathological lockstep. Single-domain; nested runs are rejected.
+
+    [choose] replaces the default min-virtual-clock scheduler: at every
+    scheduling decision it receives the runnable set (sorted by fiber id)
+    and returns the index of the fiber to resume — this is the hook the
+    systematic concurrency-testing strategies (PCT, bounded-preemption DFS,
+    schedule replay; see [lib/check]) drive. Virtual clocks still advance
+    by the charged costs, but no longer constrain the interleaving.
+
+    [interrupt] is the fault-injection plane: it is consulted at every
+    yield of every fiber (with the global yield counter) and returning
+    [true] kills that fiber at that point by raising {!Fiber_killed} inside
+    it — except inside {!masked} sections, which are never interrupted. *)

@@ -10,7 +10,8 @@ let install ?(model = Cost_model.default) () =
     if Sim.in_simulation () then Sim.yield (Cost_model.cost_of_event model event)
   in
   let relax () = if Sim.in_simulation () then Sim.yield 1 else Domain.cpu_relax () in
-  Runtime_hook.install ~charge ~relax
+  let critical f = if Sim.in_simulation () then Sim.masked f else f () in
+  Runtime_hook.install ~critical ~charge ~relax ()
 
 let uninstall () = Runtime_hook.reset ()
 

@@ -1,0 +1,46 @@
+(* Seeded-bug switchboard for mutation-testing the checker (DESIGN.md §9).
+
+   Each variant disables one line of defence in the engine; the systematic
+   concurrency tester (lib/check) must catch every one of them within a
+   bounded schedule budget, which is the evidence that the checker would
+   also catch a real regression of the same shape.
+
+   Production builds never set the switch: every guarded site costs one
+   load-and-branch on an otherwise-immutable ref, and the only writers are
+   [inject]/[with_bug], which exist for the test harness and the CLI's
+   `check --bug` mode. *)
+
+type t =
+  | Skip_commit_validation
+      (* commit publishes without validating the read set: stale invisible
+         reads commit (classic TL2 regression) *)
+  | Skip_extension_validation
+      (* timestamp extension moves [rv] forward without revalidating:
+         zombie snapshots — read-only transactions observe torn state *)
+  | Skip_reader_drain
+      (* writers ignore visible-reader counters: breaks the 2PL guarantee
+         visible readers rely on instead of commit-time validation *)
+  | Skip_undo_log
+      (* rollback skips the write-log resets: write-through aborts leak
+         uncommitted in-place values *)
+
+let all = [ Skip_commit_validation; Skip_extension_validation; Skip_reader_drain; Skip_undo_log ]
+
+let to_string = function
+  | Skip_commit_validation -> "skip-commit-validation"
+  | Skip_extension_validation -> "skip-extension-validation"
+  | Skip_reader_drain -> "skip-reader-drain"
+  | Skip_undo_log -> "skip-undo-log"
+
+let of_string s = List.find_opt (fun b -> to_string b = s) all
+
+let injected : t option ref = ref None
+
+let enabled bug = match !injected with Some b -> b = bug | None -> false
+
+let inject bug = injected := bug
+
+let with_bug bug f =
+  if Option.is_some !injected then invalid_arg "Bug.with_bug: a bug is already injected";
+  injected := Some bug;
+  Fun.protect ~finally:(fun () -> injected := None) f

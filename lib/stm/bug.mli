@@ -1,0 +1,29 @@
+(** Seeded-bug switchboard for mutation-testing the checker.
+
+    Each variant disables one line of defence in the engine; the systematic
+    concurrency tester ([lib/check]) must detect every variant within a
+    bounded schedule budget (asserted in the test suite). Nothing in
+    production code sets the switch — each guarded site is a single
+    load-and-branch on a ref that stays [None]. *)
+
+type t =
+  | Skip_commit_validation  (** commit skips read-set validation *)
+  | Skip_extension_validation  (** timestamp extension skips revalidation *)
+  | Skip_reader_drain  (** writers ignore visible-reader counters *)
+  | Skip_undo_log  (** rollback skips the write-log resets *)
+
+val all : t list
+val to_string : t -> string
+val of_string : string -> t option
+
+val enabled : t -> bool
+(** True when this bug is currently injected. Engine hot paths branch on
+    this; with no injection it is one load and one compare. *)
+
+val inject : t option -> unit
+(** Set (or clear) the injected bug. Test/CLI use only; never inject while
+    transactions are running. *)
+
+val with_bug : t -> (unit -> 'a) -> 'a
+(** Run [f] with the bug injected, restoring [None] afterwards. Rejects
+    nesting. *)

@@ -2,6 +2,21 @@
    engine-wide configuration.  Multiple independent engines can coexist
    (tests use fresh engines for isolation). *)
 
+(* Per-transaction history recorder (the checker's tap, see lib/check).
+   [None] by default: every hook site is one load and one branch.  All
+   identifiers are plain ints so the engine stays recorder-agnostic:
+   [txn] is the descriptor id, [region]/[slot] name an orec, versions and
+   stamps come from the global clock. *)
+type recorder = {
+  rec_begin : txn:int -> rv:int -> unit;
+  rec_read : txn:int -> region:int -> slot:int -> version:int -> unit;
+  rec_write : txn:int -> region:int -> slot:int -> unit;
+  rec_commit : txn:int -> stamp:int -> unit;
+  rec_abort : txn:int -> unit;
+  rec_generation : region:int -> version:int -> unit;
+      (* a region (re)created its lock table; fresh slots carry [version] *)
+}
+
 type t = {
   clock : int Atomic.t;
   tvar_counter : int Atomic.t;
@@ -17,6 +32,7 @@ type t = {
   writer_wait_limit : int;
   sample_retry_limit : int;
   max_attempts : int;
+  mutable recorder : recorder option;
 }
 
 let frozen_bit = 1
@@ -39,7 +55,12 @@ let create ?(max_workers = 64) ?(contention_manager = Cm.default) ?(writer_wait_
     writer_wait_limit;
     sample_retry_limit;
     max_attempts;
+    recorder = None;
   }
+
+(* Install/remove the history tap.  Must happen while no transaction is in
+   flight (the checker installs it before starting workers). *)
+let set_recorder t recorder = t.recorder <- recorder
 
 let now t = Atomic.get t.clock
 
@@ -73,22 +94,28 @@ let leave t =
 
 (* Run [f] with the engine quiesced: no transaction is in flight while [f]
    executes.  At most one quiesce at a time (the tuner is single-threaded);
-   the caller must not be inside a transaction. *)
+   the caller must not be inside a transaction.  The whole protocol runs
+   under [Runtime_hook.critical]: a fault-injection kill landing between
+   freeze and unfreeze would wedge every other worker, which is a harness
+   artefact, not a schedule the engine can experience. *)
 let quiesce t f =
-  let rec freeze () =
-    let s = Atomic.get t.state in
-    if s land frozen_bit <> 0 then invalid_arg "Engine.quiesce: concurrent reconfiguration"
-    else if not (Atomic.compare_and_set t.state s (s lor frozen_bit)) then freeze ()
-  in
-  freeze ();
-  while Atomic.get t.state lsr 1 > 0 do
-    Partstm_util.Runtime_hook.relax ()
-  done;
-  let unfreeze () =
-    let rec loop () =
-      let s = Atomic.get t.state in
-      if not (Atomic.compare_and_set t.state s (s land lnot frozen_bit)) then loop ()
-    in
-    loop ()
-  in
-  Fun.protect ~finally:unfreeze f
+  let result = ref None in
+  Partstm_util.Runtime_hook.critical (fun () ->
+      let rec freeze () =
+        let s = Atomic.get t.state in
+        if s land frozen_bit <> 0 then invalid_arg "Engine.quiesce: concurrent reconfiguration"
+        else if not (Atomic.compare_and_set t.state s (s lor frozen_bit)) then freeze ()
+      in
+      freeze ();
+      while Atomic.get t.state lsr 1 > 0 do
+        Partstm_util.Runtime_hook.relax ()
+      done;
+      let unfreeze () =
+        let rec loop () =
+          let s = Atomic.get t.state in
+          if not (Atomic.compare_and_set t.state s (s land lnot frozen_bit)) then loop ()
+        in
+        loop ()
+      in
+      Fun.protect ~finally:unfreeze (fun () -> result := Some (f ())));
+  match !result with Some v -> v | None -> assert false

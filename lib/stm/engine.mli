@@ -1,6 +1,19 @@
 (** An STM engine instance: global version clock, id generators, and
     engine-wide configuration. *)
 
+type recorder = {
+  rec_begin : txn:int -> rv:int -> unit;
+  rec_read : txn:int -> region:int -> slot:int -> version:int -> unit;
+  rec_write : txn:int -> region:int -> slot:int -> unit;
+  rec_commit : txn:int -> stamp:int -> unit;
+  rec_abort : txn:int -> unit;
+  rec_generation : region:int -> version:int -> unit;
+}
+(** Per-transaction history tap used by the checker ([lib/check]): the
+    engine reports begins, orec-level reads (with the version observed),
+    writes, commit stamps, aborts, and lock-table (re)creations. All
+    identifiers are plain ints ([txn] = descriptor id). *)
+
 type t = {
   clock : int Atomic.t;
   tvar_counter : int Atomic.t;
@@ -12,6 +25,8 @@ type t = {
   writer_wait_limit : int;  (** spins a writer waits for visible readers *)
   sample_retry_limit : int;  (** retries of the read double-sampling loop *)
   max_attempts : int;  (** per-transaction retry budget before giving up *)
+  mutable recorder : recorder option;
+      (** history tap; [None] (the default) costs one branch per hook site *)
 }
 
 val create :
@@ -22,6 +37,10 @@ val create :
   ?max_attempts:int ->
   unit ->
   t
+
+val set_recorder : t -> recorder option -> unit
+(** Install or remove the history tap. Only while no transaction is in
+    flight. *)
 
 val now : t -> int
 (** Current global clock value. *)

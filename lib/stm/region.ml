@@ -22,13 +22,21 @@ type t = {
   tvars : int Atomic.t;  (* number of tvars allocated in this region *)
 }
 
+let record_generation engine ~region ~version =
+  match engine.Engine.recorder with
+  | None -> ()
+  | Some r -> r.Engine.rec_generation ~region ~version
+
 let create engine ~name ?(mode = Mode.default) () =
   Mode.validate mode;
+  let id = Engine.next_region_id engine in
+  let base = Engine.now engine in
+  record_generation engine ~region:id ~version:base;
   {
-    id = Engine.next_region_id engine;
+    id;
     name;
     engine;
-    table = Lock_table.create ~clock_now:(Engine.now engine) ~granularity_log2:mode.Mode.granularity_log2;
+    table = Lock_table.create ~clock_now:base ~granularity_log2:mode.Mode.granularity_log2;
     visibility = mode.Mode.visibility;
     update = mode.Mode.update;
     stats = Region_stats.create ~max_workers:engine.Engine.max_workers;
@@ -50,10 +58,12 @@ let tvar_count t = Atomic.get t.tvars
 let reconfigure t (new_mode : Mode.t) =
   Mode.validate new_mode;
   Engine.quiesce t.engine (fun () ->
-      if t.table.Lock_table.granularity_log2 <> new_mode.Mode.granularity_log2 then
+      if t.table.Lock_table.granularity_log2 <> new_mode.Mode.granularity_log2 then begin
+        let base = Engine.now t.engine in
+        record_generation t.engine ~region:t.id ~version:base;
         t.table <-
-          Lock_table.create ~clock_now:(Engine.now t.engine)
-            ~granularity_log2:new_mode.Mode.granularity_log2;
+          Lock_table.create ~clock_now:base ~granularity_log2:new_mode.Mode.granularity_log2
+      end;
       t.visibility <- new_mode.Mode.visibility;
       t.update <- new_mode.Mode.update)
 

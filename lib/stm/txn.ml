@@ -173,6 +173,9 @@ let extend t (entry : region_entry) =
     (* Nothing read invisibly yet: the snapshot can move forward for free
        (visible reads are 2PL-protected and need no revalidation). *)
     t.rv <- now
+  else if Bug.enabled Bug.Skip_extension_validation then
+    (* Seeded bug: extend without revalidating — zombie snapshots. *)
+    t.rv <- now
   else if validate t then begin
     entry.re_shard.Region_stats.extensions <- entry.re_shard.Region_stats.extensions + 1;
     t.rv <- now
@@ -189,7 +192,13 @@ let lock_conflict (entry : region_entry) =
 
 (* -- Reads ---------------------------------------------------------------- *)
 
-let read_invisible (type a) t (entry : region_entry) (tvar : a Tvar.t) (word : int Atomic.t) : a =
+let record_read t (entry : region_entry) ~slot ~version =
+  match t.engine.Engine.recorder with
+  | None -> ()
+  | Some r -> r.Engine.rec_read ~txn:t.id ~region:entry.re_region.Region.id ~slot ~version
+
+let read_invisible (type a) t (entry : region_entry) (tvar : a Tvar.t) ~slot (word : int Atomic.t)
+    : a =
   Runtime_hook.charge Runtime_hook.Read_invisible;
   let rec sample retries =
     if retries > t.engine.Engine.sample_retry_limit then lock_conflict entry;
@@ -218,6 +227,7 @@ let read_invisible (type a) t (entry : region_entry) (tvar : a Tvar.t) (word : i
           Vec.push t.read_words word;
           Vec.push t.read_observed w1
         end;
+        record_read t entry ~slot ~version:(Orec.version w1);
         value
       end
     end
@@ -247,6 +257,7 @@ let read_visible (type a) t (entry : region_entry) (tvar : a Tvar.t) ~(table : L
          [rv] means someone committed since we started; the extension
          revalidates the invisible part of the read set. *)
       if Orec.version w > t.rv then extend t entry;
+      record_read t entry ~slot ~version:(Orec.version w);
       Atomic.get tvar.Tvar.cell
     end
   end
@@ -261,7 +272,7 @@ let read t (tvar : 'a Tvar.t) : 'a =
     let slot = Lock_table.slot_of_id table tvar.Tvar.id in
     let word = Lock_table.word table slot in
     match entry.re_visibility with
-    | Mode.Invisible -> read_invisible t entry tvar word
+    | Mode.Invisible -> read_invisible t entry tvar ~slot word
     | Mode.Visible -> read_visible t entry tvar ~table ~slot word
   end
 
@@ -299,12 +310,19 @@ let acquire_slot t (entry : region_entry) (word : int Atomic.t) (counter : int A
               wait (spins + 1)
             end
         in
-        wait 0;
+        (* Seeded bug: ignoring the reader counters breaks the 2PL shared
+           hold that lets visible readers skip commit-time validation. *)
+        if not (Bug.enabled Bug.Skip_reader_drain) then wait 0;
         if Orec.version w > t.rv then extend t entry
       end
     end
   in
   attempt 0
+
+let record_write t (entry : region_entry) ~slot =
+  match t.engine.Engine.recorder with
+  | None -> ()
+  | Some r -> r.Engine.rec_write ~txn:t.id ~region:entry.re_region.Region.id ~slot
 
 let write (type a) t (tvar : a Tvar.t) (value : a) =
   check_active t "Txn.write";
@@ -320,6 +338,7 @@ let write (type a) t (tvar : a Tvar.t) (value : a) =
         let word = Lock_table.word table slot in
         let counter = Lock_table.reader_counter table slot in
         acquire_slot t entry word counter;
+        record_write t entry ~slot;
         tvar.Tvar.pending <- value;
         tvar.Tvar.pending_owner <- t.id;
         Vec.push t.writes
@@ -342,6 +361,7 @@ let write (type a) t (tvar : a Tvar.t) (value : a) =
       let word = Lock_table.word table slot in
       let counter = Lock_table.reader_counter table slot in
       acquire_slot t entry word counter;
+      record_write t entry ~slot;
       let previous = Atomic.get tvar.Tvar.cell in
       Runtime_hook.charge Runtime_hook.Write_entry;
       Atomic.set tvar.Tvar.cell value;
@@ -378,7 +398,10 @@ let begin_txn t =
   Vec.clear t.writes;
   t.regions <- [];
   t.rv <- Engine.now t.engine;
-  t.active <- true
+  t.active <- true;
+  match t.engine.Engine.recorder with
+  | None -> ()
+  | Some r -> r.Engine.rec_begin ~txn:t.id ~rv:t.rv
 
 let release_visible_holds t =
   Vec.iter (fun counter -> ignore (Atomic.fetch_and_add counter (-1))) t.vis_counters
@@ -394,15 +417,26 @@ let finalize_success t =
   Engine.leave t.engine;
   t.active <- false
 
+let record_commit t ~stamp =
+  match t.engine.Engine.recorder with
+  | None -> ()
+  | Some r -> r.Engine.rec_commit ~txn:t.id ~stamp
+
 let commit t =
   if Vec.is_empty t.writes then begin
     t.last_serialization <- t.rv;
+    record_commit t ~stamp:t.rv;
     finalize_success t
   end
   else begin
     Runtime_hook.charge Runtime_hook.Commit_fixed;
     let wv = Engine.tick t.engine in
-    if wv <> t.rv + 1 && not (validate t) then begin
+    let skip_validation =
+      (* [wv = rv + 1]: no one committed since our snapshot, nothing to
+         validate.  The seeded bug skips the check unconditionally. *)
+      wv = t.rv + 1 || Bug.enabled Bug.Skip_commit_validation
+    in
+    if (not skip_validation) && not (validate t) then begin
       (match t.regions with
       | e :: _ ->
           e.re_shard.Region_stats.validation_fails <-
@@ -410,10 +444,15 @@ let commit t =
       | [] -> ());
       raise Abort
     end;
-    Vec.iter (fun we -> we.w_commit ()) t.writes;
-    let released = Orec.make_version wv in
-    Vec.iter (fun word -> Atomic.set word released) t.lock_words;
+    (* Publish + release are not abortable: once the first buffered value
+       lands, the only way forward is completion, so the phase is masked
+       against fault injection. *)
+    Runtime_hook.critical (fun () ->
+        Vec.iter (fun we -> we.w_commit ()) t.writes;
+        let released = Orec.make_version wv in
+        Vec.iter (fun word -> Atomic.set word released) t.lock_words);
     t.last_serialization <- wv;
+    record_commit t ~stamp:wv;
     finalize_success t
   end
 
@@ -421,12 +460,18 @@ let rollback t =
   (* Resets run in reverse write order (write-through undo entries must
      restore the oldest value last) and strictly before lock release: a
      later lock owner must never observe our stale owner tag or our
-     uncommitted in-place values. *)
-  for i = Vec.length t.writes - 1 downto 0 do
-    (Vec.get t.writes i).w_reset ()
-  done;
-  Vec.iteri (fun i word -> Atomic.set word (Vec.get t.lock_prev i)) t.lock_words;
-  release_visible_holds t;
+     uncommitted in-place values.  The whole undo sequence is masked: a
+     fault-injection kill here would leave locks orphaned forever. *)
+  Runtime_hook.critical (fun () ->
+      if not (Bug.enabled Bug.Skip_undo_log) then
+        for i = Vec.length t.writes - 1 downto 0 do
+          (Vec.get t.writes i).w_reset ()
+        done;
+      Vec.iteri (fun i word -> Atomic.set word (Vec.get t.lock_prev i)) t.lock_words;
+      release_visible_holds t);
+  (match t.engine.Engine.recorder with
+  | None -> ()
+  | Some r -> r.Engine.rec_abort ~txn:t.id);
   List.iter
     (fun e -> e.re_shard.Region_stats.aborts <- e.re_shard.Region_stats.aborts + 1)
     t.regions;

@@ -4,7 +4,13 @@
    core) owns an independent stream derived from a master seed, so results do
    not depend on scheduling.  splitmix64 seeds an xoshiro256** state. *)
 
-type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+  master_seed : int;  (* the [make] seed this stream descends from *)
+}
 
 let splitmix64_next state =
   let open Int64 in
@@ -20,7 +26,7 @@ let make seed =
   let s1 = splitmix64_next state in
   let s2 = splitmix64_next state in
   let s3 = splitmix64_next state in
-  { s0; s1; s2; s3 }
+  { s0; s1; s2; s3; master_seed = seed }
 
 let split t ~index =
   (* Derive an independent stream; mixing the parent's next output with the
@@ -30,7 +36,11 @@ let split t ~index =
   let s1 = splitmix64_next state in
   let s2 = splitmix64_next state in
   let s3 = splitmix64_next state in
-  { s0; s1; s2; s3 }
+  { s0; s1; s2; s3; master_seed = t.master_seed }
+
+(* Every failure report prints one reproducing seed: the master seed
+   survives [split], so any derived stream can name the run that made it. *)
+let seed t = t.master_seed
 
 let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
 

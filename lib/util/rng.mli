@@ -12,6 +12,10 @@ val split : t -> index:int -> t
 (** [split t ~index] derives an independent child stream; distinct indices
     give decorrelated streams.  Does not advance [t]. *)
 
+val seed : t -> int
+(** The [make] seed this stream descends from (preserved across {!split}),
+    so every failure can report a single reproducing seed. *)
+
 val bits : t -> int
 (** 62 uniformly random non-negative bits. *)
 

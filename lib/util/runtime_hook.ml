@@ -35,16 +35,27 @@ let default_charge = function
 
 let default_relax () = Domain.cpu_relax ()
 
+(* Critical sections: engine phases that must not be interrupted by the
+   simulator's fault-injection plane (e.g. the commit publish/release
+   sequence, which is not abortable once started).  In domain mode this is
+   the identity; under the simulator [Sim_env] installs a mask that defers
+   injected kills until the section ends. *)
+let default_critical f = f ()
+
 let charge_ref = ref default_charge
 let relax_ref = ref default_relax
+let critical_ref = ref default_critical
 
 let charge event = !charge_ref event
 let relax () = !relax_ref ()
+let critical f = !critical_ref f
 
-let install ~charge ~relax =
+let install ?(critical = default_critical) ~charge ~relax () =
   charge_ref := charge;
-  relax_ref := relax
+  relax_ref := relax;
+  critical_ref := critical
 
 let reset () =
   charge_ref := default_charge;
-  relax_ref := default_relax
+  relax_ref := default_relax;
+  critical_ref := default_critical

@@ -20,7 +20,17 @@ val relax : unit -> unit
 (** Spin-wait pause. [Domain.cpu_relax] by default; a 1-cycle yield under the
     simulator. *)
 
-val install : charge:(event -> unit) -> relax:(unit -> unit) -> unit
+val critical : (unit -> unit) -> unit
+(** Run an engine phase that must not be interrupted by fault injection
+    (e.g. the commit publish/release sequence). Identity by default; the
+    simulator environment installs a kill mask. *)
+
+val install :
+  ?critical:((unit -> unit) -> unit) ->
+  charge:(event -> unit) ->
+  relax:(unit -> unit) ->
+  unit ->
+  unit
 (** Replace the hooks. Must not be called while workers are running. *)
 
 val reset : unit -> unit

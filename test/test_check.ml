@@ -1,0 +1,293 @@
+(* The checker checking itself (DESIGN.md §9):
+
+   - Soak: the unmutated engine survives a budget of schedules across all
+     scenarios (mixed modes, mid-run reconfiguration, fault injection)
+     with zero oracle anomalies and zero invariant violations.
+   - Mutation gate: every seeded-bug variant (Bug.all) is detected by
+     Explore within a bounded schedule budget, and the failure carries a
+     minimized schedule that still reproduces on replay.
+   - Schedule plumbing: recorded schedules replay deterministically;
+     DFS enumerates distinct schedules; kills are masked out of critical
+     sections (no lock is leaked by an injected kill).
+
+   CHECK_BUDGET scales the soak depth (nightly CI raises it). *)
+
+open Partstm_stm
+open Partstm_check
+
+let check = Alcotest.check
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> default)
+  | None -> default
+
+let budget_scale = env_int "CHECK_BUDGET" 1
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  go 0
+
+(* -- Soak: unmutated engine, all scenarios --------------------------------- *)
+
+let soak_test (scenario : Scenario.t) strategy ~budget ~kills =
+  let name =
+    Fmt.str "%s under %s%s" scenario.Scenario.name (Explore.strategy_name strategy)
+      (if kills > 0 then Fmt.str " + %d kills" kills else "")
+  in
+  Alcotest.test_case name `Slow (fun () ->
+      match Explore.run ~seed:0x50a4 ~budget:(budget * budget_scale) ~kills strategy scenario with
+      | Explore.Passed { schedules; abandoned; _ } ->
+          check Alcotest.bool "ran a useful number of schedules" true
+            (schedules - abandoned > budget / 2)
+      | Explore.Failed f -> Alcotest.failf "unexpected failure:@.%a" Explore.pp_failure f)
+
+let soak_tests =
+  List.concat_map
+    (fun scenario ->
+      [
+        soak_test scenario Explore.Random_walk ~budget:60 ~kills:0;
+        soak_test scenario (Explore.Pct { depth = 3 }) ~budget:60 ~kills:0;
+        soak_test scenario Explore.Random_walk ~budget:40 ~kills:2;
+      ])
+    Scenario.all
+  @ [ soak_test Scenario.bank_invisible (Explore.Dfs { max_preemptions = 2 }) ~budget:40 ~kills:0 ]
+
+(* -- Mutation gate: every seeded bug is caught ----------------------------- *)
+
+let mutation_test bug =
+  Alcotest.test_case (Bug.to_string bug) `Slow (fun () ->
+      let scenario = Scenario.for_bug bug in
+      let outcome =
+        Bug.with_bug bug (fun () ->
+            Explore.run ~seed:0xb06 ~budget:400 Explore.Random_walk scenario)
+      in
+      match outcome with
+      | Explore.Passed { schedules; _ } ->
+          Alcotest.failf "seeded bug %s escaped %d schedules on %s" (Bug.to_string bug) schedules
+            scenario.Scenario.name
+      | Explore.Failed f ->
+          check Alcotest.bool "failure carries anomalies" true (f.Explore.f_errors <> []);
+          (* The minimized schedule must still reproduce the failure. *)
+          let verdict =
+            Bug.with_bug bug (fun () -> Explore.replay scenario f.Explore.f_minimized)
+          in
+          (match verdict with
+          | Explore.Bad _ -> ()
+          | Explore.Clean _ | Explore.Abandoned ->
+              Alcotest.failf "minimized schedule did not reproduce:@.%a" Schedule.pp
+                f.Explore.f_minimized);
+          (* And it should not be larger than what was recorded. *)
+          check Alcotest.bool "minimized is no larger" true
+            (List.length f.Explore.f_minimized.Schedule.decisions
+            <= List.length f.Explore.f_schedule.Schedule.decisions))
+
+let mutation_tests = List.map mutation_test Bug.all
+
+(* The systematic strategy must catch every mutant too: iterative
+   deepening over preemption bounds reaches each bug's conflict window
+   within a bounded number of schedules (empirically <= 600; the budget
+   here leaves headroom). *)
+let dfs_mutation_test bug =
+  Alcotest.test_case (Bug.to_string bug ^ " (dfs)") `Slow (fun () ->
+      let scenario = Scenario.for_bug bug in
+      let outcome =
+        Bug.with_bug bug (fun () ->
+            Explore.run ~budget:1500 (Explore.Dfs { max_preemptions = 2 }) scenario)
+      in
+      match outcome with
+      | Explore.Passed { schedules; _ } ->
+          Alcotest.failf "seeded bug %s escaped dfs after %d schedules" (Bug.to_string bug)
+            schedules
+      | Explore.Failed f ->
+          check Alcotest.bool "failure carries anomalies" true (f.Explore.f_errors <> []))
+
+let dfs_mutation_tests = List.map dfs_mutation_test Bug.all
+
+(* -- Minimization produces a replayable reproducer ------------------------- *)
+
+let minimization_test =
+  Alcotest.test_case "forced failure minimizes and prints" `Quick (fun () ->
+      let scenario = Scenario.for_bug Bug.Skip_commit_validation in
+      let outcome =
+        Bug.with_bug Bug.Skip_commit_validation (fun () ->
+            Explore.run ~seed:0x51ed ~budget:400 Explore.Random_walk scenario)
+      in
+      match outcome with
+      | Explore.Passed _ -> Alcotest.fail "expected a failure to minimize"
+      | Explore.Failed f ->
+          let rendered = Fmt.str "%a" Explore.pp_failure f in
+          check Alcotest.bool "report names the scenario" true
+            (contains ~affix:scenario.Scenario.name rendered);
+          check Alcotest.bool "report prints a reproducer" true
+            (contains ~affix:"minimized reproducer" rendered))
+
+(* -- Determinism of schedule replay ---------------------------------------- *)
+
+let replay_determinism_test =
+  Alcotest.test_case "recorded schedule replays to identical history" `Quick (fun () ->
+      let scenario = Scenario.bank_invisible in
+      (* Record one random schedule's decisions and history. *)
+      let master = Partstm_util.Rng.make 0xdead in
+      let run_recorded () =
+        let inst = scenario.Scenario.make () in
+        let rng = Partstm_util.Rng.split master ~index:1 in
+        let choose, trace =
+          Schedule.recording (fun runnable -> Partstm_util.Rng.int rng (Array.length runnable))
+        in
+        Partstm_simcore.Sim_env.with_model (fun () ->
+            ignore (Partstm_simcore.Sim.run ~choose inst.Scenario.bodies));
+        (trace (), History.events inst.Scenario.history)
+      in
+      let decisions, history = run_recorded () in
+      let schedule = Schedule.make ~seed:0xdead decisions in
+      let inst2 = scenario.Scenario.make () in
+      Partstm_simcore.Sim_env.with_model (fun () ->
+          ignore
+            (Partstm_simcore.Sim.run ~choose:(Schedule.replayer schedule) inst2.Scenario.bodies));
+      let history2 = History.events inst2.Scenario.history in
+      check Alcotest.int "same number of events" (List.length history) (List.length history2);
+      check Alcotest.bool "identical histories" true (history = history2))
+
+(* -- DFS enumerates distinct schedules ------------------------------------- *)
+
+let dfs_distinct_test =
+  Alcotest.test_case "dfs explores distinct schedules" `Quick (fun () ->
+      (* A tiny two-fiber scenario so traces stay short. *)
+      let scenario =
+        Scenario.bank ~accounts:2 ~workers:2 ~transfers:1 ~observer:false ~name:"tiny" ()
+      in
+      match Explore.run ~budget:25 (Explore.Dfs { max_preemptions = 2 }) scenario with
+      | Explore.Passed { schedules; abandoned; _ } ->
+          check Alcotest.bool "ran several schedules" true (schedules >= 5);
+          check Alcotest.int "no abandoned schedules" 0 abandoned
+      | Explore.Failed f -> Alcotest.failf "unexpected failure:@.%a" Explore.pp_failure f)
+
+(* -- Kills never leak engine state ----------------------------------------- *)
+
+let kill_safety_test =
+  Alcotest.test_case "injected kills leave the engine consistent" `Slow (fun () ->
+      (* Aggressive kill injection across all scenarios: conservation and
+         the oracle must still hold — rollback and commit publish are
+         masked, everything else unwinds through rollback. *)
+      List.iter
+        (fun scenario ->
+          match Explore.run ~seed:0x4b11 ~budget:40 ~kills:4 Explore.Random_walk scenario with
+          | Explore.Passed _ -> ()
+          | Explore.Failed f -> Alcotest.failf "kill leaked state:@.%a" Explore.pp_failure f)
+        [ Scenario.bank_invisible; Scenario.bank_write_through; Scenario.queue_default ])
+
+(* -- Oracle unit behaviour -------------------------------------------------- *)
+
+let oracle_unit_tests =
+  let open History in
+  [
+    Alcotest.test_case "oracle flags a stale read" `Quick (fun () ->
+        let events =
+          [
+            Generation { region = 0; version = 0 };
+            Begin { txn = 1; rv = 0 };
+            Read { txn = 1; region = 0; slot = 0; version = 0 };
+            Begin { txn = 2; rv = 0 };
+            Read { txn = 2; region = 0; slot = 0; version = 0 };
+            Write { txn = 2; region = 0; slot = 0 };
+            Commit { txn = 2; stamp = 1 };
+            Write { txn = 1; region = 0; slot = 1 };
+            Commit { txn = 1; stamp = 2 };
+          ]
+        in
+        let report = Oracle.check events in
+        check Alcotest.int "committed" 2 report.Oracle.committed;
+        check Alcotest.int "one anomaly" 1 (List.length report.Oracle.anomalies);
+        match report.Oracle.anomalies with
+        | [ Oracle.Stale_read { txn = 1; conflict = 1; _ } ] -> ()
+        | other ->
+            Alcotest.failf "unexpected anomalies: %a"
+              Fmt.(Dump.list Oracle.pp_anomaly)
+              other);
+    Alcotest.test_case "oracle flags a lost update" `Quick (fun () ->
+        let events =
+          [
+            Generation { region = 0; version = 0 };
+            Begin { txn = 1; rv = 0 };
+            Read { txn = 1; region = 0; slot = 0; version = 0 };
+            Write { txn = 1; region = 0; slot = 0 };
+            Begin { txn = 2; rv = 0 };
+            Read { txn = 2; region = 0; slot = 0; version = 0 };
+            Write { txn = 2; region = 0; slot = 0 };
+            Commit { txn = 2; stamp = 1 };
+            Commit { txn = 1; stamp = 2 };
+          ]
+        in
+        let report = Oracle.check events in
+        match report.Oracle.anomalies with
+        | [ Oracle.Lost_update { txn = 1; conflict = 1; _ } ] -> ()
+        | other ->
+            Alcotest.failf "unexpected anomalies: %a"
+              Fmt.(Dump.list Oracle.pp_anomaly)
+              other);
+    Alcotest.test_case "oracle flags a phantom version" `Quick (fun () ->
+        let events =
+          [
+            Generation { region = 0; version = 0 };
+            Begin { txn = 1; rv = 7 };
+            Read { txn = 1; region = 0; slot = 0; version = 7 };
+            Commit { txn = 1; stamp = 7 };
+          ]
+        in
+        let report = Oracle.check events in
+        match report.Oracle.anomalies with
+        | [ Oracle.Phantom_version { txn = 1; observed = 7; _ } ] -> ()
+        | other ->
+            Alcotest.failf "unexpected anomalies: %a"
+              Fmt.(Dump.list Oracle.pp_anomaly)
+              other);
+    Alcotest.test_case "oracle accepts a clean history across generations" `Quick (fun () ->
+        let events =
+          [
+            Generation { region = 0; version = 0 };
+            Begin { txn = 1; rv = 0 };
+            Read { txn = 1; region = 0; slot = 0; version = 0 };
+            Write { txn = 1; region = 0; slot = 0 };
+            Commit { txn = 1; stamp = 1 };
+            (* table swap: same slot number, different orec *)
+            Generation { region = 0; version = 1 };
+            Begin { txn = 2; rv = 1 };
+            Read { txn = 2; region = 0; slot = 0; version = 1 };
+            Write { txn = 2; region = 0; slot = 0 };
+            Commit { txn = 2; stamp = 2 };
+            Begin { txn = 3; rv = 2 };
+            Read { txn = 3; region = 0; slot = 0; version = 2 };
+            Commit { txn = 3; stamp = 2 };
+          ]
+        in
+        let report = Oracle.check events in
+        check Alcotest.int "no anomalies" 0 (List.length report.Oracle.anomalies);
+        check Alcotest.int "aborted" 0 report.Oracle.aborted);
+    Alcotest.test_case "aborted attempts are not checked" `Quick (fun () ->
+        let events =
+          [
+            Generation { region = 0; version = 0 };
+            Begin { txn = 1; rv = 0 };
+            Read { txn = 1; region = 0; slot = 0; version = 0 };
+            Abort { txn = 1 };
+            Begin { txn = 1; rv = 3 };
+            Read { txn = 1; region = 0; slot = 0; version = 0 };
+            Commit { txn = 1; stamp = 3 };
+          ]
+        in
+        let report = Oracle.check events in
+        check Alcotest.int "aborted" 1 report.Oracle.aborted;
+        check Alcotest.int "committed" 1 report.Oracle.committed);
+  ]
+
+let () =
+  Alcotest.run "partstm_check"
+    [
+      ("oracle", oracle_unit_tests);
+      ("soak", soak_tests);
+      ("mutation", mutation_tests @ dfs_mutation_tests);
+      ( "schedules",
+        [ replay_determinism_test; dfs_distinct_test; minimization_test; kill_safety_test ] );
+    ]

@@ -1,17 +1,30 @@
 (* Schedule fuzzing: the deterministic simulator turns scheduling into an
    input, so qcheck can fuzz *interleavings*.  Each case runs a genuinely
    concurrent workload under a random seed / jitter / worker count /
-   configuration and asserts exact semantic invariants afterwards.
+   configuration, asserts exact semantic invariants afterwards, and feeds
+   the recorded transaction history through the checker's opacity oracle
+   (Check.Oracle): every run must be anomaly-free at the orec level too.
 
-   This complements the replay tests (test_serializability.ml): replay
-   checks one schedule deeply; fuzzing checks many schedules cheaply. *)
+   This complements the replay tests (test_serializability.ml) and the
+   systematic explorer (test_check.ml): replay checks one schedule
+   deeply, exploration steers schedules adversarially, fuzzing samples
+   many random schedules cheaply.
+
+   FUZZ_COUNT scales the number of cases per property (nightly CI raises
+   it; the default keeps `dune runtest` quick). *)
 
 open Partstm_stm
 open Partstm_core
 open Partstm_simcore
 open Partstm_structures
+module Check = Partstm_check
 
-let qtest ?(count = 25) name gen law =
+let fuzz_count =
+  match Sys.getenv_opt "FUZZ_COUNT" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 25)
+  | None -> 25
+
+let qtest ?(count = fuzz_count) name gen law =
   QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen law)
 
 let schedule_gen =
@@ -27,6 +40,24 @@ let mode_of_index i =
   | 2 -> Mode.make ~granularity_log2:0 ()
   | _ -> Mode.make ~update:Mode.Write_through ()
 
+(* A system with the history recorder attached from the start (before
+   any partition exists, so lock-table generation events are captured). *)
+let recorded_system () =
+  let system = System.create ~max_workers:16 () in
+  let history = Check.History.create () in
+  Check.History.attach history (System.engine system);
+  (system, history)
+
+(* Demand zero oracle anomalies on top of the property's own invariant. *)
+let oracle_clean history =
+  let report = Check.Oracle.check (Check.History.events history) in
+  match report.Check.Oracle.anomalies with
+  | [] -> true
+  | anomalies ->
+      QCheck2.Test.fail_reportf "oracle anomalies:@.%a"
+        Fmt.(list ~sep:cut Check.Oracle.pp_anomaly)
+        anomalies
+
 let run_fibers ~seed ~jitter workers body =
   Sim_env.with_model (fun () -> ignore (Sim.run ~seed ~jitter (List.init workers (fun _ -> body))))
 
@@ -37,30 +68,34 @@ let prop_bank_conservation =
   qtest "bank conserves money under random schedules"
     QCheck2.Gen.(pair schedule_gen (int_range 0 3))
     (fun ((seed, jitter, workers), mode_index) ->
-      let system = System.create ~max_workers:16 () in
+      let system, history = recorded_system () in
       let partition = System.partition system "bank" ~mode:(mode_of_index mode_index) ~tunable:false in
       let accounts = 32 in
       let book = Tarray.make partition ~length:accounts 100 in
       let audits_wrong = ref 0 in
-      run_fibers ~seed ~jitter workers (fun fiber_id ->
-          let txn = System.descriptor system ~worker_id:fiber_id in
-          let rng = Partstm_util.Rng.make (seed + fiber_id) in
-          for _ = 1 to 150 do
-            if Partstm_util.Rng.chance rng ~percent:80 then begin
-              let src = Partstm_util.Rng.int rng accounts
-              and dst = Partstm_util.Rng.int rng accounts in
-              Txn.atomically txn (fun t ->
-                  if src <> dst then begin
-                    Tarray.modify t book src (fun b -> b - 5);
-                    Tarray.modify t book dst (fun b -> b + 5)
-                  end)
-            end
-            else begin
-              let total = Txn.atomically txn (fun t -> Tarray.fold t book ( + ) 0) in
-              if total <> accounts * 100 then incr audits_wrong
-            end
-          done);
-      !audits_wrong = 0 && Tarray.peek_fold book ( + ) 0 = accounts * 100)
+      (fun () ->
+          run_fibers ~seed ~jitter workers (fun fiber_id ->
+              let txn = System.descriptor system ~worker_id:fiber_id in
+              let rng = Partstm_util.Rng.make (seed + fiber_id) in
+              for _ = 1 to 150 do
+                if Partstm_util.Rng.chance rng ~percent:80 then begin
+                  let src = Partstm_util.Rng.int rng accounts
+                  and dst = Partstm_util.Rng.int rng accounts in
+                  Txn.atomically txn (fun t ->
+                      if src <> dst then begin
+                        Tarray.modify t book src (fun b -> b - 5);
+                        Tarray.modify t book dst (fun b -> b + 5)
+                      end)
+                end
+                else begin
+                  let total = Txn.atomically txn (fun t -> Tarray.fold t book ( + ) 0) in
+                  if total <> accounts * 100 then incr audits_wrong
+                end
+              done);
+          !audits_wrong = 0
+          && Tarray.peek_fold book ( + ) 0 = accounts * 100
+          && oracle_clean history)
+        ())
 
 (* Structural integrity: a red-black tree hammered under a random schedule
    keeps all five invariants, in every region configuration. *)
@@ -68,25 +103,28 @@ let prop_rbtree_invariants =
   qtest "rbtree invariants under random schedules"
     QCheck2.Gen.(pair schedule_gen (int_range 0 3))
     (fun ((seed, jitter, workers), mode_index) ->
-      let system = System.create ~max_workers:16 () in
+      let system, history = recorded_system () in
       let partition = System.partition system "tree" ~mode:(mode_of_index mode_index) ~tunable:false in
       let tree = Trbtree.make partition in
-      run_fibers ~seed ~jitter workers (fun fiber_id ->
-          let txn = System.descriptor system ~worker_id:fiber_id in
-          let rng = Partstm_util.Rng.make (seed * 31 + fiber_id) in
-          for _ = 1 to 120 do
-            let key = Partstm_util.Rng.int rng 48 in
-            if Partstm_util.Rng.bool rng then
-              ignore (Txn.atomically txn (fun t -> Trbtree.add t tree key key))
-            else ignore (Txn.atomically txn (fun t -> Trbtree.remove t tree key))
-          done);
-      Trbtree.check tree = [])
+      (fun () ->
+          run_fibers ~seed ~jitter workers (fun fiber_id ->
+              let txn = System.descriptor system ~worker_id:fiber_id in
+              let rng = Partstm_util.Rng.make ((seed * 31) + fiber_id) in
+              for _ = 1 to 120 do
+                let key = Partstm_util.Rng.int rng 48 in
+                if Partstm_util.Rng.bool rng then
+                  ignore (Txn.atomically txn (fun t -> Trbtree.add t tree key key))
+                else ignore (Txn.atomically txn (fun t -> Trbtree.remove t tree key))
+              done);
+          Trbtree.check tree = [] && oracle_clean history)
+        ())
 
 (* Online reconfiguration fuzz: a tuner fiber aggressively rewrites the
-   region configuration mid-run; counter increments must survive exactly. *)
+   region configuration mid-run; counter increments must survive exactly,
+   and the oracle must stay silent across lock-table generations. *)
 let prop_reconfiguration_preserves_updates =
   qtest "random reconfigurations lose no updates" schedule_gen (fun (seed, jitter, workers) ->
-      let system = System.create ~max_workers:16 () in
+      let system, history = recorded_system () in
       let partition = System.partition system "counter" in
       let cells = Tarray.make partition ~length:8 0 in
       let iterations = 120 in
@@ -108,35 +146,51 @@ let prop_reconfiguration_preserves_updates =
       Sim_env.with_model (fun () ->
           ignore
             (Sim.run ~seed ~jitter (List.init workers (fun _ -> worker_body) @ [ tuner_body ])));
-      Tarray.peek_fold cells ( + ) 0 = workers * iterations)
+      Tarray.peek_fold cells ( + ) 0 = workers * iterations && oracle_clean history)
 
 (* Queue: elements enqueued = elements dequeued + remaining, no element
    duplicated or invented, under random schedules. *)
 let prop_queue_no_loss_no_duplication =
   qtest "queue neither loses nor duplicates" schedule_gen (fun (seed, jitter, workers) ->
-      let system = System.create ~max_workers:16 () in
+      let system, history = recorded_system () in
       let partition = System.partition system "queue" ~tunable:false in
       let queue = Tqueue.make partition in
       let per_worker = 80 in
       let dequeued = Array.make workers [] in
-      run_fibers ~seed ~jitter workers (fun fiber_id ->
-          let txn = System.descriptor system ~worker_id:fiber_id in
-          for i = 0 to per_worker - 1 do
-            (* Unique tagged elements. *)
-            Txn.atomically txn (fun t -> Tqueue.enqueue t queue ((fiber_id * 1_000_000) + i));
-            match Txn.atomically txn (fun t -> Tqueue.dequeue t queue) with
-            | Some v -> dequeued.(fiber_id) <- v :: dequeued.(fiber_id)
-            | None -> ()
-          done);
-      let taken = List.concat (Array.to_list dequeued) in
-      let remaining = Tqueue.peek_to_list queue in
-      let all = List.sort compare (taken @ remaining) in
-      let expected =
-        List.sort compare
-          (List.concat
-             (List.init workers (fun w -> List.init per_worker (fun i -> (w * 1_000_000) + i))))
-      in
-      all = expected)
+      (fun () ->
+          run_fibers ~seed ~jitter workers (fun fiber_id ->
+              let txn = System.descriptor system ~worker_id:fiber_id in
+              for i = 0 to per_worker - 1 do
+                (* Unique tagged elements. *)
+                Txn.atomically txn (fun t -> Tqueue.enqueue t queue ((fiber_id * 1_000_000) + i));
+                match Txn.atomically txn (fun t -> Tqueue.dequeue t queue) with
+                | Some v -> dequeued.(fiber_id) <- v :: dequeued.(fiber_id)
+                | None -> ()
+              done);
+          let taken = List.concat (Array.to_list dequeued) in
+          let remaining = Tqueue.peek_to_list queue in
+          let all = List.sort compare (taken @ remaining) in
+          let expected =
+            List.sort compare
+              (List.concat
+                 (List.init workers (fun w -> List.init per_worker (fun i -> (w * 1_000_000) + i))))
+          in
+          all = expected && oracle_clean history)
+        ())
+
+(* Adversarial exploration as a qcheck property: random master seeds into
+   the checker's PCT strategy must find nothing on the correct engine. *)
+let prop_explore_finds_nothing =
+  qtest ~count:(max 4 (fuzz_count / 5)) "pct exploration finds no anomaly"
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      match
+        Check.Explore.run ~seed ~budget:10 (Check.Explore.Pct { depth = 3 })
+          Check.Scenario.bank_invisible
+      with
+      | Check.Explore.Passed _ -> true
+      | Check.Explore.Failed f ->
+          QCheck2.Test.fail_reportf "explorer failure:@.%a" Check.Explore.pp_failure f)
 
 let () =
   Alcotest.run "partstm_fuzz"
@@ -147,5 +201,6 @@ let () =
           prop_rbtree_invariants;
           prop_reconfiguration_preserves_updates;
           prop_queue_no_loss_no_duplication;
+          prop_explore_finds_nothing;
         ] );
     ]

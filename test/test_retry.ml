@@ -1,0 +1,158 @@
+(* Blocking retry and attempt exhaustion, on both execution backends:
+   the deterministic simulator (cooperative fibers, virtual time) and
+   real domains.  Complements the direct-API tests in test_stm.ml. *)
+
+open Partstm_stm
+open Partstm_simcore
+
+let check = Alcotest.check
+
+(* -- Simulated backend ------------------------------------------------------ *)
+
+let test_sim_retry_wakes_on_write () =
+  let e = Engine.create () in
+  let r = Region.create e ~name:"main" () in
+  let flag = Tvar.make r false and value = Tvar.make r 0 in
+  let result = ref (-1) in
+  Sim_env.with_model (fun () ->
+      ignore
+        (Sim.run
+           [
+             (fun _ ->
+               let txn = Txn.create e ~worker_id:0 in
+               result :=
+                 Txn.atomically txn (fun t ->
+                     if not (Txn.read t flag) then Txn.retry t else Txn.read t value));
+             (fun _ ->
+               let txn = Txn.create e ~worker_id:1 in
+               (* Let the consumer park first (it spins on its wait set with
+                  unit-cost yields, so it stays runnable but cheap). *)
+               Partstm_util.Runtime_hook.charge (Partstm_util.Runtime_hook.Step 500);
+               Txn.atomically txn (fun t ->
+                   Txn.write t value 42;
+                   Txn.write t flag true));
+           ]));
+  check Alcotest.int "woken with the published value" 42 !result
+
+let test_sim_retry_producer_consumer () =
+  (* A chain: consumer waits for each item the producer publishes. *)
+  let e = Engine.create () in
+  let r = Region.create e ~name:"main" () in
+  let items = 5 in
+  let seq = Tvar.make r 0 in
+  let consumed = ref [] in
+  Sim_env.with_model (fun () ->
+      ignore
+        (Sim.run
+           [
+             (fun _ ->
+               let txn = Txn.create e ~worker_id:0 in
+               for expect = 1 to items do
+                 let got =
+                   Txn.atomically txn (fun t ->
+                       let v = Txn.read t seq in
+                       if v < expect then Txn.retry t else v)
+                 in
+                 consumed := got :: !consumed
+               done);
+             (fun _ ->
+               let txn = Txn.create e ~worker_id:1 in
+               for _ = 1 to items do
+                 Partstm_util.Runtime_hook.charge (Partstm_util.Runtime_hook.Step 100);
+                 Txn.atomically txn (fun t -> Txn.write t seq (Txn.read t seq + 1))
+               done);
+           ]));
+  check Alcotest.(list int) "consumed every published step" [ 1; 2; 3; 4; 5 ]
+    (List.rev !consumed)
+
+let test_sim_too_many_attempts () =
+  let e = Engine.create ~max_attempts:3 ~contention_manager:Cm.Suicide () in
+  let r = Region.create e ~name:"main" () in
+  let v = Tvar.make r 0 in
+  let exhausted = ref false in
+  let attempts_seen = ref 0 in
+  Sim_env.with_model (fun () ->
+      ignore
+        (Sim.run
+           [
+             (fun _ ->
+               (* Holds the write lock until the victim has given up. *)
+               let blocker = Txn.create e ~worker_id:0 in
+               Txn.begin_txn blocker;
+               Txn.write blocker v 99;
+               while not !exhausted do
+                 Partstm_util.Runtime_hook.relax ()
+               done;
+               Txn.rollback blocker);
+             (fun _ ->
+               let victim = Txn.create e ~worker_id:1 in
+               (try ignore (Txn.atomically victim (fun t -> Txn.write t v 1))
+                with Txn.Too_many_attempts n -> attempts_seen := n);
+               exhausted := true;
+               (* With the blocker gone the descriptor is usable again. *)
+               Txn.atomically victim (fun t -> Txn.write t v 7));
+           ]));
+  check Alcotest.int "gave up after max_attempts + 1" 4 !attempts_seen;
+  check Alcotest.int "recovered afterwards" 7 (Tvar.peek v)
+
+(* -- Domains backend -------------------------------------------------------- *)
+
+let test_domains_retry_wakes_on_write () =
+  let e = Engine.create () in
+  let r = Region.create e ~name:"main" () in
+  let flag = Tvar.make r false and value = Tvar.make r 0 in
+  let consumer =
+    Domain.spawn (fun () ->
+        let txn = Txn.create e ~worker_id:0 in
+        Txn.atomically txn (fun t ->
+            if not (Txn.read t flag) then Txn.retry t else Txn.read t value))
+  in
+  for _ = 1 to 100_000 do
+    Domain.cpu_relax ()
+  done;
+  let producer = Txn.create e ~worker_id:1 in
+  Txn.atomically producer (fun t ->
+      Txn.write t value 21;
+      Txn.write t flag true);
+  check Alcotest.int "woken with the published value" 21 (Domain.join consumer)
+
+let test_domains_too_many_attempts () =
+  let e = Engine.create ~max_attempts:3 ~contention_manager:Cm.Suicide () in
+  let r = Region.create e ~name:"main" () in
+  let v = Tvar.make r 0 in
+  (* The main domain holds the lock; the victim domain must exhaust its
+     attempt budget against it. *)
+  let blocker = Txn.create e ~worker_id:0 in
+  Txn.begin_txn blocker;
+  Txn.write blocker v 99;
+  let victim =
+    Domain.spawn (fun () ->
+        let txn = Txn.create e ~worker_id:1 in
+        try
+          ignore (Txn.atomically txn (fun t -> Txn.write t v 1));
+          None
+        with Txn.Too_many_attempts n -> Some n)
+  in
+  let outcome = Domain.join victim in
+  Txn.rollback blocker;
+  check Alcotest.(option int) "gave up after max_attempts + 1" (Some 4) outcome;
+  (* Progress resumes once the blocker is gone. *)
+  let txn = Txn.create e ~worker_id:1 in
+  Txn.atomically txn (fun t -> Txn.write t v 5);
+  check Alcotest.int "recovered afterwards" 5 (Tvar.peek v)
+
+let () =
+  Alcotest.run "partstm_retry"
+    [
+      ( "simulated",
+        [
+          Alcotest.test_case "retry wakes on write" `Quick test_sim_retry_wakes_on_write;
+          Alcotest.test_case "producer/consumer chain" `Quick test_sim_retry_producer_consumer;
+          Alcotest.test_case "too many attempts" `Quick test_sim_too_many_attempts;
+        ] );
+      ( "domains",
+        [
+          Alcotest.test_case "retry wakes on write" `Quick test_domains_retry_wakes_on_write;
+          Alcotest.test_case "too many attempts" `Quick test_domains_too_many_attempts;
+        ] );
+    ]

@@ -1,22 +1,26 @@
-(* Serializability checking by commit-order replay.
+(* Serializability checking by commit-order replay, on top of the
+   checker's oracle library (Check.Oracle).
 
    Every committed transaction carries a serialization stamp (its commit
    version, or its validated snapshot version when read-only); the STM
    guarantees the concurrent execution is equivalent to running the
    transactions sequentially in stamp order (updates before read-only
-   transactions at equal stamps).
+   transactions at equal stamps — Check.Oracle.replay_sort).
 
    These tests record every operation's result during a genuinely
    concurrent run — under the deterministic simulator and under real
    domains — then replay the operations in stamp order against a purely
-   sequential model and demand *identical results*.  This is a much
-   stronger oracle than end-state invariants: it catches lost updates,
-   stale reads, dirty reads and ordering anomalies. *)
+   sequential model and demand *identical results*.  On top of that, the
+   engine-level history of each run goes through the opacity oracle:
+   zero orec-level anomalies allowed.  Together these catch lost updates,
+   stale reads, dirty reads and ordering anomalies at both the semantic
+   and the engine level. *)
 
 open Partstm_stm
 open Partstm_core
 open Partstm_simcore
 open Partstm_structures
+module Check = Partstm_check
 
 let check = Alcotest.check
 
@@ -28,16 +32,13 @@ type recorded_op = {
   observed : bool;  (* the structure's answer *)
 }
 
-(* Replay order: stamp ascending; at equal stamps updates first (a reader
-   whose snapshot version equals wv observed that commit). *)
-let replay_order a b =
-  if a.stamp <> b.stamp then compare a.stamp b.stamp
-  else compare a.is_update b.is_update |> Int.neg
-
 module IntSet = Set.Make (Int)
 
 let replay_and_verify operations =
-  let sorted = List.sort replay_order operations in
+  let sorted =
+    Check.Oracle.replay_sort ~stamp:(fun op -> op.stamp) ~is_update:(fun op -> op.is_update)
+      operations
+  in
   let model = ref IntSet.empty in
   List.iteri
     (fun i op ->
@@ -58,6 +59,17 @@ let replay_and_verify operations =
           op.stamp op.op_kind op.key op.observed expected)
     sorted;
   !model
+
+(* The engine-level history must be anomaly-free too. *)
+let assert_oracle_clean history =
+  let report = Check.Oracle.check (Check.History.events history) in
+  (match report.Check.Oracle.anomalies with
+  | [] -> ()
+  | anomalies ->
+      Alcotest.failf "oracle anomalies:@.%a"
+        Fmt.(list ~sep:cut Check.Oracle.pp_anomaly)
+        anomalies);
+  check Alcotest.bool "history saw commits" true (report.Check.Oracle.committed > 0)
 
 (* One worker performing random set operations, recording each with its
    serialization stamp. *)
@@ -102,6 +114,8 @@ let rbtree_sut tree = function
 let sim_replay_test ~mode_name mode make_sut final_elements =
   Alcotest.test_case (Printf.sprintf "sim replay (%s)" mode_name) `Slow (fun () ->
       let system = System.create ~max_workers:16 () in
+      let history = Check.History.create () in
+      Check.History.attach history (System.engine system);
       let partition = System.partition system "sut" ~mode ~tunable:false in
       let sut, elements = make_sut partition in
       let logs = Array.make 8 [] in
@@ -114,6 +128,7 @@ let sim_replay_test ~mode_name mode make_sut final_elements =
       let all_ops = List.concat (Array.to_list logs) in
       let model = replay_and_verify all_ops in
       check Alcotest.(list int) "final state matches model" (IntSet.elements model) (elements ());
+      assert_oracle_clean history;
       ignore final_elements)
 
 (* -- Domain-based (real parallelism) runs ------------------------------------ *)
@@ -121,6 +136,8 @@ let sim_replay_test ~mode_name mode make_sut final_elements =
 let domains_replay_test make_sut =
   Alcotest.test_case "domains replay" `Slow (fun () ->
       let system = System.create ~max_workers:16 () in
+      let history = Check.History.create () in
+      Check.History.attach history (System.engine system);
       let partition = System.partition system "sut" ~tunable:false in
       let sut, elements = make_sut partition in
       let logs = Array.make 4 [] in
@@ -133,7 +150,8 @@ let domains_replay_test make_sut =
       List.iter Domain.join domains;
       let all_ops = List.concat (Array.to_list logs) in
       let model = replay_and_verify all_ops in
-      check Alcotest.(list int) "final state matches model" (IntSet.elements model) (elements ()))
+      check Alcotest.(list int) "final state matches model" (IntSet.elements model) (elements ());
+      assert_oracle_clean history)
 
 let make_list_sut partition =
   let tlist = Tlist.make partition in

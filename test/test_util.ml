@@ -335,13 +335,17 @@ let test_vec_set_and_deep_clear () =
 
 let test_runtime_hook_install_reset () =
   let hits = ref 0 in
-  Runtime_hook.install ~charge:(fun _ -> incr hits) ~relax:(fun () -> incr hits);
+  Runtime_hook.install ~charge:(fun _ -> incr hits) ~relax:(fun () -> incr hits) ();
   Runtime_hook.charge (Runtime_hook.Step 1);
   Runtime_hook.relax ();
   check Alcotest.int "hooks fired" 2 !hits;
   Runtime_hook.reset ();
   Runtime_hook.charge (Runtime_hook.Step 1);
-  check Alcotest.int "default is silent" 2 !hits
+  check Alcotest.int "default is silent" 2 !hits;
+  (* [critical] defaults to the identity and is restored by [reset]. *)
+  let ran = ref false in
+  Runtime_hook.critical (fun () -> ran := true);
+  check Alcotest.bool "critical default runs inline" true !ran
 
 let () =
   Alcotest.run "partstm_util"
