@@ -5,6 +5,7 @@
      run <workload> ...      run one workload and print throughput + stats
      stats <workload> ...    run with telemetry and print per-partition summaries
      trace <workload> ...    run with telemetry and print the per-period trace
+     profile <workload> ...  run with the span tracer + contention profiler
      check [<scenario>] ...  systematic schedule exploration + opacity oracle
      list                    list workloads, strategies and check scenarios
 
@@ -13,6 +14,7 @@
      dune exec bin/partstm_cli.exe -- run mixed --workers 8 --strategy tuned
      dune exec bin/partstm_cli.exe -- stats intset-ll --backend domains --seconds 1
      dune exec bin/partstm_cli.exe -- trace phased --telemetry-out results
+     dune exec bin/partstm_cli.exe -- profile bank --backend sim --trace-out results
      dune exec bin/partstm_cli.exe -- check --budget 500 --kills 2
      dune exec bin/partstm_cli.exe -- check --bug skip-commit-validation *)
 
@@ -140,8 +142,10 @@ type run_outcome = {
 }
 
 (* Run one workload per the spec; [with_telemetry] forces a telemetry
-   instance even without --telemetry-out (the stats/trace subcommands). *)
-let execute spec ~with_telemetry =
+   instance even without --telemetry-out (the stats/trace subcommands).
+   [tracer]/[contention] are attached to the system's engine for the
+   duration of the run (the profile subcommand). *)
+let execute ?tracer ?contention spec ~with_telemetry =
   match
     ( List.find_opt (fun (Workload { wl_name; _ }) -> wl_name = spec.workload_name) workloads,
       List.assoc_opt spec.strategy_name strategies )
@@ -170,9 +174,20 @@ let execute spec ~with_telemetry =
               Some (Telemetry.create (System.registry system))
             else None
           in
+          Option.iter
+            (fun tracer -> Partstm_obs.Tracer.attach tracer (System.engine system))
+            tracer;
+          Option.iter
+            (fun c -> Partstm_obs.Contention.attach c (System.engine system))
+            contention;
           let result =
-            Driver.run ?tuner ?telemetry ~seed:spec.seed ~mode ~workers:spec.workers
-              (wl_worker state)
+            Fun.protect
+              ~finally:(fun () ->
+                Option.iter Partstm_obs.Tracer.detach tracer;
+                Option.iter Partstm_obs.Contention.detach contention)
+              (fun () ->
+                Driver.run ?tuner ?telemetry ?tracer ?contention ~seed:spec.seed ~mode
+                  ~workers:spec.workers (wl_worker state))
           in
           Option.iter
             (fun dir ->
@@ -244,6 +259,7 @@ let cmd_list () =
     Check.Scenario.all;
   print_endline "seeded bugs (check --bug):";
   List.iter (fun b -> Printf.printf "  %s\n" (Bug.to_string b)) Bug.all;
+  print_endline "(any workload/strategy above works with run, stats, trace and profile)";
   0
 
 (* -- check: systematic concurrency testing ------------------------------------ *)
@@ -390,6 +406,97 @@ let cmd_trace spec =
       print_decisions outcome;
       if outcome.ro_verified then 0 else 1
 
+(* -- profile: span tracer + contention profiler -------------------------------- *)
+
+type profile_spec = {
+  pf_run : run_spec;
+  pf_sampling : int;
+  pf_top_k : int;
+  pf_trace_out : string option;
+}
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+(* Fail fast, before the run, when the output directory cannot take a
+   file — a profile run is expensive and its artifacts are the point. *)
+let ensure_writable_dir dir =
+  try
+    mkdir_p dir;
+    let probe = Filename.concat dir ".partstm-write-probe" in
+    let oc = open_out probe in
+    close_out oc;
+    Sys.remove probe;
+    Ok ()
+  with Sys_error msg -> Error msg
+
+let write_text_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+
+let region_namer system =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun p -> Hashtbl.replace tbl (Partition.region p).Region.id (Partition.name p))
+    (Registry.partitions (System.registry system));
+  fun r ->
+    match Hashtbl.find_opt tbl r with
+    | Some name -> name
+    | None -> "region-" ^ string_of_int r
+
+let cmd_profile pspec =
+  let spec = pspec.pf_run in
+  match Option.map ensure_writable_dir pspec.pf_trace_out with
+  | Some (Error msg) ->
+      Printf.eprintf "profile: --trace-out %S is not writable: %s\n"
+        (Option.value ~default:"" pspec.pf_trace_out)
+        msg;
+      2
+  | _ -> (
+      let tracer = Partstm_obs.Tracer.create ~sample_every:pspec.pf_sampling () in
+      let contention = Partstm_obs.Contention.create () in
+      match execute ~tracer ~contention spec ~with_telemetry:false with
+      | Error code -> code
+      | Ok outcome ->
+          print_run_header spec outcome;
+          let name_of_region = region_namer outcome.ro_system in
+          let module Report = Partstm_obs.Report in
+          Partstm_util.Table.print (Report.span_summary tracer);
+          print_newline ();
+          Partstm_util.Table.print
+            (Report.hot_slots_table ~top_k:pspec.pf_top_k ~name_of_region contention);
+          print_newline ();
+          Partstm_util.Table.print (Report.latency_table ~name_of_region contention);
+          print_newline ();
+          Printf.printf "contention heatmap (lock-table slot space, %s units):\n"
+            (match spec.backend with "sim" -> "cycle" | _ -> "ns");
+          print_string (Partstm_obs.Report.heatmap ~name_of_region contention);
+          Option.iter
+            (fun dir ->
+              let ts_per_us = if spec.backend = "sim" then 1 else 1000 in
+              let path name = Filename.concat dir (spec.workload_name ^ name) in
+              let trace_path = path "-trace.json" in
+              write_text_file trace_path
+                (Partstm_obs.Chrome.to_string ~name_of_region ~ts_per_us tracer ^ "\n");
+              let folded_path = path "-folded.txt" in
+              write_text_file folded_path
+                (Partstm_obs.Chrome.folded_to_string ~name_of_region tracer);
+              let contention_path = path "-contention.json" in
+              write_text_file contention_path
+                (Partstm_util.Json.to_string
+                   (Partstm_obs.Contention.to_json ~name_of_region contention)
+                ^ "\n");
+              Printf.printf "\ntrace      : %s (load in Perfetto / chrome://tracing)\n"
+                trace_path;
+              Printf.printf "folded     : %s\n" folded_path;
+              Printf.printf "contention : %s\n" contention_path)
+            pspec.pf_trace_out;
+          print_decisions outcome;
+          if outcome.ro_verified then 0 else 1)
+
 (* -- Cmdliner wiring ----------------------------------------------------------- *)
 
 let dsa_cmd =
@@ -436,9 +543,17 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run one workload and print throughput and per-partition statistics")
     Term.(const cmd_run $ spec_term)
 
+let see_also_profile =
+  [
+    `S Manpage.s_see_also;
+    `P
+      "$(b,partstm profile) records per-attempt spans and per-orec contention instead of \
+       per-period aggregates.";
+  ]
+
 let stats_cmd =
   Cmd.v
-    (Cmd.info "stats"
+    (Cmd.info "stats" ~man:see_also_profile
        ~doc:
          "Run one workload under telemetry and print per-partition totals, mode switches and \
           per-period sparklines")
@@ -446,11 +561,57 @@ let stats_cmd =
 
 let trace_cmd =
   Cmd.v
-    (Cmd.info "trace"
+    (Cmd.info "trace" ~man:see_also_profile
        ~doc:
          "Run one workload under telemetry and print the per-partition per-period time series \
           and the tuner decision log")
     Term.(const cmd_trace $ spec_term)
+
+let profile_spec_term =
+  let sampling =
+    Arg.(
+      value & opt int 1
+      & info [ "sampling" ] ~docv:"N"
+          ~doc:
+            "Keep one span per $(docv) attempts (deterministic per-shard streams; aggregate \
+             counters stay exact)")
+  in
+  let top_k =
+    Arg.(
+      value & opt int 10
+      & info [ "top-k" ] ~docv:"K" ~doc:"Rows in the hottest-orecs table")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"DIR"
+          ~doc:
+            "Write the Chrome trace_event JSON, folded-stacks text and contention JSON into \
+             $(docv)")
+  in
+  let make pf_run pf_sampling pf_top_k pf_trace_out =
+    { pf_run; pf_sampling; pf_top_k; pf_trace_out }
+  in
+  Term.(const make $ spec_term $ sampling $ top_k $ trace_out)
+
+let profile_cmd =
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run one workload under the transaction tracer and contention profiler: per-attempt \
+          spans with abort causes and retry chains, hot-orec heatmaps, commit/abort/lock-wait \
+          latency percentiles, and Perfetto-loadable Chrome trace export"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Timestamps are virtual cycles on the $(b,sim) backend (tracing does not perturb \
+              the deterministic schedule) and nanoseconds on $(b,domains). With \
+              $(b,--trace-out) the run writes $(i,workload)-trace.json (trace_event format), \
+              $(i,workload)-folded.txt (flamegraph input) and $(i,workload)-contention.json.";
+         ])
+    Term.(const cmd_profile $ profile_spec_term)
 
 let check_spec_term =
   let scenario =
@@ -506,6 +667,6 @@ let check_cmd =
 let main_cmd =
   let doc = "Partitioned software transactional memory playground" in
   Cmd.group (Cmd.info "partstm" ~doc)
-    [ dsa_cmd; list_cmd; run_cmd; stats_cmd; trace_cmd; check_cmd ]
+    [ dsa_cmd; list_cmd; run_cmd; stats_cmd; trace_cmd; profile_cmd; check_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

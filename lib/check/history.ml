@@ -28,9 +28,13 @@ let push t event =
   t.count <- t.count + 1;
   Mutex.unlock t.mutex
 
+(* The oracle needs only the core history events; the tracing extensions
+   (conflict causes, lock-wait spins, commit-begin) stay no-ops here — they
+   are the [lib/obs] taps' concern. *)
 let recorder t =
   {
-    Engine.rec_begin = (fun ~txn ~rv -> push t (Begin { txn; rv }));
+    Engine.null_recorder with
+    Engine.rec_begin = (fun ~txn ~worker:_ ~rv -> push t (Begin { txn; rv }));
     rec_read = (fun ~txn ~region ~slot ~version -> push t (Read { txn; region; slot; version }));
     rec_write = (fun ~txn ~region ~slot -> push t (Write { txn; region; slot }));
     rec_commit = (fun ~txn ~stamp -> push t (Commit { txn; stamp }));
@@ -38,6 +42,9 @@ let recorder t =
     rec_generation = (fun ~region ~version -> push t (Generation { region; version }));
   }
 
+(* Goes through the deprecated [set_recorder] shim on purpose: the shim is
+   one tap among possibly several, so a tracer attached via [Engine.add_tap]
+   keeps observing the same run (exercised by the fan-out tests). *)
 let attach t engine = Engine.set_recorder engine (Some (recorder t))
 let detach engine = Engine.set_recorder engine None
 

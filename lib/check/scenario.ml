@@ -12,6 +12,7 @@ open Partstm_structures
 
 type instance = {
   bodies : (int -> unit) list;
+  engine : Engine.t;
   history : History.t;
   check : unit -> string list;  (* invariant violations, post-run *)
 }
@@ -88,7 +89,7 @@ let bank ?(mode = Mode.make ()) ?(accounts = 3) ?(workers = 3) ?(transfers = 4) 
           (fun s -> Fmt.str "observer read inconsistent sum %d (expected %d)" s total)
           !bad_sums
     in
-    { bodies; history; check }
+    { bodies; engine = System.engine system; history; check }
   in
   { name; fibers; make }
 
@@ -141,7 +142,7 @@ let queue ?(producers = 2) ?(consumers = 2) ?(items = 4) ~name () =
         ]
       else []
     in
-    { bodies; history; check }
+    { bodies; engine = System.engine system; history; check }
   in
   { name; fibers; make }
 
@@ -209,7 +210,7 @@ let reconfigure ?(workers = 3) ?(transfers = 4) ~name () =
           (fun s -> Fmt.str "observer read inconsistent sum %d (expected %d)" s total)
           !bad_sums
     in
-    { bodies; history; check }
+    { bodies; engine = System.engine system; history; check }
   in
   { name; fibers; make }
 
@@ -261,7 +262,7 @@ let mixed_modes ?(workers = 3) ?(transfers = 4) ~name () =
           (fun s -> Fmt.str "observer read inconsistent sum %d (expected %d)" s total)
           !bad_sums
     in
-    { bodies; history; check }
+    { bodies; engine = System.engine system; history; check }
   in
   { name; fibers; make }
 

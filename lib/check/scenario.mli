@@ -6,6 +6,9 @@ open Partstm_stm
 
 type instance = {
   bodies : (int -> unit) list;  (** fiber bodies for {!Partstm_simcore.Sim.run} *)
+  engine : Engine.t;
+      (** the instance's engine, for attaching extra observer taps (e.g. a
+          tracer) alongside the history recorder *)
   history : History.t;  (** recorder already attached to the instance's engine *)
   check : unit -> string list;  (** post-run invariant violations *)
 }

@@ -43,18 +43,43 @@ let mode_to_string = function
   | Domains { seconds } -> Printf.sprintf "domains(%.2fs)" seconds
   | Simulated { cycles; _ } -> Printf.sprintf "sim(%dc)" cycles
 
+let mode_label (m : Partstm_stm.Mode.t) =
+  Printf.sprintf "%s/g%d/%s"
+    (Partstm_stm.Mode.visibility_to_string m.Partstm_stm.Mode.visibility)
+    m.Partstm_stm.Mode.granularity_log2
+    (Partstm_stm.Mode.update_to_string m.Partstm_stm.Mode.update)
+
 (* Tuning is scheduled as [tuner_steps] evenly spaced samples across the
    run, on a dedicated fiber (Simulated) or domain (Domains); telemetry
    sampling runs the same way at [telemetry_steps] periods.  Attaching a
    telemetry instance adds one observer fiber/domain, which (like any
    profiler) perturbs the schedule slightly — compare runs with like
    instrumentation. *)
-let run ?tuner ?(tuner_steps = 40) ?telemetry ?(telemetry_steps = 40) ?(seed = 42) ~mode
-    ~workers worker =
+let run ?tuner ?(tuner_steps = 40) ?telemetry ?(telemetry_steps = 40) ?tracer ?contention
+    ?(seed = 42) ~mode ~workers worker =
   if workers <= 0 then invalid_arg "Driver.run: workers";
   (match (telemetry, tuner) with
   | Some telemetry, Some tuner -> Telemetry.attach_tuner telemetry tuner
   | _ -> ());
+  (* Bridge tuner decisions into the tracer's timeline.  The subscription
+     outlives the run (Tuner has no unsubscribe); tuners are created per
+     run in practice, and a repeat run with the same pair only duplicates
+     decision instants, never spans. *)
+  (match (tracer, tuner) with
+  | Some tracer, Some tuner ->
+      Tuner.on_event tuner (fun (ev : Tuner.event) ->
+          Partstm_obs.Tracer.record_decision tracer ~partition:ev.Tuner.ev_partition
+            ~from_mode:(mode_label ev.Tuner.ev_from)
+            ~to_mode:(mode_label ev.Tuner.ev_to))
+  | _ -> ());
+  let set_obs_clock clock =
+    Option.iter (fun t -> Partstm_obs.Tracer.set_clock t clock) tracer;
+    Option.iter (fun c -> Partstm_obs.Contention.set_clock c clock) contention
+  in
+  let clear_obs_clock () =
+    Option.iter Partstm_obs.Tracer.clear_clock tracer;
+    Option.iter Partstm_obs.Contention.clear_clock contention
+  in
   let master = Rng.make seed in
   let ops = Array.make workers 0 in
   match mode with
@@ -97,6 +122,9 @@ let run ?tuner ?(tuner_steps = 40) ?telemetry ?(telemetry_steps = 40) ?(seed = 4
         (fun telemetry ->
           Telemetry.set_clock telemetry (fun () -> float_of_int (Sim.now ())))
         telemetry;
+      (* Tracer timestamps are virtual cycles; the callbacks charge no
+         virtual time, so tracing cannot perturb a simulated schedule. *)
+      set_obs_clock Sim.now;
       (* The telemetry fiber is only added when requested so that runs
          without telemetry keep their exact historical schedule. *)
       let bodies =
@@ -113,6 +141,7 @@ let run ?tuner ?(tuner_steps = 40) ?telemetry ?(telemetry_steps = 40) ?(seed = 4
          the run really ends at the makespan, not at the nominal budget;
          using [cycles] here would overstate throughput. *)
       let elapsed_cycles = max cycles outcome.Sim.makespan in
+      clear_obs_clock ();
       Option.iter
         (fun telemetry ->
           Telemetry.clear_clock telemetry;
@@ -185,6 +214,10 @@ let run ?tuner ?(tuner_steps = 40) ?telemetry ?(telemetry_steps = 40) ?(seed = 4
         (fun telemetry ->
           Telemetry.set_clock telemetry (fun () -> Unix.gettimeofday () -. start))
         telemetry;
+      (* Nanoseconds since run start, so span timestamps stay integral and
+         Chrome export divides by 1000 to reach microseconds. *)
+      set_obs_clock (fun () ->
+          int_of_float ((Unix.gettimeofday () -. start) *. 1e9));
       let domains =
         List.init workers (fun id ->
             Domain.spawn (fun () -> ops.(id) <- worker (make_ctx id)))
@@ -195,6 +228,7 @@ let run ?tuner ?(tuner_steps = 40) ?telemetry ?(telemetry_steps = 40) ?(seed = 4
       Domain.join tuner_domain;
       Domain.join telemetry_domain;
       let elapsed = Unix.gettimeofday () -. start in
+      clear_obs_clock ();
       Option.iter
         (fun telemetry ->
           Telemetry.clear_clock telemetry;

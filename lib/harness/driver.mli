@@ -35,6 +35,8 @@ val run :
   ?tuner_steps:int ->
   ?telemetry:Telemetry.t ->
   ?telemetry_steps:int ->
+  ?tracer:Partstm_obs.Tracer.t ->
+  ?contention:Partstm_obs.Contention.t ->
   ?seed:int ->
   mode:mode ->
   workers:int ->
@@ -45,6 +47,11 @@ val run :
     runs [tuner_steps] times, evenly spaced, on a dedicated fiber/domain
     (steps never run past the deadline). When [telemetry] is given, it is
     sampled [telemetry_steps] times the same way, plus a final sample after
-    the run (and it is subscribed to [tuner]'s decision events). On the
-    Simulated backend, [elapsed]/[throughput] use the actual makespan, not
-    the nominal cycle budget. *)
+    the run (and it is subscribed to [tuner]'s decision events). When
+    [tracer] / [contention] are given, the run installs the backend clock
+    into them (virtual cycles on Simulated, nanoseconds since start on
+    Domains) and bridges [tuner]'s decisions into the tracer's timeline;
+    attaching them to the engine is the caller's job
+    ({!Partstm_obs.Tracer.attach}). On the Simulated backend,
+    [elapsed]/[throughput] use the actual makespan, not the nominal cycle
+    budget. *)

@@ -1,0 +1,197 @@
+(* Chrome trace_event export (DESIGN.md §8.2).
+
+   Emits the JSON-array flavour of the trace_event format, loadable in
+   Perfetto / chrome://tracing:
+
+   - one "M" (metadata) event naming the process and one per worker track
+     (tid = worker id), plus a dedicated "tuner" track;
+   - one "X" (complete) event per span, ts = begin, dur = end - begin,
+     with txn/chain/attempt/outcome/rv/stamp/reads/writes in [args]; a
+     nested "commit" sub-event covers the commit phase of committed spans
+     that reached [sp_commit_begin];
+   - "i" (instant, thread-scoped) events for aborts and tuner decisions.
+
+   Timestamps are microseconds per the format; [ts_per_us] converts the
+   tracer's clock units (default 1: virtual cycles are reported 1:1, which
+   keeps Simulated traces integral; pass 1000 for nanosecond clocks).
+   Spans come from [Tracer.spans] already sorted by begin time, so each
+   track's events are emitted with monotone ts.
+
+   Also exports folded-stacks lines ("partition;phase;outcome weight") for
+   flamegraph tooling. *)
+
+open Partstm_util
+
+let us ~ts_per_us t = if ts_per_us <= 1 then t else t / ts_per_us
+
+let span_args ?(name_of_region = string_of_int) (sp : Tracer.span) =
+  let base =
+    [
+      ("txn", Json.Int sp.Tracer.sp_txn);
+      ("chain", Json.Int sp.Tracer.sp_chain);
+      ("attempt", Json.Int sp.Tracer.sp_attempt);
+      ("outcome", Json.String (Tracer.outcome_label sp.Tracer.sp_outcome));
+      ("rv", Json.Int sp.Tracer.sp_rv);
+      ("reads", Json.Int sp.Tracer.sp_reads);
+      ("writes", Json.Int sp.Tracer.sp_writes);
+      ( "partition",
+        if sp.Tracer.sp_region >= 0 then Json.String (name_of_region sp.Tracer.sp_region)
+        else Json.Null );
+    ]
+  in
+  if sp.Tracer.sp_stamp >= 0 then base @ [ ("stamp", Json.Int sp.Tracer.sp_stamp) ] else base
+
+let meta_event ~pid ~tid ~name ~value =
+  Json.Obj
+    [
+      ("name", Json.String name);
+      ("ph", Json.String "M");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int tid);
+      ("args", Json.Obj [ ("name", Json.String value) ]);
+    ]
+
+let trace_events ?(name_of_region = string_of_int) ?(ts_per_us = 1) ?(pid = 1) tracer =
+  let tuner_tid = 1_000_000 in
+  let spans = Tracer.spans tracer in
+  let workers =
+    List.sort_uniq compare (List.map (fun sp -> sp.Tracer.sp_worker) spans)
+  in
+  let meta =
+    meta_event ~pid ~tid:0 ~name:"process_name" ~value:"partstm"
+    :: meta_event ~pid ~tid:tuner_tid ~name:"thread_name" ~value:"tuner"
+    :: List.map
+         (fun w ->
+           meta_event ~pid ~tid:w ~name:"thread_name"
+             ~value:(Printf.sprintf "worker-%d" w))
+         workers
+  in
+  let span_events =
+    List.concat_map
+      (fun sp ->
+        let ts = us ~ts_per_us sp.Tracer.sp_begin in
+        let dur = max 0 (us ~ts_per_us sp.Tracer.sp_end - ts) in
+        let name =
+          match sp.Tracer.sp_outcome with
+          | Tracer.Committed -> "txn"
+          | Tracer.Aborted _ -> "txn-attempt"
+        in
+        let main =
+          Json.Obj
+            [
+              ("name", Json.String name);
+              ("cat", Json.String "txn");
+              ("ph", Json.String "X");
+              ("pid", Json.Int pid);
+              ("tid", Json.Int sp.Tracer.sp_worker);
+              ("ts", Json.Int ts);
+              ("dur", Json.Int dur);
+              ("args", Json.Obj (span_args ~name_of_region sp));
+            ]
+        in
+        let commit_sub =
+          match sp.Tracer.sp_outcome with
+          | Tracer.Committed when sp.Tracer.sp_commit_begin >= 0 ->
+              let cts = us ~ts_per_us sp.Tracer.sp_commit_begin in
+              [
+                Json.Obj
+                  [
+                    ("name", Json.String "commit");
+                    ("cat", Json.String "phase");
+                    ("ph", Json.String "X");
+                    ("pid", Json.Int pid);
+                    ("tid", Json.Int sp.Tracer.sp_worker);
+                    ("ts", Json.Int cts);
+                    ("dur", Json.Int (max 0 (us ~ts_per_us sp.Tracer.sp_end - cts)));
+                    ("args", Json.Obj [ ("txn", Json.Int sp.Tracer.sp_txn) ]);
+                  ];
+              ]
+          | _ -> []
+        in
+        let abort_instant =
+          match sp.Tracer.sp_outcome with
+          | Tracer.Aborted cause ->
+              [
+                Json.Obj
+                  [
+                    ( "name",
+                      Json.String
+                        (Printf.sprintf "abort:%s"
+                           (Partstm_stm.Engine.cause_to_string cause)) );
+                    ("cat", Json.String "abort");
+                    ("ph", Json.String "i");
+                    ("s", Json.String "t");
+                    ("pid", Json.Int pid);
+                    ("tid", Json.Int sp.Tracer.sp_worker);
+                    ("ts", Json.Int (us ~ts_per_us sp.Tracer.sp_end));
+                    ("args", Json.Obj [ ("txn", Json.Int sp.Tracer.sp_txn) ]);
+                  ];
+              ]
+          | Tracer.Committed -> []
+        in
+        (main :: commit_sub) @ abort_instant)
+      spans
+  in
+  let decision_events =
+    List.map
+      (fun (d : Tracer.decision) ->
+        Json.Obj
+          [
+            ( "name",
+              Json.String
+                (Printf.sprintf "reconfigure %s: %s->%s" d.Tracer.d_partition
+                   d.Tracer.d_from d.Tracer.d_to) );
+            ("cat", Json.String "tuner");
+            ("ph", Json.String "i");
+            ("s", Json.String "p");
+            ("pid", Json.Int pid);
+            ("tid", Json.Int tuner_tid);
+            ("ts", Json.Int (us ~ts_per_us d.Tracer.d_time));
+            ( "args",
+              Json.Obj
+                [
+                  ("partition", Json.String d.Tracer.d_partition);
+                  ("from", Json.String d.Tracer.d_from);
+                  ("to", Json.String d.Tracer.d_to);
+                ] );
+          ])
+      (Tracer.decisions tracer)
+  in
+  Json.List (meta @ span_events @ decision_events)
+
+let to_string ?name_of_region ?ts_per_us ?pid tracer =
+  Json.to_string (trace_events ?name_of_region ?ts_per_us ?pid tracer)
+
+(* -- Folded stacks -------------------------------------------------------- *)
+
+let folded ?(name_of_region = string_of_int) tracer =
+  let tbl : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (sp : Tracer.span) ->
+      let partition =
+        if sp.Tracer.sp_region >= 0 then name_of_region sp.Tracer.sp_region else "none"
+      in
+      let outcome = Tracer.outcome_label sp.Tracer.sp_outcome in
+      let add phase weight =
+        if weight > 0 then begin
+          let key = Printf.sprintf "%s;%s;%s" partition phase outcome in
+          Hashtbl.replace tbl key
+            (weight + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+        end
+      in
+      let total = max 1 (sp.Tracer.sp_end - sp.Tracer.sp_begin) in
+      match sp.Tracer.sp_outcome with
+      | Tracer.Committed when sp.Tracer.sp_commit_begin >= 0 ->
+          let commit = max 0 (sp.Tracer.sp_end - sp.Tracer.sp_commit_begin) in
+          add "body" (total - commit);
+          add "commit" commit
+      | _ -> add "body" total)
+    (Tracer.spans tracer);
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let folded_to_string ?name_of_region tracer =
+  folded ?name_of_region tracer
+  |> List.map (fun (k, v) -> Printf.sprintf "%s %d" k v)
+  |> String.concat "\n"
+  |> fun s -> if s = "" then s else s ^ "\n"

@@ -1,0 +1,26 @@
+(** Chrome [trace_event] and folded-stacks export for {!Tracer} data
+    (DESIGN.md §8.2).
+
+    The JSON-array flavour of the trace_event format, loadable in Perfetto
+    or chrome://tracing: one track per worker ("X" complete events per
+    attempt, nested "commit" phase for committed spans), thread-scoped "i"
+    instant events for aborts, and a dedicated "tuner" track with one
+    process-scoped instant event per reconfiguration decision. *)
+
+open Partstm_util
+
+val trace_events :
+  ?name_of_region:(int -> string) -> ?ts_per_us:int -> ?pid:int -> Tracer.t -> Json.t
+(** [ts_per_us] divides tracer clock units into microseconds (default 1:
+    virtual cycles map 1:1; pass 1000 for a nanosecond clock). Events on
+    each track are emitted in monotone ts order. *)
+
+val to_string : ?name_of_region:(int -> string) -> ?ts_per_us:int -> ?pid:int -> Tracer.t -> string
+
+val folded : ?name_of_region:(int -> string) -> Tracer.t -> (string * int) list
+(** Folded-stacks aggregation ["partition;phase;outcome" -> weight], where
+    phase is [body] or [commit] and weight is clock units spent; sorted by
+    stack name. *)
+
+val folded_to_string : ?name_of_region:(int -> string) -> Tracer.t -> string
+(** Flamegraph-tool input: one ["stack weight"] line per entry. *)

@@ -1,0 +1,338 @@
+(* Contention profiler: per-partition hot-slot heatmaps and latency
+   histograms (DESIGN.md §8.2).
+
+   An [Engine] tap that aggregates, per region:
+
+   - a heatmap keyed by [Lock_table] slot — how often each orec failed a
+     lock acquisition, timed out draining visible readers, or failed
+     read-set validation (validation failures that cannot be attributed to
+     a slot are counted separately so totals still reconcile with the
+     engine's [Region_stats] counters);
+   - latency histograms ([Util.Histogram]): commit latency (commit entry →
+     locks released), abort latency (begin → rollback) and lock-wait spins
+     (CAS retries + reader-drain spins per acquisition).
+
+   Sharded by descriptor id exactly like [Tracer] (single writer per shard
+   below the collision threshold); shards merge at read time.  Counting is
+   never sampled, so heatmap totals equal the engine's conflict counters
+   on a deterministic run — the property the test suite asserts.
+
+   Caveat on region attribution: the engine charges a validation failure
+   to the region of the *triggering* access while the conflict event names
+   the region of the *stale read*; the two differ only for transactions
+   spanning multiple partitions, in which case per-region splits may
+   differ from [Region_stats] even though global totals agree. *)
+
+open Partstm_util
+open Partstm_stm
+
+type slot_counts = {
+  mutable sc_lock : int;
+  mutable sc_reader : int;
+  mutable sc_validation : int;
+}
+
+type region_shard = {
+  slots : (int, slot_counts) Hashtbl.t;
+  commit_h : Histogram.t;
+  abort_h : Histogram.t;
+  lock_wait_h : Histogram.t;
+  mutable unattributed_validation : int;
+}
+
+type shard = {
+  regions : (int, region_shard) Hashtbl.t;
+  (* in-progress attempt, for latency attribution *)
+  mutable c_active : bool;
+  mutable c_txn : int;
+  mutable c_begin : int;
+  mutable c_commit_begin : int;
+  mutable c_region : int;
+}
+
+type t = {
+  shards : shard option array;
+  mutable clock : unit -> int;
+  mutable tap : (Engine.t * int) option;
+}
+
+let default_clock () = 0
+
+let create ?(shards = 1024) () =
+  if shards <= 0 then invalid_arg "Contention.create: shards";
+  { shards = Array.make shards None; clock = default_clock; tap = None }
+
+let set_clock t clock = t.clock <- clock
+let clear_clock t = t.clock <- default_clock
+
+let make_shard () =
+  {
+    regions = Hashtbl.create 8;
+    c_active = false;
+    c_txn = -1;
+    c_begin = 0;
+    c_commit_begin = -1;
+    c_region = -1;
+  }
+
+let shard_of t txn =
+  let i = txn mod Array.length t.shards in
+  let i = if i < 0 then i + Array.length t.shards else i in
+  match t.shards.(i) with
+  | Some s -> s
+  | None ->
+      let s = make_shard () in
+      t.shards.(i) <- Some s;
+      s
+
+let region_shard s region =
+  match Hashtbl.find_opt s.regions region with
+  | Some r -> r
+  | None ->
+      let r =
+        {
+          slots = Hashtbl.create 32;
+          commit_h = Histogram.create ();
+          abort_h = Histogram.create ();
+          lock_wait_h = Histogram.create ();
+          unattributed_validation = 0;
+        }
+      in
+      Hashtbl.add s.regions region r;
+      r
+
+let slot_counts r slot =
+  match Hashtbl.find_opt r.slots slot with
+  | Some c -> c
+  | None ->
+      let c = { sc_lock = 0; sc_reader = 0; sc_validation = 0 } in
+      Hashtbl.add r.slots slot c;
+      c
+
+(* -- Engine-tap callbacks ------------------------------------------------ *)
+
+let on_begin t ~txn ~worker:_ ~rv:_ =
+  let s = shard_of t txn in
+  s.c_active <- true;
+  s.c_txn <- txn;
+  s.c_begin <- t.clock ();
+  s.c_commit_begin <- -1;
+  s.c_region <- -1
+
+let with_cur t txn f =
+  let s = shard_of t txn in
+  if s.c_active && s.c_txn = txn then f s
+
+let track_region t txn region =
+  with_cur t txn (fun s -> if s.c_region < 0 then s.c_region <- region)
+
+let on_conflict t ~txn ~cause ~region ~slot =
+  if region >= 0 then begin
+    let s = shard_of t txn in
+    let r = region_shard s region in
+    match (cause : Engine.abort_cause) with
+    | Engine.Lock_busy -> if slot >= 0 then (slot_counts r slot).sc_lock <- (slot_counts r slot).sc_lock + 1
+    | Engine.Reader_wait ->
+        if slot >= 0 then (slot_counts r slot).sc_reader <- (slot_counts r slot).sc_reader + 1
+    | Engine.Validation ->
+        if slot >= 0 then
+          (slot_counts r slot).sc_validation <- (slot_counts r slot).sc_validation + 1
+        else r.unattributed_validation <- r.unattributed_validation + 1
+    | Engine.Explicit_retry | Engine.Exception_unwind -> ()
+  end
+
+let on_lock_wait t ~txn ~region ~slot:_ ~spins =
+  let s = shard_of t txn in
+  Histogram.observe (region_shard s region).lock_wait_h spins
+
+let on_commit_begin t ~txn = with_cur t txn (fun s -> s.c_commit_begin <- t.clock ())
+
+let on_commit t ~txn ~stamp:_ =
+  with_cur t txn (fun s ->
+      if s.c_commit_begin >= 0 && s.c_region >= 0 then
+        Histogram.observe (region_shard s s.c_region).commit_h (t.clock () - s.c_commit_begin);
+      s.c_active <- false)
+
+let on_abort t ~txn =
+  with_cur t txn (fun s ->
+      if s.c_region >= 0 then
+        Histogram.observe (region_shard s s.c_region).abort_h (t.clock () - s.c_begin);
+      s.c_active <- false)
+
+let recorder t =
+  {
+    Engine.null_recorder with
+    Engine.rec_begin = (fun ~txn ~worker ~rv -> on_begin t ~txn ~worker ~rv);
+    rec_read = (fun ~txn ~region ~slot:_ ~version:_ -> track_region t txn region);
+    rec_write = (fun ~txn ~region ~slot:_ -> track_region t txn region);
+    rec_conflict = (fun ~txn ~cause ~region ~slot -> on_conflict t ~txn ~cause ~region ~slot);
+    rec_lock_wait = (fun ~txn ~region ~slot ~spins -> on_lock_wait t ~txn ~region ~slot ~spins);
+    rec_commit_begin = (fun ~txn -> on_commit_begin t ~txn);
+    rec_commit = (fun ~txn ~stamp -> on_commit t ~txn ~stamp);
+    rec_abort = (fun ~txn -> on_abort t ~txn);
+  }
+
+let attach t engine =
+  if t.tap <> None then invalid_arg "Contention.attach: already attached";
+  t.tap <- Some (engine, Engine.add_tap engine (recorder t))
+
+let detach t =
+  match t.tap with
+  | None -> ()
+  | Some (engine, handle) ->
+      Engine.remove_tap engine handle;
+      t.tap <- None
+
+(* -- Merged views --------------------------------------------------------- *)
+
+type slot_total = {
+  st_region : int;
+  st_slot : int;
+  st_lock : int;
+  st_reader : int;
+  st_validation : int;
+}
+
+let slot_weight st = st.st_lock + st.st_reader + st.st_validation
+
+type region_summary = {
+  rs_region : int;
+  rs_slots : slot_total list;  (* descending by total weight *)
+  rs_lock_fails : int;
+  rs_reader_fails : int;
+  rs_validation_fails : int;  (* slot-attributed + unattributed *)
+  rs_unattributed_validation : int;
+  rs_commit : Histogram.t;
+  rs_abort : Histogram.t;
+  rs_lock_wait : Histogram.t;
+}
+
+let summary t =
+  let merged : (int, region_summary ref) Hashtbl.t = Hashtbl.create 8 in
+  let slot_tables : (int, (int, slot_counts) Hashtbl.t) Hashtbl.t = Hashtbl.create 8 in
+  Array.iter
+    (function
+      | None -> ()
+      | Some shard ->
+          Hashtbl.iter
+            (fun region (r : region_shard) ->
+              let acc =
+                match Hashtbl.find_opt merged region with
+                | Some acc -> acc
+                | None ->
+                    let acc =
+                      ref
+                        {
+                          rs_region = region;
+                          rs_slots = [];
+                          rs_lock_fails = 0;
+                          rs_reader_fails = 0;
+                          rs_validation_fails = 0;
+                          rs_unattributed_validation = 0;
+                          rs_commit = Histogram.create ();
+                          rs_abort = Histogram.create ();
+                          rs_lock_wait = Histogram.create ();
+                        }
+                    in
+                    Hashtbl.add merged region acc;
+                    Hashtbl.add slot_tables region (Hashtbl.create 32);
+                    acc
+              in
+              let slots = Hashtbl.find slot_tables region in
+              Hashtbl.iter
+                (fun slot (c : slot_counts) ->
+                  let m =
+                    match Hashtbl.find_opt slots slot with
+                    | Some m -> m
+                    | None ->
+                        let m = { sc_lock = 0; sc_reader = 0; sc_validation = 0 } in
+                        Hashtbl.add slots slot m;
+                        m
+                  in
+                  m.sc_lock <- m.sc_lock + c.sc_lock;
+                  m.sc_reader <- m.sc_reader + c.sc_reader;
+                  m.sc_validation <- m.sc_validation + c.sc_validation)
+                r.slots;
+              Histogram.merge_into ~dst:!acc.rs_commit r.commit_h;
+              Histogram.merge_into ~dst:!acc.rs_abort r.abort_h;
+              Histogram.merge_into ~dst:!acc.rs_lock_wait r.lock_wait_h;
+              acc :=
+                {
+                  !acc with
+                  rs_unattributed_validation =
+                    !acc.rs_unattributed_validation + r.unattributed_validation;
+                })
+            shard.regions)
+    t.shards;
+  Hashtbl.fold
+    (fun region acc rest ->
+      let slots =
+        Hashtbl.fold
+          (fun slot (c : slot_counts) l ->
+            {
+              st_region = region;
+              st_slot = slot;
+              st_lock = c.sc_lock;
+              st_reader = c.sc_reader;
+              st_validation = c.sc_validation;
+            }
+            :: l)
+          (Hashtbl.find slot_tables region)
+          []
+      in
+      let slots =
+        List.sort
+          (fun a b ->
+            let c = compare (slot_weight b) (slot_weight a) in
+            if c <> 0 then c else compare a.st_slot b.st_slot)
+          slots
+      in
+      let sum f = List.fold_left (fun n st -> n + f st) 0 slots in
+      {
+        !acc with
+        rs_slots = slots;
+        rs_lock_fails = sum (fun st -> st.st_lock);
+        rs_reader_fails = sum (fun st -> st.st_reader);
+        rs_validation_fails =
+          sum (fun st -> st.st_validation) + !acc.rs_unattributed_validation;
+      }
+      :: rest)
+    merged []
+  |> List.sort (fun a b -> compare a.rs_region b.rs_region)
+
+let hot_slots ?(top_k = 10) t =
+  summary t
+  |> List.concat_map (fun rs -> rs.rs_slots)
+  |> List.sort (fun a b ->
+         let c = compare (slot_weight b) (slot_weight a) in
+         if c <> 0 then c else compare (a.st_region, a.st_slot) (b.st_region, b.st_slot))
+  |> List.filteri (fun i _ -> i < top_k)
+
+let to_json ?(name_of_region = string_of_int) t =
+  Json.List
+    (List.map
+       (fun rs ->
+         Json.Obj
+           [
+             ("partition", Json.String (name_of_region rs.rs_region));
+             ("region", Json.Int rs.rs_region);
+             ("lock_fails", Json.Int rs.rs_lock_fails);
+             ("reader_fails", Json.Int rs.rs_reader_fails);
+             ("validation_fails", Json.Int rs.rs_validation_fails);
+             ("unattributed_validation", Json.Int rs.rs_unattributed_validation);
+             ("commit_latency", Histogram.to_json rs.rs_commit);
+             ("abort_latency", Histogram.to_json rs.rs_abort);
+             ("lock_wait_spins", Histogram.to_json rs.rs_lock_wait);
+             ( "hot_slots",
+               Json.List
+                 (List.filteri (fun i _ -> i < 32) rs.rs_slots
+                 |> List.map (fun st ->
+                        Json.Obj
+                          [
+                            ("slot", Json.Int st.st_slot);
+                            ("lock", Json.Int st.st_lock);
+                            ("reader", Json.Int st.st_reader);
+                            ("validation", Json.Int st.st_validation);
+                          ])) );
+           ])
+       (summary t))

@@ -1,0 +1,66 @@
+(** Contention profiler: hot-orec heatmaps and latency histograms
+    (DESIGN.md §8.2).
+
+    An {!Partstm_stm.Engine} tap aggregating, per region, lock-fail /
+    reader-wait / validation-fail counts keyed by [Lock_table] slot, plus
+    commit-latency, abort-latency and lock-wait-spin histograms.  Counting
+    is never sampled: on a deterministic run the heatmap totals equal the
+    engine's {!Partstm_stm.Region_stats} conflict counters (globally;
+    per-region attribution can differ for multi-partition transactions —
+    see the implementation comment). *)
+
+open Partstm_util
+open Partstm_stm
+
+type t
+
+val create : ?shards:int -> unit -> t
+(** [shards] (default 1024) should exceed the engine's descriptor count;
+    collisions between live descriptors can mis-attribute latencies but
+    never corrupt counts of distinct (region, slot) cells. *)
+
+val attach : t -> Engine.t -> unit
+(** Install as an engine tap (fan-out: other taps keep observing). *)
+
+val detach : t -> unit
+val recorder : t -> Engine.recorder
+
+val set_clock : t -> (unit -> int) -> unit
+(** Latency timestamp source, installed by [Driver.run]. Default:
+    constant 0 (latency histograms collapse to zero; counts unaffected). *)
+
+val clear_clock : t -> unit
+
+type slot_total = {
+  st_region : int;
+  st_slot : int;
+  st_lock : int;  (** encounter-time lock acquisition failures *)
+  st_reader : int;  (** visible-reader drain timeouts *)
+  st_validation : int;  (** read-set validation failures traced to this slot *)
+}
+
+val slot_weight : slot_total -> int
+(** [st_lock + st_reader + st_validation]. *)
+
+type region_summary = {
+  rs_region : int;
+  rs_slots : slot_total list;  (** descending by {!slot_weight} *)
+  rs_lock_fails : int;
+  rs_reader_fails : int;
+  rs_validation_fails : int;  (** includes slot-unattributed failures *)
+  rs_unattributed_validation : int;
+  rs_commit : Histogram.t;
+      (** commit entry -> locks released; update transactions only
+          (read-only commits have no commit phase) *)
+  rs_abort : Histogram.t;  (** begin -> rollback *)
+  rs_lock_wait : Histogram.t;  (** spins per successful acquisition *)
+}
+
+val summary : t -> region_summary list
+(** Merged across shards, ascending by region id. *)
+
+val hot_slots : ?top_k:int -> t -> slot_total list
+(** The [top_k] (default 10) hottest slots across all regions, descending
+    by {!slot_weight} with a deterministic tie-break. *)
+
+val to_json : ?name_of_region:(int -> string) -> t -> Json.t

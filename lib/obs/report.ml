@@ -1,0 +1,116 @@
+(* ASCII rendering of tracer/contention data: span summary, top-K hot-slot
+   table, latency percentile table, and a slot heatmap whose intensity
+   scale compresses each region's lock table into at most [width] columns. *)
+
+open Partstm_util
+
+let span_summary (tracer : Tracer.t) =
+  let table =
+    Table.create ~title:"span summary" ~header:[ "metric"; "value" ]
+  in
+  let attempts = Tracer.attempts tracer in
+  let committed = Tracer.committed tracer in
+  let aborted = Tracer.aborted tracer in
+  let row k v = Table.add_row table [ k; v ] in
+  row "attempts" (string_of_int attempts);
+  row "committed" (string_of_int committed);
+  row "aborted" (string_of_int aborted);
+  row "abort rate"
+    (if attempts = 0 then "-"
+     else Printf.sprintf "%.1f%%" (100.0 *. float_of_int aborted /. float_of_int attempts));
+  row "sampling" (Printf.sprintf "1-in-%d" (Tracer.sample_every tracer));
+  row "spans kept" (string_of_int (Tracer.kept_spans tracer));
+  row "spans evicted" (string_of_int (Tracer.dropped_spans tracer));
+  row "tuner decisions" (string_of_int (List.length (Tracer.decisions tracer)));
+  table
+
+let hot_slots_table ?(top_k = 10) ?(name_of_region = string_of_int) (c : Contention.t) =
+  let table =
+    Table.create
+      ~title:(Printf.sprintf "top-%d hottest orecs" top_k)
+      ~header:[ "partition"; "slot"; "lock-fail"; "reader-wait"; "validation"; "total" ]
+  in
+  List.iter
+    (fun (st : Contention.slot_total) ->
+      Table.add_row table
+        [
+          name_of_region st.Contention.st_region;
+          string_of_int st.Contention.st_slot;
+          string_of_int st.Contention.st_lock;
+          string_of_int st.Contention.st_reader;
+          string_of_int st.Contention.st_validation;
+          string_of_int (Contention.slot_weight st);
+        ])
+    (Contention.hot_slots ~top_k c);
+  table
+
+let latency_table ?(name_of_region = string_of_int) (c : Contention.t) =
+  let table =
+    Table.create ~title:"latency (clock units)"
+      ~header:[ "partition"; "metric"; "count"; "mean"; "p50"; "p95"; "p99"; "max" ]
+  in
+  List.iter
+    (fun (rs : Contention.region_summary) ->
+      let add name h =
+        if Histogram.count h > 0 then
+          Table.add_row table
+            [
+              name_of_region rs.Contention.rs_region;
+              name;
+              string_of_int (Histogram.count h);
+              Printf.sprintf "%.1f" (Histogram.mean h);
+              string_of_int (Histogram.percentile h 50.0);
+              string_of_int (Histogram.percentile h 95.0);
+              string_of_int (Histogram.percentile h 99.0);
+              string_of_int (Histogram.max_value h);
+            ]
+      in
+      add "commit" rs.Contention.rs_commit;
+      add "abort" rs.Contention.rs_abort;
+      add "lock-wait" rs.Contention.rs_lock_wait)
+    (Contention.summary c);
+  table
+
+(* -- Heatmap --------------------------------------------------------------- *)
+
+let intensity_chars = " .:-=+*#%@"
+
+let heatmap ?(width = 64) ?(name_of_region = string_of_int) (c : Contention.t) =
+  let buf = Buffer.create 256 in
+  let regions = Contention.summary c in
+  let label_w =
+    List.fold_left
+      (fun w rs -> max w (String.length (name_of_region rs.Contention.rs_region)))
+      0 regions
+  in
+  List.iter
+    (fun (rs : Contention.region_summary) ->
+      match rs.Contention.rs_slots with
+      | [] -> ()
+      | slots ->
+          let max_slot =
+            List.fold_left (fun m st -> max m st.Contention.st_slot) 0 slots
+          in
+          let cols = min width (max_slot + 1) in
+          let per_col = (max_slot + cols) / cols in
+          let cells = Array.make cols 0 in
+          List.iter
+            (fun st ->
+              let col = min (cols - 1) (st.Contention.st_slot / per_col) in
+              cells.(col) <- cells.(col) + Contention.slot_weight st)
+            slots;
+          let peak = Array.fold_left max 1 cells in
+          Buffer.add_string buf
+            (Printf.sprintf "%-*s |" label_w (name_of_region rs.Contention.rs_region));
+          Array.iter
+            (fun v ->
+              let levels = String.length intensity_chars - 1 in
+              let i =
+                if v = 0 then 0 else 1 + (v * (levels - 1) / peak)
+              in
+              Buffer.add_char buf intensity_chars.[min levels i])
+            cells;
+          Buffer.add_string buf
+            (Printf.sprintf "| peak=%d (%d slots/col)\n" peak per_col))
+    regions;
+  if Buffer.length buf = 0 then "(no contention recorded)\n" else Buffer.contents buf

@@ -1,0 +1,19 @@
+(** ASCII tables and heatmaps for the [partstm profile] subcommand. *)
+
+open Partstm_util
+
+val span_summary : Tracer.t -> Table.t
+(** Attempts, commits, aborts, abort rate, sampling rate, span retention
+    and tuner-decision count. *)
+
+val hot_slots_table : ?top_k:int -> ?name_of_region:(int -> string) -> Contention.t -> Table.t
+(** The [top_k] (default 10) hottest orecs with per-cause breakdown. *)
+
+val latency_table : ?name_of_region:(int -> string) -> Contention.t -> Table.t
+(** Per-partition commit/abort/lock-wait latency count, mean, p50/p95/p99
+    and max; empty histograms are omitted. *)
+
+val heatmap : ?width:int -> ?name_of_region:(int -> string) -> Contention.t -> string
+(** One row per partition: the lock table compressed to at most [width]
+    (default 64) columns, conflict weight shown on a 10-level intensity
+    scale normalised to the row's hottest column. *)

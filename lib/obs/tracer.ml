@@ -1,0 +1,348 @@
+(* Structured per-attempt transaction tracing (DESIGN.md §8.2).
+
+   The tracer is an [Engine] tap: it turns the engine's event stream into
+   one *span* per transaction attempt (begin → reads/writes → validation →
+   commit/abort), carrying the outcome, the abort cause, read/write counts,
+   the first-touched region, and retry-chain linkage (consecutive
+   conflicted attempts of one descriptor form a chain that ends at a
+   commit or an explicit retry).
+
+   Storage is per-shard ring buffers, sharded by descriptor id.  Each
+   descriptor is driven by exactly one worker, so a shard has a single
+   writer as long as descriptor ids do not collide modulo the shard count
+   (the default, 1024, makes collisions impossible below 1024 descriptors
+   per engine; a collision can only corrupt *counts*, never memory).
+   Shards are created lazily, so the default geometry costs only one
+   pointer array until descriptors actually run.
+
+   Sampling: with [sample_every = n > 1] each attempt is kept with
+   probability 1/n, decided at begin from a per-shard deterministic [Rng]
+   stream — so a Simulated-backend run samples the same attempts every
+   time.  The aggregate counters (attempts/committed/aborted) are always
+   exact; sampling only thins the stored spans.
+
+   Timestamps come from an installable clock: virtual cycles on the
+   Simulated backend, monotonic-ish nanoseconds since run start on
+   Domains ([Driver.run ?tracer] installs it).  The default clock is the
+   constant 0, which keeps the tracer usable (counts, causes, chains)
+   where no clock makes sense. *)
+
+open Partstm_util
+open Partstm_stm
+
+type outcome = Committed | Aborted of Engine.abort_cause
+
+type span = {
+  sp_txn : int;
+  sp_worker : int;
+  sp_shard : int;
+  sp_chain : int;  (* retry-chain sequence number, unique within the shard *)
+  sp_attempt : int;  (* 1-based position within the chain *)
+  sp_begin : int;
+  sp_commit_begin : int;  (* -1 when the attempt never entered commit *)
+  sp_end : int;
+  sp_outcome : outcome;
+  sp_rv : int;
+  sp_stamp : int;  (* commit stamp, -1 otherwise *)
+  sp_reads : int;
+  sp_writes : int;
+  sp_region : int;  (* first-touched region, -1 when none *)
+}
+
+let dummy_span =
+  {
+    sp_txn = -1;
+    sp_worker = -1;
+    sp_shard = -1;
+    sp_chain = 0;
+    sp_attempt = 0;
+    sp_begin = 0;
+    sp_commit_begin = -1;
+    sp_end = 0;
+    sp_outcome = Committed;
+    sp_rv = 0;
+    sp_stamp = -1;
+    sp_reads = 0;
+    sp_writes = 0;
+    sp_region = -1;
+  }
+
+type shard = {
+  sh_index : int;
+  ring : span array;
+  mutable oldest : int;  (* position of the oldest stored span *)
+  mutable len : int;
+  mutable dropped : int;  (* spans evicted by the ring *)
+  rng : Rng.t;
+  (* in-progress attempt *)
+  mutable c_active : bool;
+  mutable c_sampled : bool;
+  mutable c_txn : int;
+  mutable c_worker : int;
+  mutable c_begin : int;
+  mutable c_commit_begin : int;
+  mutable c_rv : int;
+  mutable c_reads : int;
+  mutable c_writes : int;
+  mutable c_region : int;
+  mutable c_cause : Engine.abort_cause option;
+  (* retry-chain state *)
+  mutable chain : int;
+  mutable chain_open : bool;
+  mutable chain_attempt : int;
+  (* exact aggregate counters, independent of sampling and eviction *)
+  mutable attempts : int;
+  mutable committed : int;
+  mutable aborted : int;
+}
+
+type decision = {
+  d_time : int;
+  d_partition : string;
+  d_from : string;
+  d_to : string;
+}
+
+type t = {
+  shards : shard option array;
+  ring_capacity : int;
+  sample_every : int;
+  seed : int;
+  mutable clock : unit -> int;
+  mutable decisions : decision list;  (* newest first *)
+  decisions_mutex : Mutex.t;
+  mutable tap : (Engine.t * int) option;
+}
+
+let default_clock () = 0
+
+let create ?(shards = 1024) ?(ring_capacity = 4096) ?(sample_every = 1) ?(seed = 0x0B5EC0DE) ()
+    =
+  if shards <= 0 then invalid_arg "Tracer.create: shards";
+  if ring_capacity <= 0 then invalid_arg "Tracer.create: ring_capacity";
+  if sample_every <= 0 then invalid_arg "Tracer.create: sample_every";
+  {
+    shards = Array.make shards None;
+    ring_capacity;
+    sample_every;
+    seed;
+    clock = default_clock;
+    decisions = [];
+    decisions_mutex = Mutex.create ();
+    tap = None;
+  }
+
+let sample_every t = t.sample_every
+let set_clock t clock = t.clock <- clock
+let clear_clock t = t.clock <- default_clock
+
+let make_shard t index =
+  {
+    sh_index = index;
+    ring = Array.make t.ring_capacity dummy_span;
+    oldest = 0;
+    len = 0;
+    dropped = 0;
+    rng = Rng.split (Rng.make t.seed) ~index;
+    c_active = false;
+    c_sampled = false;
+    c_txn = -1;
+    c_worker = -1;
+    c_begin = 0;
+    c_commit_begin = -1;
+    c_rv = 0;
+    c_reads = 0;
+    c_writes = 0;
+    c_region = -1;
+    c_cause = None;
+    chain = 0;
+    chain_open = false;
+    chain_attempt = 0;
+    attempts = 0;
+    committed = 0;
+    aborted = 0;
+  }
+
+let shard_of t txn =
+  let i = txn mod Array.length t.shards in
+  let i = if i < 0 then i + Array.length t.shards else i in
+  match t.shards.(i) with
+  | Some s -> s
+  | None ->
+      let s = make_shard t i in
+      t.shards.(i) <- Some s;
+      s
+
+let push_span s span =
+  let cap = Array.length s.ring in
+  if s.len < cap then begin
+    s.ring.((s.oldest + s.len) mod cap) <- span;
+    s.len <- s.len + 1
+  end
+  else begin
+    (* Ring full: overwrite the oldest span and account for the loss. *)
+    s.ring.(s.oldest) <- span;
+    s.oldest <- (s.oldest + 1) mod cap;
+    s.dropped <- s.dropped + 1
+  end
+
+(* -- Engine-tap callbacks ------------------------------------------------ *)
+
+let on_begin t ~txn ~worker ~rv =
+  let s = shard_of t txn in
+  s.attempts <- s.attempts + 1;
+  if not s.chain_open then begin
+    s.chain <- s.chain + 1;
+    s.chain_attempt <- 0;
+    s.chain_open <- true
+  end;
+  s.chain_attempt <- s.chain_attempt + 1;
+  s.c_active <- true;
+  s.c_sampled <- t.sample_every <= 1 || Rng.int s.rng t.sample_every = 0;
+  s.c_txn <- txn;
+  s.c_worker <- worker;
+  s.c_begin <- t.clock ();
+  s.c_commit_begin <- -1;
+  s.c_rv <- rv;
+  s.c_reads <- 0;
+  s.c_writes <- 0;
+  s.c_region <- -1;
+  s.c_cause <- None
+
+(* Later events are matched on the descriptor id: if a colliding descriptor
+   overwrote the shard's in-progress state, the stale transaction's events
+   are ignored instead of corrupting the new span. *)
+let with_cur t txn f =
+  let s = shard_of t txn in
+  if s.c_active && s.c_txn = txn then f s
+
+let on_read t ~txn ~region ~slot:_ ~version:_ =
+  with_cur t txn (fun s ->
+      s.c_reads <- s.c_reads + 1;
+      if s.c_region < 0 then s.c_region <- region)
+
+let on_write t ~txn ~region ~slot:_ =
+  with_cur t txn (fun s ->
+      s.c_writes <- s.c_writes + 1;
+      if s.c_region < 0 then s.c_region <- region)
+
+let on_conflict t ~txn ~cause ~region ~slot:_ =
+  with_cur t txn (fun s ->
+      s.c_cause <- Some cause;
+      if s.c_region < 0 && region >= 0 then s.c_region <- region)
+
+let on_commit_begin t ~txn = with_cur t txn (fun s -> s.c_commit_begin <- t.clock ())
+
+let finish_span t s ~outcome ~stamp =
+  if s.c_sampled then
+    push_span s
+      {
+        sp_txn = s.c_txn;
+        sp_worker = s.c_worker;
+        sp_shard = s.sh_index;
+        sp_chain = s.chain;
+        sp_attempt = s.chain_attempt;
+        sp_begin = s.c_begin;
+        sp_commit_begin = s.c_commit_begin;
+        sp_end = t.clock ();
+        sp_outcome = outcome;
+        sp_rv = s.c_rv;
+        sp_stamp = stamp;
+        sp_reads = s.c_reads;
+        sp_writes = s.c_writes;
+        sp_region = s.c_region;
+      };
+  s.c_active <- false
+
+let on_commit t ~txn ~stamp =
+  with_cur t txn (fun s ->
+      s.committed <- s.committed + 1;
+      s.chain_open <- false;
+      finish_span t s ~outcome:Committed ~stamp)
+
+let on_abort t ~txn =
+  with_cur t txn (fun s ->
+      s.aborted <- s.aborted + 1;
+      (* Every engine abort path reports its cause before unwinding; an
+         absent cause can only mean a tap raced a collision, so fall back
+         to the least specific one. *)
+      let cause = Option.value s.c_cause ~default:Engine.Exception_unwind in
+      (* An explicit retry parks the descriptor and starts over: the next
+         attempt is a fresh chain, not a continuation of this one. *)
+      if cause = Engine.Explicit_retry then s.chain_open <- false;
+      finish_span t s ~outcome:(Aborted cause) ~stamp:(-1))
+
+let recorder t =
+  {
+    Engine.null_recorder with
+    Engine.rec_begin = (fun ~txn ~worker ~rv -> on_begin t ~txn ~worker ~rv);
+    rec_read = (fun ~txn ~region ~slot ~version -> on_read t ~txn ~region ~slot ~version);
+    rec_write = (fun ~txn ~region ~slot -> on_write t ~txn ~region ~slot);
+    rec_conflict = (fun ~txn ~cause ~region ~slot -> on_conflict t ~txn ~cause ~region ~slot);
+    rec_commit_begin = (fun ~txn -> on_commit_begin t ~txn);
+    rec_commit = (fun ~txn ~stamp -> on_commit t ~txn ~stamp);
+    rec_abort = (fun ~txn -> on_abort t ~txn);
+  }
+
+let attach t engine =
+  if t.tap <> None then invalid_arg "Tracer.attach: already attached";
+  t.tap <- Some (engine, Engine.add_tap engine (recorder t))
+
+let detach t =
+  match t.tap with
+  | None -> ()
+  | Some (engine, handle) ->
+      Engine.remove_tap engine handle;
+      t.tap <- None
+
+(* -- Tuner-decision instants --------------------------------------------- *)
+
+let record_decision t ~partition ~from_mode ~to_mode =
+  let d =
+    { d_time = t.clock (); d_partition = partition; d_from = from_mode; d_to = to_mode }
+  in
+  Mutex.lock t.decisions_mutex;
+  t.decisions <- d :: t.decisions;
+  Mutex.unlock t.decisions_mutex
+
+let decisions t = List.rev t.decisions
+
+(* -- Accessors ------------------------------------------------------------ *)
+
+let fold_shards t f acc =
+  Array.fold_left (fun acc -> function None -> acc | Some s -> f acc s) acc t.shards
+
+let attempts t = fold_shards t (fun acc s -> acc + s.attempts) 0
+let committed t = fold_shards t (fun acc s -> acc + s.committed) 0
+let aborted t = fold_shards t (fun acc s -> acc + s.aborted) 0
+let dropped_spans t = fold_shards t (fun acc s -> acc + s.dropped) 0
+let kept_spans t = fold_shards t (fun acc s -> acc + s.len) 0
+
+let spans t =
+  let collect acc s =
+    let cap = Array.length s.ring in
+    let rec loop i acc =
+      if i >= s.len then acc else loop (i + 1) (s.ring.((s.oldest + i) mod cap) :: acc)
+    in
+    loop 0 acc
+  in
+  let all = fold_shards t collect [] in
+  (* Chronological; shard rings are already ordered, the sort merges them.
+     Ties (identical timestamps, common under the default zero clock) keep
+     a deterministic order via the full key. *)
+  List.sort
+    (fun a b ->
+      let c = compare a.sp_begin b.sp_begin in
+      if c <> 0 then c
+      else
+        let c = compare (a.sp_worker, a.sp_shard) (b.sp_worker, b.sp_shard) in
+        if c <> 0 then c else compare (a.sp_chain, a.sp_attempt) (b.sp_chain, b.sp_attempt))
+    all
+
+let outcome_label = function
+  | Committed -> "committed"
+  | Aborted cause -> "aborted-" ^ Engine.cause_to_string cause
+
+let pp_span ppf sp =
+  Fmt.pf ppf "t%d w%d chain=%d.%d [%d..%d] %s r=%d w=%d" sp.sp_txn sp.sp_worker sp.sp_chain
+    sp.sp_attempt sp.sp_begin sp.sp_end (outcome_label sp.sp_outcome) sp.sp_reads sp.sp_writes

@@ -1,0 +1,95 @@
+(** Structured per-attempt transaction tracing (DESIGN.md §8.2).
+
+    An {!Partstm_stm.Engine} tap that records one span per transaction
+    attempt — begin, reads/writes, validation outcome, commit/abort with
+    cause — into per-shard ring buffers (sharded by descriptor id, one
+    writer per shard), with optional deterministic 1-in-N sampling and
+    retry-chain linkage.  Attach alongside other taps (e.g. the checker's
+    history recorder) via the engine fan-out. *)
+
+open Partstm_stm
+
+type outcome = Committed | Aborted of Engine.abort_cause
+
+type span = {
+  sp_txn : int;  (** descriptor id *)
+  sp_worker : int;  (** worker id of the owning descriptor *)
+  sp_shard : int;
+  sp_chain : int;  (** retry-chain number, unique within the shard *)
+  sp_attempt : int;  (** 1-based attempt position within the chain *)
+  sp_begin : int;  (** clock at begin *)
+  sp_commit_begin : int;  (** clock at commit entry, -1 if never reached *)
+  sp_end : int;  (** clock at commit/abort *)
+  sp_outcome : outcome;
+  sp_rv : int;  (** read version (snapshot) of the attempt *)
+  sp_stamp : int;  (** commit stamp, -1 otherwise *)
+  sp_reads : int;
+  sp_writes : int;
+  sp_region : int;  (** first-touched region, -1 when none *)
+}
+
+type decision = {
+  d_time : int;
+  d_partition : string;
+  d_from : string;
+  d_to : string;
+}
+(** A tuner reconfiguration decision, bridged in by the driver. *)
+
+type t
+
+val create :
+  ?shards:int -> ?ring_capacity:int -> ?sample_every:int -> ?seed:int -> unit -> t
+(** [shards] (default 1024) should exceed the engine's descriptor count:
+    shards are keyed by descriptor id modulo [shards], and a collision
+    between two concurrently live descriptors can mis-count (never
+    corrupt memory). [ring_capacity] (default 4096) bounds stored spans
+    per shard; the oldest are evicted and counted in {!dropped_spans}.
+    [sample_every] = n keeps each attempt with probability 1/n, decided
+    from a per-shard deterministic stream seeded by [seed] (aggregate
+    counters stay exact). Shards allocate lazily. *)
+
+val attach : t -> Engine.t -> unit
+(** Install as an engine tap (fan-out: other taps keep observing). At most
+    one engine per tracer; only while no transaction is in flight. *)
+
+val detach : t -> unit
+(** Remove the tap from the engine it was attached to (no-op if detached). *)
+
+val recorder : t -> Engine.recorder
+(** The raw tap, for callers managing {!Partstm_stm.Engine.add_tap}
+    themselves. *)
+
+val set_clock : t -> (unit -> int) -> unit
+(** Timestamp source: virtual cycles (Simulated) or nanoseconds since run
+    start (Domains); installed by [Driver.run]. Default: constant 0. *)
+
+val clear_clock : t -> unit
+val sample_every : t -> int
+
+val record_decision : t -> partition:string -> from_mode:string -> to_mode:string -> unit
+(** Log a tuner decision at the current clock (thread-safe). *)
+
+val decisions : t -> decision list
+(** Chronological. *)
+
+val spans : t -> span list
+(** All stored spans, chronological by begin timestamp (deterministically
+    tie-broken). *)
+
+val attempts : t -> int
+(** Total attempts observed — exact, independent of sampling/eviction. *)
+
+val committed : t -> int
+val aborted : t -> int
+
+val kept_spans : t -> int
+(** Spans currently stored across all rings. *)
+
+val dropped_spans : t -> int
+(** Spans evicted by ring overflow (sampling skips are not drops). *)
+
+val outcome_label : outcome -> string
+(** ["committed"] or ["aborted-<cause>"]. *)
+
+val pp_span : Format.formatter -> span -> unit

@@ -2,20 +2,64 @@
    engine-wide configuration.  Multiple independent engines can coexist
    (tests use fresh engines for isolation). *)
 
-(* Per-transaction history recorder (the checker's tap, see lib/check).
-   [None] by default: every hook site is one load and one branch.  All
+(* Per-transaction event tap (the checker's history recorder and the
+   tracing/profiling layer, see lib/check and lib/obs).  No tap installed
+   is the common case: every hook site is one load and one branch.  All
    identifiers are plain ints so the engine stays recorder-agnostic:
-   [txn] is the descriptor id, [region]/[slot] name an orec, versions and
-   stamps come from the global clock. *)
+   [txn] is the descriptor id, [worker] the descriptor's worker id,
+   [region]/[slot] name an orec, versions and stamps come from the global
+   clock. *)
+
+(* Why a conflict aborted an attempt.  [slot] is -1 when the failing orec
+   could not be attributed (e.g. the transaction's read-site log was not
+   being kept when the read happened). *)
+type abort_cause =
+  | Lock_busy  (* orec write-locked by another transaction *)
+  | Reader_wait  (* visible-reader drain timed out *)
+  | Validation  (* read-set validation failed (extension or commit) *)
+  | Explicit_retry  (* user called [Txn.retry] *)
+  | Exception_unwind  (* a user exception rolled the transaction back *)
+
+let cause_to_string = function
+  | Lock_busy -> "lock-busy"
+  | Reader_wait -> "reader-wait"
+  | Validation -> "validation"
+  | Explicit_retry -> "retry"
+  | Exception_unwind -> "exception"
+
 type recorder = {
-  rec_begin : txn:int -> rv:int -> unit;
+  rec_begin : txn:int -> worker:int -> rv:int -> unit;
   rec_read : txn:int -> region:int -> slot:int -> version:int -> unit;
   rec_write : txn:int -> region:int -> slot:int -> unit;
   rec_commit : txn:int -> stamp:int -> unit;
   rec_abort : txn:int -> unit;
   rec_generation : region:int -> version:int -> unit;
       (* a region (re)created its lock table; fresh slots carry [version] *)
+  rec_conflict : txn:int -> cause:abort_cause -> region:int -> slot:int -> unit;
+      (* fired at the point of failure, before the abort unwinds; exactly
+         once per Region_stats conflict-counter increment *)
+  rec_lock_wait : txn:int -> region:int -> slot:int -> spins:int -> unit;
+      (* a write lock was acquired after [spins] CAS retries + reader-drain
+         spins (0 = uncontended) *)
+  rec_commit_begin : txn:int -> unit;
+      (* an update transaction entered its commit sequence *)
 }
+
+(* A recorder whose every field ignores its arguments; build taps with
+   [{ null_recorder with rec_... }] so adding hook sites does not break
+   existing sinks. *)
+let null_recorder =
+  {
+    rec_begin = (fun ~txn:_ ~worker:_ ~rv:_ -> ());
+    rec_read = (fun ~txn:_ ~region:_ ~slot:_ ~version:_ -> ());
+    rec_write = (fun ~txn:_ ~region:_ ~slot:_ -> ());
+    rec_commit = (fun ~txn:_ ~stamp:_ -> ());
+    rec_abort = (fun ~txn:_ -> ());
+    rec_generation = (fun ~region:_ ~version:_ -> ());
+    rec_conflict = (fun ~txn:_ ~cause:_ ~region:_ ~slot:_ -> ());
+    rec_lock_wait = (fun ~txn:_ ~region:_ ~slot:_ ~spins:_ -> ());
+    rec_commit_begin = (fun ~txn:_ -> ());
+  }
 
 type t = {
   clock : int Atomic.t;
@@ -33,6 +77,10 @@ type t = {
   sample_retry_limit : int;
   max_attempts : int;
   mutable recorder : recorder option;
+      (* the composed fan-out over [taps]; hook sites read only this field *)
+  mutable taps : (int * recorder) list;  (* attach order; ids never reused *)
+  mutable tap_counter : int;
+  mutable legacy_tap : int option;  (* the [set_recorder] shim's tap *)
 }
 
 let frozen_bit = 1
@@ -56,11 +104,71 @@ let create ?(max_workers = 64) ?(contention_manager = Cm.default) ?(writer_wait_
     sample_retry_limit;
     max_attempts;
     recorder = None;
+    taps = [];
+    tap_counter = 0;
+    legacy_tap = None;
   }
 
-(* Install/remove the history tap.  Must happen while no transaction is in
-   flight (the checker installs it before starting workers). *)
-let set_recorder t recorder = t.recorder <- recorder
+(* -- Tap fan-out ---------------------------------------------------------
+
+   Several independent sinks (the checker's history recorder, the tracer,
+   the contention profiler) can observe one engine at the same time.  Each
+   [add_tap] recomposes the single [recorder] field that the hook sites
+   read: no taps costs the historical one-load-one-branch, a single tap is
+   called directly, and only multiple taps pay a fan-out closure per event.
+   Attaching/detaching must happen while no transaction is in flight (taps
+   are installed before workers start). *)
+
+let compose = function
+  | [] -> None
+  | [ (_, r) ] -> Some r
+  | taps ->
+      let each f = List.iter (fun (_, r) -> f r) taps in
+      Some
+        {
+          rec_begin = (fun ~txn ~worker ~rv -> each (fun r -> r.rec_begin ~txn ~worker ~rv));
+          rec_read =
+            (fun ~txn ~region ~slot ~version ->
+              each (fun r -> r.rec_read ~txn ~region ~slot ~version));
+          rec_write = (fun ~txn ~region ~slot -> each (fun r -> r.rec_write ~txn ~region ~slot));
+          rec_commit = (fun ~txn ~stamp -> each (fun r -> r.rec_commit ~txn ~stamp));
+          rec_abort = (fun ~txn -> each (fun r -> r.rec_abort ~txn));
+          rec_generation =
+            (fun ~region ~version -> each (fun r -> r.rec_generation ~region ~version));
+          rec_conflict =
+            (fun ~txn ~cause ~region ~slot ->
+              each (fun r -> r.rec_conflict ~txn ~cause ~region ~slot));
+          rec_lock_wait =
+            (fun ~txn ~region ~slot ~spins ->
+              each (fun r -> r.rec_lock_wait ~txn ~region ~slot ~spins));
+          rec_commit_begin = (fun ~txn -> each (fun r -> r.rec_commit_begin ~txn));
+        }
+
+let add_tap t recorder =
+  let id = t.tap_counter in
+  t.tap_counter <- id + 1;
+  t.taps <- t.taps @ [ (id, recorder) ];
+  t.recorder <- compose t.taps;
+  id
+
+let remove_tap t id =
+  t.taps <- List.filter (fun (tap_id, _) -> tap_id <> id) t.taps;
+  t.recorder <- compose t.taps
+
+let taps t = List.map fst t.taps
+
+(* Deprecated shim: the historical single-recorder API, now one tap among
+   possibly several.  [Some r] replaces the shim's previous tap (if any);
+   [None] removes it.  Other taps are unaffected. *)
+let set_recorder t recorder =
+  (match t.legacy_tap with
+  | Some id ->
+      remove_tap t id;
+      t.legacy_tap <- None
+  | None -> ());
+  match recorder with
+  | None -> ()
+  | Some r -> t.legacy_tap <- Some (add_tap t r)
 
 let now t = Atomic.get t.clock
 

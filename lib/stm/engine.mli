@@ -1,18 +1,44 @@
 (** An STM engine instance: global version clock, id generators, and
     engine-wide configuration. *)
 
+type abort_cause =
+  | Lock_busy  (** orec write-locked by another transaction *)
+  | Reader_wait  (** visible-reader drain timed out *)
+  | Validation  (** read-set validation failed (extension or commit) *)
+  | Explicit_retry  (** user called [Txn.retry] *)
+  | Exception_unwind  (** a user exception rolled the transaction back *)
+      (** Why a conflict aborted an attempt; carried by [rec_conflict]. *)
+
+val cause_to_string : abort_cause -> string
+
 type recorder = {
-  rec_begin : txn:int -> rv:int -> unit;
+  rec_begin : txn:int -> worker:int -> rv:int -> unit;
   rec_read : txn:int -> region:int -> slot:int -> version:int -> unit;
   rec_write : txn:int -> region:int -> slot:int -> unit;
   rec_commit : txn:int -> stamp:int -> unit;
   rec_abort : txn:int -> unit;
   rec_generation : region:int -> version:int -> unit;
+  rec_conflict : txn:int -> cause:abort_cause -> region:int -> slot:int -> unit;
+      (** fired at the failure point, before the abort unwinds; exactly once
+          per [Region_stats] conflict-counter increment. [slot] is -1 when
+          the failing orec could not be attributed. *)
+  rec_lock_wait : txn:int -> region:int -> slot:int -> spins:int -> unit;
+      (** write lock acquired after [spins] CAS retries + reader-drain
+          spins (0 = uncontended) *)
+  rec_commit_begin : txn:int -> unit;
+      (** an update transaction entered its commit sequence *)
 }
-(** Per-transaction history tap used by the checker ([lib/check]): the
-    engine reports begins, orec-level reads (with the version observed),
-    writes, commit stamps, aborts, and lock-table (re)creations. All
+(** Per-transaction event tap used by the checker ([lib/check]) and the
+    tracing/profiling layer ([lib/obs]): the engine reports begins,
+    orec-level reads (with the version observed), writes, commit stamps,
+    aborts, lock-table (re)creations, conflict causes with the failing
+    slot, lock-wait spin counts, and commit-sequence entry. All
     identifiers are plain ints ([txn] = descriptor id). *)
+
+val null_recorder : recorder
+(** Every field ignores its arguments; build taps with
+    [{ null_recorder with rec_... }] so new hook sites do not break
+    existing sinks. *)
 
 type t = {
   clock : int Atomic.t;
@@ -26,7 +52,11 @@ type t = {
   sample_retry_limit : int;  (** retries of the read double-sampling loop *)
   max_attempts : int;  (** per-transaction retry budget before giving up *)
   mutable recorder : recorder option;
-      (** history tap; [None] (the default) costs one branch per hook site *)
+      (** the composed fan-out over all attached taps; hook sites read only
+          this field. [None] (the default) costs one branch per hook site *)
+  mutable taps : (int * recorder) list;
+  mutable tap_counter : int;
+  mutable legacy_tap : int option;
 }
 
 val create :
@@ -38,9 +68,22 @@ val create :
   unit ->
   t
 
+val add_tap : t -> recorder -> int
+(** Attach an event sink; several taps can observe one engine (checker
+    history and tracer coexist). Returns a handle for {!remove_tap}. Only
+    while no transaction is in flight. *)
+
+val remove_tap : t -> int -> unit
+(** Detach a tap by handle (unknown handles are ignored). Only while no
+    transaction is in flight. *)
+
+val taps : t -> int list
+(** Handles of the currently attached taps, in attach order. *)
+
 val set_recorder : t -> recorder option -> unit
-(** Install or remove the history tap. Only while no transaction is in
-    flight. *)
+(** Deprecated shim over {!add_tap}/{!remove_tap}: installs (or, with
+    [None], removes) one distinguished tap without touching taps attached
+    directly. Only while no transaction is in flight. *)
 
 val now : t -> int
 (** Current global clock value. *)

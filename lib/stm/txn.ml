@@ -58,6 +58,8 @@ type t = {
   mutable regions : region_entry list;  (* regions touched (few per txn) *)
   read_words : int Atomic.t Vec.t;  (* invisible read set: orec words ... *)
   read_observed : int Vec.t;  (* ... and the unlocked word observed *)
+  read_regions : int Vec.t;  (* recorder-only: region id per read entry ... *)
+  read_slots : int Vec.t;  (* ... and its slot, for conflict attribution *)
   lock_words : int Atomic.t Vec.t;  (* owned write locks ... *)
   lock_prev : int Vec.t;  (* ... and their pre-lock words *)
   vis_counters : int Atomic.t Vec.t;  (* held visible-reader counters *)
@@ -82,6 +84,8 @@ let create engine ~worker_id =
     regions = [];
     read_words = Vec.create ~dummy:dummy_atomic ();
     read_observed = Vec.create ~dummy:0 ();
+    read_regions = Vec.create ~dummy:0 ();
+    read_slots = Vec.create ~dummy:0 ();
     lock_words = Vec.create ~dummy:dummy_atomic ();
     lock_prev = Vec.create ~dummy:0 ();
     vis_counters = Vec.create ~dummy:dummy_atomic ();
@@ -144,11 +148,12 @@ let find_lock_prev t word =
 
 (* A read entry is valid iff its orec still carries the exact word observed
    at read time, or we have since write-locked it ourselves (in which case
-   the pre-lock word must match). *)
-let validate t =
+   the pre-lock word must match).  Returns the index of the first invalid
+   entry, or -1 when the whole read set is valid. *)
+let first_invalid t =
   let n = Vec.length t.read_words in
   let rec loop i =
-    if i >= n then true
+    if i >= n then -1
     else begin
       Runtime_hook.charge Runtime_hook.Validate_entry;
       let word = Vec.get t.read_words i in
@@ -158,11 +163,36 @@ let validate t =
       else if Orec.locked_by current ~owner:t.id then
         match find_lock_prev t word with
         | Some previous when previous = observed -> loop (i + 1)
-        | Some _ | None -> false
-      else false
+        | Some _ | None -> i
+      else i
     end
   in
   loop 0
+
+let validate t = first_invalid t < 0
+
+(* -- Conflict attribution (tracing taps) ---------------------------------
+
+   The slot log ([read_regions]/[read_slots]) mirrors the read set only
+   while a recorder is attached (pushes are guarded at the read sites), so
+   a validation failure can name the offending orec.  When the log was not
+   kept the failure is still reported, with the region charged by the
+   statistics and slot -1. *)
+
+let read_site t i =
+  if i >= 0 && Vec.length t.read_slots = Vec.length t.read_words && i < Vec.length t.read_slots
+  then Some (Vec.get t.read_regions i, Vec.get t.read_slots i)
+  else None
+
+let record_conflict_raw t ~cause ~region ~slot =
+  match t.engine.Engine.recorder with
+  | None -> ()
+  | Some r -> r.Engine.rec_conflict ~txn:t.id ~cause ~region ~slot
+
+let record_validation_conflict t ~fallback_region ~failed_index =
+  match read_site t failed_index with
+  | Some (region, slot) -> record_conflict_raw t ~cause:Engine.Validation ~region ~slot
+  | None -> record_conflict_raw t ~cause:Engine.Validation ~region:fallback_region ~slot:(-1)
 
 (* Timestamp extension: move [rv] forward to the current clock if nothing we
    read has changed meanwhile.  Called when a read (or an acquired lock)
@@ -176,18 +206,23 @@ let extend t (entry : region_entry) =
   else if Bug.enabled Bug.Skip_extension_validation then
     (* Seeded bug: extend without revalidating — zombie snapshots. *)
     t.rv <- now
-  else if validate t then begin
-    entry.re_shard.Region_stats.extensions <- entry.re_shard.Region_stats.extensions + 1;
-    t.rv <- now
-  end
   else begin
-    entry.re_shard.Region_stats.validation_fails <-
-      entry.re_shard.Region_stats.validation_fails + 1;
-    raise Abort
+    let failed = first_invalid t in
+    if failed < 0 then begin
+      entry.re_shard.Region_stats.extensions <- entry.re_shard.Region_stats.extensions + 1;
+      t.rv <- now
+    end
+    else begin
+      entry.re_shard.Region_stats.validation_fails <-
+        entry.re_shard.Region_stats.validation_fails + 1;
+      record_validation_conflict t ~fallback_region:entry.re_region.Region.id ~failed_index:failed;
+      raise Abort
+    end
   end
 
-let lock_conflict (entry : region_entry) =
+let lock_conflict t (entry : region_entry) ~slot =
   entry.re_shard.Region_stats.lock_conflicts <- entry.re_shard.Region_stats.lock_conflicts + 1;
+  record_conflict_raw t ~cause:Engine.Lock_busy ~region:entry.re_region.Region.id ~slot;
   raise Abort
 
 (* -- Reads ---------------------------------------------------------------- *)
@@ -201,14 +236,14 @@ let read_invisible (type a) t (entry : region_entry) (tvar : a Tvar.t) ~slot (wo
     : a =
   Runtime_hook.charge Runtime_hook.Read_invisible;
   let rec sample retries =
-    if retries > t.engine.Engine.sample_retry_limit then lock_conflict entry;
+    if retries > t.engine.Engine.sample_retry_limit then lock_conflict t entry ~slot;
     let w1 = Atomic.get word in
     if Orec.is_locked w1 then
       if Orec.owner w1 = t.id then
         (* We hold the write lock covering this tvar (a co-located write):
            the committed cell is stable under our lock; no logging needed. *)
         Atomic.get tvar.Tvar.cell
-      else lock_conflict entry
+      else lock_conflict t entry ~slot
     else begin
       let value = Atomic.get tvar.Tvar.cell in
       let w2 = Atomic.get word in
@@ -225,7 +260,14 @@ let read_invisible (type a) t (entry : region_entry) (tvar : a Tvar.t) ~slot (wo
         if n = 0 || not (Vec.get t.read_words (n - 1) == word && Vec.get t.read_observed (n - 1) = w1)
         then begin
           Vec.push t.read_words word;
-          Vec.push t.read_observed w1
+          Vec.push t.read_observed w1;
+          (* Keep the conflict-attribution log in lockstep with the read
+             set, but only while someone is listening. *)
+          match t.engine.Engine.recorder with
+          | None -> ()
+          | Some _ ->
+              Vec.push t.read_regions entry.re_region.Region.id;
+              Vec.push t.read_slots slot
         end;
         record_read t entry ~slot ~version:(Orec.version w1);
         value
@@ -251,7 +293,7 @@ let read_visible (type a) t (entry : region_entry) (tvar : a Tvar.t) ~(table : L
     Vec.push t.vis_counters counter;
     let w = Atomic.get word in
     if Orec.is_locked w then
-      if Orec.owner w = t.id then Atomic.get tvar.Tvar.cell else lock_conflict entry
+      if Orec.owner w = t.id then Atomic.get tvar.Tvar.cell else lock_conflict t entry ~slot
     else begin
       (* Keep the whole-transaction snapshot consistent: a version beyond
          [rv] means someone committed since we started; the extension
@@ -282,12 +324,12 @@ let read t (tvar : 'a Tvar.t) : 'a =
    release.  Then wait (bounded) for visible readers other than ourselves to
    drain — an expired wait is a reader conflict and we abort ourselves, which
    releases the lock via rollback. *)
-let acquire_slot t (entry : region_entry) (word : int Atomic.t) (counter : int Atomic.t) =
+let acquire_slot t (entry : region_entry) ~slot (word : int Atomic.t) (counter : int Atomic.t) =
   let rec attempt retries =
-    if retries > t.engine.Engine.sample_retry_limit then lock_conflict entry;
+    if retries > t.engine.Engine.sample_retry_limit then lock_conflict t entry ~slot;
     let w = Atomic.get word in
     if Orec.locked_by w ~owner:t.id then ()
-    else if Orec.is_locked w then lock_conflict entry
+    else if Orec.is_locked w then lock_conflict t entry ~slot
     else begin
       Runtime_hook.charge Runtime_hook.Lock_acquire;
       if not (Atomic.compare_and_set word w (Orec.make_locked ~owner:t.id)) then begin
@@ -303,16 +345,24 @@ let acquire_slot t (entry : region_entry) (word : int Atomic.t) (counter : int A
             if spins >= t.engine.Engine.writer_wait_limit then begin
               entry.re_shard.Region_stats.reader_conflicts <-
                 entry.re_shard.Region_stats.reader_conflicts + 1;
+              record_conflict_raw t ~cause:Engine.Reader_wait
+                ~region:entry.re_region.Region.id ~slot;
               raise Abort
             end
             else begin
               Runtime_hook.relax ();
               wait (spins + 1)
             end
+          else spins
         in
         (* Seeded bug: ignoring the reader counters breaks the 2PL shared
            hold that lets visible readers skip commit-time validation. *)
-        if not (Bug.enabled Bug.Skip_reader_drain) then wait 0;
+        let drain_spins = if Bug.enabled Bug.Skip_reader_drain then 0 else wait 0 in
+        (match t.engine.Engine.recorder with
+        | None -> ()
+        | Some r ->
+            r.Engine.rec_lock_wait ~txn:t.id ~region:entry.re_region.Region.id ~slot
+              ~spins:(retries + drain_spins));
         if Orec.version w > t.rv then extend t entry
       end
     end
@@ -337,7 +387,7 @@ let write (type a) t (tvar : a Tvar.t) (value : a) =
         let slot = Lock_table.slot_of_id table tvar.Tvar.id in
         let word = Lock_table.word table slot in
         let counter = Lock_table.reader_counter table slot in
-        acquire_slot t entry word counter;
+        acquire_slot t entry ~slot word counter;
         record_write t entry ~slot;
         tvar.Tvar.pending <- value;
         tvar.Tvar.pending_owner <- t.id;
@@ -360,7 +410,7 @@ let write (type a) t (tvar : a Tvar.t) (value : a) =
       let slot = Lock_table.slot_of_id table tvar.Tvar.id in
       let word = Lock_table.word table slot in
       let counter = Lock_table.reader_counter table slot in
-      acquire_slot t entry word counter;
+      acquire_slot t entry ~slot word counter;
       record_write t entry ~slot;
       let previous = Atomic.get tvar.Tvar.cell in
       Runtime_hook.charge Runtime_hook.Write_entry;
@@ -384,6 +434,8 @@ let retry t =
   check_active t "Txn.retry";
   if Vec.is_empty t.read_words then
     invalid_arg "Txn.retry: nothing read invisibly (the wait set would be empty)";
+  let region = match t.regions with e :: _ -> e.re_region.Region.id | [] -> -1 in
+  record_conflict_raw t ~cause:Engine.Explicit_retry ~region ~slot:(-1);
   raise Retry
 
 (* -- Lifecycle ------------------------------------------------------------ *)
@@ -392,6 +444,8 @@ let begin_txn t =
   Engine.enter t.engine;
   Vec.clear t.read_words;
   Vec.clear t.read_observed;
+  Vec.clear t.read_regions;
+  Vec.clear t.read_slots;
   Vec.clear t.lock_words;
   Vec.clear t.lock_prev;
   Vec.clear t.vis_counters;
@@ -401,7 +455,7 @@ let begin_txn t =
   t.active <- true;
   match t.engine.Engine.recorder with
   | None -> ()
-  | Some r -> r.Engine.rec_begin ~txn:t.id ~rv:t.rv
+  | Some r -> r.Engine.rec_begin ~txn:t.id ~worker:t.worker_id ~rv:t.rv
 
 let release_visible_holds t =
   Vec.iter (fun counter -> ignore (Atomic.fetch_and_add counter (-1))) t.vis_counters
@@ -430,20 +484,29 @@ let commit t =
   end
   else begin
     Runtime_hook.charge Runtime_hook.Commit_fixed;
+    (match t.engine.Engine.recorder with
+    | None -> ()
+    | Some r -> r.Engine.rec_commit_begin ~txn:t.id);
     let wv = Engine.tick t.engine in
     let skip_validation =
       (* [wv = rv + 1]: no one committed since our snapshot, nothing to
          validate.  The seeded bug skips the check unconditionally. *)
       wv = t.rv + 1 || Bug.enabled Bug.Skip_commit_validation
     in
-    if (not skip_validation) && not (validate t) then begin
-      (match t.regions with
-      | e :: _ ->
-          e.re_shard.Region_stats.validation_fails <-
-            e.re_shard.Region_stats.validation_fails + 1
-      | [] -> ());
-      raise Abort
-    end;
+    (if not skip_validation then
+       let failed = first_invalid t in
+       if failed >= 0 then begin
+         let fallback_region =
+           match t.regions with e :: _ -> e.re_region.Region.id | [] -> -1
+         in
+         (match t.regions with
+         | e :: _ ->
+             e.re_shard.Region_stats.validation_fails <-
+               e.re_shard.Region_stats.validation_fails + 1
+         | [] -> ());
+         record_validation_conflict t ~fallback_region ~failed_index:failed;
+         raise Abort
+       end);
     (* Publish + release are not abortable: once the first buffered value
        lands, the only way forward is completion, so the phase is masked
        against fault injection. *)
@@ -511,6 +574,8 @@ let atomically t f =
       | Abort -> Conflicted
       | Retry -> Retry_requested
       | exn ->
+          let region = match t.regions with e :: _ -> e.re_region.Region.id | [] -> -1 in
+          record_conflict_raw t ~cause:Engine.Exception_unwind ~region ~slot:(-1);
           rollback t;
           raise exn
     in

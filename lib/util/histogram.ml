@@ -21,16 +21,31 @@ let count t = t.count
 let mean t = if t.count = 0 then 0.0 else float_of_int t.sum /. float_of_int t.count
 let max_value t = t.max_seen
 
+(* Inclusive upper bound of bucket [b]: bucket 0 holds exactly 0, bucket b
+   holds (2^(b-1), 2^b]. *)
+let bucket_upper b = if b = 0 then 0 else 1 lsl b
+
+let buckets t =
+  let rec collect b acc =
+    if b < 0 then acc
+    else if t.buckets.(b) = 0 then collect (b - 1) acc
+    else collect (b - 1) ((bucket_upper b, t.buckets.(b)) :: acc)
+  in
+  collect (bucket_count - 1) []
+
 let percentile t p =
-  (* Upper bound of the bucket containing the p-th percentile. *)
+  (* Upper bound of the bucket containing the p-th percentile.  The target
+     rank is clamped to at least 1 so that p = 0 lands on the first
+     non-empty bucket (the minimum observation's bucket) rather than on
+     bucket 0 even when bucket 0 is empty. *)
   if t.count = 0 then 0
   else
-    let target = int_of_float (Float.ceil (p /. 100.0 *. float_of_int t.count)) in
+    let target = max 1 (int_of_float (Float.ceil (p /. 100.0 *. float_of_int t.count))) in
     let rec loop acc b =
       if b >= bucket_count then t.max_seen
       else
         let acc = acc + t.buckets.(b) in
-        if acc >= target then if b = 0 then 0 else 1 lsl b else loop acc (b + 1)
+        if acc >= target then bucket_upper b else loop acc (b + 1)
     in
     loop 0 0
 
@@ -45,6 +60,23 @@ let reset t =
   t.count <- 0;
   t.sum <- 0;
   t.max_seen <- 0
+
+let to_json t =
+  Json.Obj
+    [
+      ("count", Json.Int t.count);
+      ("sum", Json.Int t.sum);
+      ("mean", Json.Float (mean t));
+      ("max", Json.Int t.max_seen);
+      ("p50", Json.Int (percentile t 50.0));
+      ("p95", Json.Int (percentile t 95.0));
+      ("p99", Json.Int (percentile t 99.0));
+      ( "buckets",
+        Json.List
+          (List.map
+             (fun (upper, n) -> Json.Obj [ ("le", Json.Int upper); ("n", Json.Int n) ])
+             (buckets t)) );
+    ]
 
 let pp ppf t =
   Fmt.pf ppf "count=%d mean=%.1f max=%d p50<=%d p99<=%d" t.count (mean t) t.max_seen

@@ -10,7 +10,16 @@ val mean : t -> float
 val max_value : t -> int
 
 val percentile : t -> float -> int
-(** Upper bound of the bucket containing the requested percentile. *)
+(** Upper bound of the bucket containing the requested percentile. [p = 0]
+    names the first non-empty bucket (the minimum observation's bucket). *)
+
+val buckets : t -> (int * int) list
+(** Non-empty buckets as [(inclusive upper bound, count)], ascending.
+    Bucket 0 holds exactly the value 0; bucket [b] holds
+    [(2^(b-1), 2^b]]. *)
+
+val to_json : t -> Json.t
+(** Summary object: count/sum/mean/max, p50/p95/p99, and {!buckets}. *)
 
 val merge_into : dst:t -> t -> unit
 val reset : t -> unit

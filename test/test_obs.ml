@@ -1,0 +1,271 @@
+(* Observability layer (lib/obs): engine tap fan-out, span tracer ring
+   accounting and sampling determinism, Chrome trace_event export
+   round-trip, contention-profiler reconciliation against the engine's
+   own conflict counters, and the mutation gate with a tracer attached. *)
+
+open Partstm_stm
+open Partstm_core
+open Partstm_check
+module Obs = Partstm_obs
+module Sim = Partstm_simcore.Sim
+module Sim_env = Partstm_simcore.Sim_env
+module Json = Partstm_util.Json
+
+let check = Alcotest.check
+
+(* Run a checker scenario instance once under the deterministic simulator
+   with observers attached to its engine. *)
+let run_instance ?tracer ?contention (scenario : Scenario.t) =
+  let inst = scenario.Scenario.make () in
+  Option.iter
+    (fun t ->
+      Obs.Tracer.attach t inst.Scenario.engine;
+      Obs.Tracer.set_clock t Sim.now)
+    tracer;
+  Option.iter
+    (fun c ->
+      Obs.Contention.attach c inst.Scenario.engine;
+      Obs.Contention.set_clock c Sim.now)
+    contention;
+  Sim_env.with_model (fun () -> ignore (Sim.run ~seed:0x0b5 inst.Scenario.bodies));
+  Option.iter Obs.Tracer.detach tracer;
+  Option.iter Obs.Contention.detach contention;
+  inst
+
+let count_events p history = List.length (List.filter p (History.events history))
+
+(* -- Engine tap fan-out ------------------------------------------------------ *)
+
+(* The scenario's history recorder is installed through the deprecated
+   [set_recorder] shim; the tracer joins through [add_tap].  Both must see
+   the same run. *)
+let fan_out_test =
+  Alcotest.test_case "history shim and tracer tap observe the same run" `Quick (fun () ->
+      let tracer = Obs.Tracer.create () in
+      let inst = run_instance ~tracer Scenario.bank_invisible in
+      let begins = count_events (function History.Begin _ -> true | _ -> false) inst.Scenario.history in
+      let commits = count_events (function History.Commit _ -> true | _ -> false) inst.Scenario.history in
+      let aborts = count_events (function History.Abort _ -> true | _ -> false) inst.Scenario.history in
+      check Alcotest.bool "run did work" true (begins > 0);
+      check Alcotest.int "attempts match history begins" begins (Obs.Tracer.attempts tracer);
+      check Alcotest.int "commits match" commits (Obs.Tracer.committed tracer);
+      check Alcotest.int "aborts match" aborts (Obs.Tracer.aborted tracer))
+
+let add_remove_tap_test =
+  Alcotest.test_case "add/remove/set_recorder composition" `Quick (fun () ->
+      let system = System.create ~max_workers:2 () in
+      let engine = System.engine system in
+      let p = System.partition system "p" ~tunable:false in
+      let v = System.tvar p 0 in
+      let txn = System.descriptor system ~worker_id:0 in
+      let bump counter =
+        { Engine.null_recorder with Engine.rec_begin = (fun ~txn:_ ~worker:_ ~rv:_ -> incr counter) }
+      in
+      let a = ref 0 and b = ref 0 and legacy = ref 0 in
+      let ha = Engine.add_tap engine (bump a) in
+      let hb = Engine.add_tap engine (bump b) in
+      Engine.set_recorder engine (Some (bump legacy));
+      System.atomically txn (fun t -> System.write t v 1);
+      check Alcotest.int "tap a saw begin" 1 !a;
+      check Alcotest.int "tap b saw begin" 1 !b;
+      check Alcotest.int "legacy shim saw begin" 1 !legacy;
+      (* Replacing the legacy recorder must not disturb the other taps. *)
+      Engine.set_recorder engine (Some (bump legacy));
+      Engine.remove_tap engine hb;
+      System.atomically txn (fun t -> System.write t v 2);
+      check Alcotest.int "tap a still attached" 2 !a;
+      check Alcotest.int "removed tap is silent" 1 !b;
+      check Alcotest.int "replaced shim still fires" 2 !legacy;
+      Engine.set_recorder engine None;
+      Engine.remove_tap engine ha;
+      check Alcotest.bool "no taps left" true (Engine.taps engine = []);
+      System.atomically txn (fun t -> System.write t v 3);
+      check Alcotest.int "detached taps silent" 2 !a)
+
+(* -- Ring eviction accounting ------------------------------------------------ *)
+
+let ring_eviction_test =
+  Alcotest.test_case "ring eviction keeps exact counters" `Quick (fun () ->
+      let system = System.create ~max_workers:2 () in
+      let p = System.partition system "p" ~tunable:false in
+      let v = System.tvar p 0 in
+      let txn = System.descriptor system ~worker_id:0 in
+      let tracer = Obs.Tracer.create ~ring_capacity:8 () in
+      Obs.Tracer.attach tracer (System.engine system);
+      for i = 1 to 50 do
+        System.atomically txn (fun t -> System.write t v i)
+      done;
+      Obs.Tracer.detach tracer;
+      check Alcotest.int "attempts exact" 50 (Obs.Tracer.attempts tracer);
+      check Alcotest.int "committed exact" 50 (Obs.Tracer.committed tracer);
+      check Alcotest.int "ring holds capacity" 8 (Obs.Tracer.kept_spans tracer);
+      check Alcotest.int "evictions counted" 42 (Obs.Tracer.dropped_spans tracer);
+      check Alcotest.int "spans returns kept" 8 (List.length (Obs.Tracer.spans tracer));
+      (* The survivors are the newest attempts, in order. *)
+      let attempts = List.map (fun sp -> sp.Obs.Tracer.sp_chain) (Obs.Tracer.spans tracer) in
+      check Alcotest.bool "newest spans survive" true
+        (List.sort compare attempts = attempts))
+
+(* -- Sampling determinism ---------------------------------------------------- *)
+
+let sampling_test =
+  Alcotest.test_case "1-in-N sampling is deterministic, counters exact" `Quick (fun () ->
+      let run_traced () =
+        let tracer = Obs.Tracer.create ~sample_every:4 ~seed:0xfeed () in
+        ignore (run_instance ~tracer Scenario.bank_invisible);
+        tracer
+      in
+      let t1 = run_traced () and t2 = run_traced () in
+      check Alcotest.int "attempts exact despite sampling" (Obs.Tracer.attempts t1)
+        (Obs.Tracer.attempts t2);
+      check Alcotest.bool "sampling kept a strict subset" true
+        (Obs.Tracer.kept_spans t1 > 0
+        && Obs.Tracer.kept_spans t1 < Obs.Tracer.attempts t1);
+      let key sp =
+        Obs.Tracer.(sp.sp_txn, sp.sp_chain, sp.sp_attempt, sp.sp_reads, sp.sp_writes)
+      in
+      check Alcotest.bool "identical sampled span sets" true
+        (List.map key (Obs.Tracer.spans t1) = List.map key (Obs.Tracer.spans t2)))
+
+(* -- Chrome export round-trip ------------------------------------------------ *)
+
+let chrome_test =
+  Alcotest.test_case "trace_event JSON round-trips, ts monotone per track" `Quick (fun () ->
+      let tracer = Obs.Tracer.create () in
+      let _ = run_instance ~tracer Scenario.bank_invisible in
+      let rendered = Obs.Chrome.to_string tracer in
+      match Json.of_string rendered with
+      | Error e -> Alcotest.failf "export did not parse: %s" e
+      | Ok json ->
+          let events = Option.get (Json.to_list json) in
+          check Alcotest.bool "non-empty" true (events <> []);
+          let field name ev = Option.get (Json.member name ev) in
+          let str name ev = Option.get (Json.to_str (field name ev)) in
+          let num name ev = Option.get (Json.to_int (field name ev)) in
+          List.iter
+            (fun ev ->
+              match str "ph" ev with
+              | "M" | "X" | "i" -> ()
+              | other -> Alcotest.failf "unexpected phase %S" other)
+            events;
+          let spans = List.filter (fun ev -> str "ph" ev = "X" && str "cat" ev = "txn") events in
+          check Alcotest.int "one X event per kept span" (Obs.Tracer.kept_spans tracer)
+            (List.length spans);
+          let last = Hashtbl.create 8 in
+          List.iter
+            (fun ev ->
+              let tid = num "tid" ev and ts = num "ts" ev in
+              let prev = Option.value ~default:min_int (Hashtbl.find_opt last tid) in
+              check Alcotest.bool "ts monotone within track" true (ts >= prev);
+              Hashtbl.replace last tid ts)
+            spans;
+          (* Folded stacks cover every kept span's weight. *)
+          let folded = Obs.Chrome.folded tracer in
+          check Alcotest.bool "folded stacks non-empty" true (folded <> []);
+          List.iter
+            (fun (stack, weight) ->
+              check Alcotest.bool "folded weight positive" true (weight > 0);
+              check Alcotest.int "stack has partition;phase;outcome" 3
+                (List.length (String.split_on_char ';' stack)))
+            folded)
+
+(* -- Contention heatmap reconciles with engine counters ---------------------- *)
+
+(* Single-partition scenarios keep per-region attribution exact (see the
+   caveat in contention.ml), so the profiler's totals must equal the
+   engine's own [Region_stats] conflict counters. *)
+let heatmap_reconciliation_test =
+  Alcotest.test_case "heatmap totals equal engine conflict counters" `Quick (fun () ->
+      List.iter
+        (fun (label, mode) ->
+          let fibers = 4 in
+          let system = System.create ~max_workers:fibers () in
+          let p = System.partition system "hot" ~mode ~tunable:false in
+          let accounts = Array.init 3 (fun _ -> System.tvar p 100) in
+          let contention = Obs.Contention.create () in
+          Obs.Contention.attach contention (System.engine system);
+          let body i _fiber =
+            let txn = System.descriptor system ~worker_id:i in
+            for k = 1 to 12 do
+              let src = (i + k) mod 3 and dst = (i + k + 1) mod 3 in
+              System.atomically txn (fun t ->
+                  System.write t accounts.(src) (System.read t accounts.(src) - 1);
+                  System.write t accounts.(dst) (System.read t accounts.(dst) + 1))
+            done
+          in
+          Sim_env.with_model (fun () ->
+              ignore (Sim.run ~seed:0xc0ffee (List.init fibers body)));
+          Obs.Contention.detach contention;
+          let stats = Partition.snapshot p in
+          let sum f =
+            List.fold_left (fun acc rs -> acc + f rs) 0 (Obs.Contention.summary contention)
+          in
+          check Alcotest.bool (label ^ ": conflicts occurred") true
+            (stats.Region_stats.s_lock_conflicts + stats.Region_stats.s_reader_conflicts
+             + stats.Region_stats.s_validation_fails
+            > 0);
+          check Alcotest.int (label ^ ": lock fails")
+            stats.Region_stats.s_lock_conflicts
+            (sum (fun rs -> rs.Obs.Contention.rs_lock_fails));
+          check Alcotest.int (label ^ ": reader waits")
+            stats.Region_stats.s_reader_conflicts
+            (sum (fun rs -> rs.Obs.Contention.rs_reader_fails));
+          check Alcotest.int (label ^ ": validation fails")
+            stats.Region_stats.s_validation_fails
+            (sum (fun rs -> rs.Obs.Contention.rs_validation_fails)))
+        [
+          ("invisible", Mode.make ());
+          ("visible", Mode.make ~visibility:Mode.Visible ());
+        ])
+
+(* -- Mutation gate with a tracer attached ------------------------------------ *)
+
+let traced_mutation_test =
+  Alcotest.test_case "seeded bug still caught with tracer attached" `Slow (fun () ->
+      let base = Scenario.for_bug Bug.Skip_commit_validation in
+      let traced =
+        {
+          base with
+          Scenario.make =
+            (fun () ->
+              let inst = base.Scenario.make () in
+              let tracer = Obs.Tracer.create () in
+              Obs.Tracer.attach tracer inst.Scenario.engine;
+              inst);
+        }
+      in
+      let outcome =
+        Bug.with_bug Bug.Skip_commit_validation (fun () ->
+            Explore.run ~seed:0xb06 ~budget:400 Explore.Random_walk traced)
+      in
+      match outcome with
+      | Explore.Passed { schedules; _ } ->
+          Alcotest.failf "tracer masked the seeded bug for %d schedules" schedules
+      | Explore.Failed f ->
+          check Alcotest.bool "failure carries anomalies" true (f.Explore.f_errors <> []))
+
+(* -- Tuner decision bridging -------------------------------------------------- *)
+
+let decision_test =
+  Alcotest.test_case "recorded decisions are chronological" `Quick (fun () ->
+      let tracer = Obs.Tracer.create () in
+      Obs.Tracer.record_decision tracer ~partition:"p0" ~from_mode:"inv/g10/wb"
+        ~to_mode:"vis/g10/wb";
+      Obs.Tracer.record_decision tracer ~partition:"p1" ~from_mode:"inv/g10/wb"
+        ~to_mode:"inv/g0/wb";
+      match Obs.Tracer.decisions tracer with
+      | [ d0; d1 ] ->
+          check Alcotest.string "first partition" "p0" d0.Obs.Tracer.d_partition;
+          check Alcotest.string "second partition" "p1" d1.Obs.Tracer.d_partition;
+          check Alcotest.string "to mode" "inv/g0/wb" d1.Obs.Tracer.d_to
+      | other -> Alcotest.failf "expected 2 decisions, got %d" (List.length other))
+
+let () =
+  Alcotest.run "partstm_obs"
+    [
+      ("fan-out", [ fan_out_test; add_remove_tap_test ]);
+      ("tracer", [ ring_eviction_test; sampling_test; decision_test ]);
+      ("chrome", [ chrome_test ]);
+      ("contention", [ heatmap_reconciliation_test ]);
+      ("mutation", [ traced_mutation_test ]);
+    ]

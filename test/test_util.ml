@@ -178,6 +178,56 @@ let test_histogram_percentile_monotone () =
   check Alcotest.bool "monotone" true (p50 <= p99);
   check Alcotest.bool "p50 plausible" true (p50 >= 256 && p50 <= 1024)
 
+let test_histogram_percentile_boundaries () =
+  (* Empty: every percentile is 0. *)
+  let empty = Histogram.create () in
+  List.iter
+    (fun p -> check Alcotest.int (Printf.sprintf "empty p%.0f" p) 0 (Histogram.percentile empty p))
+    [ 0.0; 50.0; 100.0 ];
+  (* Single value: every percentile names its bucket — including p = 0,
+     which used to report bucket 0's upper bound (0) even though bucket 0
+     was empty. *)
+  let single = Histogram.create () in
+  Histogram.observe single 100;
+  let bucket_upper = 128 (* 100 lands in (64, 128] *) in
+  List.iter
+    (fun p ->
+      check Alcotest.int (Printf.sprintf "single p%.0f" p) bucket_upper
+        (Histogram.percentile single p))
+    [ 0.0; 50.0; 100.0 ];
+  (* A genuine zero observation still reports bucket 0. *)
+  let zero = Histogram.create () in
+  Histogram.observe zero 0;
+  check Alcotest.int "zero p0" 0 (Histogram.percentile zero 0.0);
+  (* Uniform 1..1000: p0 = minimum's bucket, p100 covers the maximum. *)
+  let h = Histogram.create () in
+  for i = 1 to 1000 do
+    Histogram.observe h i
+  done;
+  check Alcotest.int "p0 = min bucket" 2 (* 1 lands in (0, 2] *) (Histogram.percentile h 0.0);
+  check Alcotest.bool "p100 covers max" true (Histogram.percentile h 100.0 >= 1000);
+  check Alcotest.bool "p50 mid" true
+    (Histogram.percentile h 50.0 >= Histogram.percentile h 0.0
+    && Histogram.percentile h 50.0 <= Histogram.percentile h 100.0)
+
+let test_histogram_buckets_json () =
+  let h = Histogram.create () in
+  List.iter (Histogram.observe h) [ 0; 0; 3; 100 ];
+  (* 0 -> bucket 0 (x2); 3 -> (2,4]; 100 -> (64,128]. *)
+  check
+    Alcotest.(list (pair int int))
+    "buckets" [ (0, 2); (4, 1); (128, 1) ] (Histogram.buckets h);
+  check Alcotest.int "buckets sum to count" (Histogram.count h)
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 (Histogram.buckets h));
+  match Json.of_string (Json.to_string (Histogram.to_json h)) with
+  | Error e -> Alcotest.failf "histogram json did not parse: %s" e
+  | Ok json ->
+      check Alcotest.(option int) "count field" (Some 4)
+        (Option.bind (Json.member "count" json) Json.to_int);
+      let buckets = Option.bind (Json.member "buckets" json) Json.to_list in
+      check Alcotest.(option int) "bucket list arity" (Some 3)
+        (Option.map List.length buckets)
+
 let test_histogram_merge_reset () =
   let a = Histogram.create () and b = Histogram.create () in
   Histogram.observe a 5;
@@ -384,6 +434,8 @@ let () =
         [
           Alcotest.test_case "basics" `Quick test_histogram_basics;
           Alcotest.test_case "percentile monotone" `Quick test_histogram_percentile_monotone;
+          Alcotest.test_case "percentile boundaries" `Quick test_histogram_percentile_boundaries;
+          Alcotest.test_case "buckets and json" `Quick test_histogram_buckets_json;
           Alcotest.test_case "merge and reset" `Quick test_histogram_merge_reset;
         ] );
       ( "table_csv",
