@@ -21,6 +21,7 @@ let experiments =
     ("a2", "ablation: cost-model sensitivity", Exp_a2.run);
     ("a3", "ablation: write-back vs write-through", Exp_a3.run);
     ("o1", "observability: tracing & profiling overhead", Exp_o1.run);
+    ("p1", "descriptor fast-path per-op cost & schedule equivalence", Exp_p1.run);
   ]
 
 let run_selected selected quick csv_dir =
@@ -52,7 +53,7 @@ let run_selected selected quick csv_dir =
 open Cmdliner
 
 let selected_arg =
-  let doc = "Run only the given experiment (repeatable). Known ids: t1 f1 f2 f3 f4 f5 t2 t3 a1 a2 a3 o1." in
+  let doc = "Run only the given experiment (repeatable). Known ids: t1 f1 f2 f3 f4 f5 t2 t3 a1 a2 a3 o1 p1." in
   Arg.(value & opt_all string [] & info [ "e"; "experiment" ] ~docv:"ID" ~doc)
 
 let quick_arg =

@@ -128,6 +128,7 @@ type run_spec = {
   seconds : float;
   cycles : int;
   seed : int;
+  cm : Cm.t option;  (* None = engine default *)
   telemetry_out : string option;
 }
 
@@ -163,7 +164,9 @@ let execute ?tracer ?contention spec ~with_telemetry =
             if backend = "sim" then Driver.default_sim ~cycles:spec.cycles ()
             else Driver.Domains { seconds = spec.seconds }
           in
-          let system = System.create ~max_workers:(spec.workers + 8) () in
+          let system =
+            System.create ~max_workers:(spec.workers + 8) ?contention_manager:spec.cm ()
+          in
           let state = wl_setup system ~strategy in
           Registry.reset_stats (System.registry system);
           let tuner =
@@ -524,6 +527,21 @@ let spec_term =
     Arg.(value & opt int 3_000_000 & info [ "cycles" ] ~docv:"C" ~doc:"Virtual duration (sim backend)")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload RNG seed") in
+  (* The conv prints via [Cm.to_string], so the flag round-trips: any value
+     the CLI displays is accepted back verbatim. *)
+  let cm_conv =
+    let parse s = Result.map_error (fun m -> `Msg ("--cm " ^ m)) (Cm.of_string s) in
+    Arg.conv ~docv:"CM" (parse, fun ppf cm -> Format.pp_print_string ppf (Cm.to_string cm))
+  in
+  let cm =
+    Arg.(
+      value
+      & opt (some cm_conv) None
+      & info [ "cm" ] ~docv:"CM"
+          ~doc:
+            "Contention manager: $(b,suicide), $(b,backoff(MIN..MAX)) or $(b,constant(N)) \
+             (default: the engine's backoff)")
+  in
   let telemetry_out =
     Arg.(
       value
@@ -531,11 +549,11 @@ let spec_term =
       & info [ "telemetry-out" ] ~docv:"DIR"
           ~doc:"Write the telemetry time series as CSV and JSON into $(docv)")
   in
-  let make workload_name strategy_name workers backend seconds cycles seed telemetry_out =
-    { workload_name; strategy_name; workers; backend; seconds; cycles; seed; telemetry_out }
+  let make workload_name strategy_name workers backend seconds cycles seed cm telemetry_out =
+    { workload_name; strategy_name; workers; backend; seconds; cycles; seed; cm; telemetry_out }
   in
   Term.(
-    const make $ workload $ strategy $ workers $ backend $ seconds $ cycles $ seed
+    const make $ workload $ strategy $ workers $ backend $ seconds $ cycles $ seed $ cm
     $ telemetry_out)
 
 let run_cmd =

@@ -6,10 +6,10 @@ open Partstm_stm
 type t = { engine : Engine.t; registry : Registry.t }
 
 let create ?max_workers ?contention_manager ?writer_wait_limit ?sample_retry_limit ?max_attempts
-    () =
+    ?fast_index () =
   let engine =
     Engine.create ?max_workers ?contention_manager ?writer_wait_limit ?sample_retry_limit
-      ?max_attempts ()
+      ?max_attempts ?fast_index ()
   in
   { engine; registry = Registry.create engine }
 

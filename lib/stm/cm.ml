@@ -10,12 +10,44 @@ type t =
       (** randomised exponential backoff, the TinySTM default *)
   | Constant of int  (** fixed delay; used by the CM ablation *)
 
-let default = Backoff { min_delay = 32; max_delay = 32768 }
+(* Smart constructors: [delay] silently mangles nonsensical configurations
+   ([max_delay < min_delay] clamps every attempt to [max_delay];
+   [min_delay <= 0] collapses the whole schedule to a constant 1), so
+   reject them at construction instead. *)
+
+let backoff ~min_delay ~max_delay =
+  if min_delay <= 0 then invalid_arg "Cm.backoff: min_delay must be positive";
+  if max_delay < min_delay then invalid_arg "Cm.backoff: max_delay < min_delay";
+  Backoff { min_delay; max_delay }
+
+let constant n =
+  if n < 0 then invalid_arg "Cm.constant: negative delay";
+  Constant n
+
+let default = backoff ~min_delay:32 ~max_delay:32768
 
 let to_string = function
   | Suicide -> "suicide"
   | Backoff { min_delay; max_delay } -> Printf.sprintf "backoff(%d..%d)" min_delay max_delay
   | Constant n -> Printf.sprintf "constant(%d)" n
+
+(* Inverse of [to_string] (the CLI's --cm flag round-trips through both);
+   validation goes through the smart constructors. *)
+let of_string s =
+  let invalid message = Error (Printf.sprintf "%S: %s" s message) in
+  match s with
+  | "suicide" -> Ok Suicide
+  | _ -> (
+      match Scanf.sscanf_opt s "backoff(%d..%d)%!" (fun a b -> (a, b)) with
+      | Some (min_delay, max_delay) -> (
+          try Ok (backoff ~min_delay ~max_delay)
+          with Invalid_argument message -> invalid message)
+      | None -> (
+          match Scanf.sscanf_opt s "constant(%d)%!" Fun.id with
+          | Some n -> (
+              try Ok (constant n) with Invalid_argument message -> invalid message)
+          | None ->
+              invalid "expected suicide, backoff(MIN..MAX) or constant(N)"))
 
 (* [delay cm rng ~attempt] performs the post-abort delay for the [attempt]-th
    consecutive abort (first abort = attempt 1). *)

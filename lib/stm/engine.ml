@@ -76,6 +76,9 @@ type t = {
   writer_wait_limit : int;
   sample_retry_limit : int;
   max_attempts : int;
+  fast_index : bool;
+      (* descriptors use the indexed (Intmap + Bloom) lookup paths; [false]
+         selects the linear-scan baseline, kept for A/B (see bench/exp_p1) *)
   mutable recorder : recorder option;
       (* the composed fan-out over [taps]; hook sites read only this field *)
   mutable taps : (int * recorder) list;  (* attach order; ids never reused *)
@@ -90,7 +93,7 @@ let inflight_unit = 2
    (hundreds of cycles) rather than abort — visible readers drain quickly
    because new readers abort against the held write lock. *)
 let create ?(max_workers = 64) ?(contention_manager = Cm.default) ?(writer_wait_limit = 512)
-    ?(sample_retry_limit = 64) ?(max_attempts = 1_000_000) () =
+    ?(sample_retry_limit = 64) ?(max_attempts = 1_000_000) ?(fast_index = true) () =
   if max_workers <= 0 then invalid_arg "Engine.create: max_workers";
   {
     clock = Atomic.make 0;
@@ -103,6 +106,7 @@ let create ?(max_workers = 64) ?(contention_manager = Cm.default) ?(writer_wait_
     writer_wait_limit;
     sample_retry_limit;
     max_attempts;
+    fast_index;
     recorder = None;
     taps = [];
     tap_counter = 0;

@@ -51,6 +51,9 @@ type t = {
   writer_wait_limit : int;  (** spins a writer waits for visible readers *)
   sample_retry_limit : int;  (** retries of the read double-sampling loop *)
   max_attempts : int;  (** per-transaction retry budget before giving up *)
+  fast_index : bool;
+      (** descriptors use the indexed (Intmap + Bloom) lookup paths;
+          [false] selects the linear-scan baseline (A/B, bench/exp_p1) *)
   mutable recorder : recorder option;
       (** the composed fan-out over all attached taps; hook sites read only
           this field. [None] (the default) costs one branch per hook site *)
@@ -65,8 +68,11 @@ val create :
   ?writer_wait_limit:int ->
   ?sample_retry_limit:int ->
   ?max_attempts:int ->
+  ?fast_index:bool ->
   unit ->
   t
+(** [fast_index] (default [true]) selects the descriptor's indexed lookup
+    paths; [false] is the linear-scan baseline kept for A/B comparison. *)
 
 val add_tap : t -> recorder -> int
 (** Attach an event sink; several taps can observe one engine (checker

@@ -8,7 +8,13 @@ type t = {
   words : int Atomic.t array;
   readers : int Atomic.t array;
   granularity_log2 : int;
+  uid : int;
 }
+
+(* Process-wide table identity, used to key descriptor indexes: OCaml has no
+   O(1) hash of physical identity, so each table gets a unique id and
+   [slot_key] packs (uid, slot) into one int. *)
+let uid_counter = Atomic.make 0
 
 let create ~clock_now ~granularity_log2 =
   if granularity_log2 < Mode.granularity_min || granularity_log2 > Mode.granularity_max then
@@ -22,6 +28,7 @@ let create ~clock_now ~granularity_log2 =
     words = Array.init slots (fun _ -> Atomic.make initial);
     readers = Array.init slots (fun _ -> Atomic.make 0);
     granularity_log2;
+    uid = Atomic.fetch_and_add uid_counter 1;
   }
 
 let slots t = Array.length t.words
@@ -30,6 +37,10 @@ let slot_of_id t tvar_id =
   if t.granularity_log2 = 0 then 0 else Bits.hash_to_slot ~slots:(Array.length t.words) tvar_id
 
 let word t slot = t.words.(slot)
+
+(* Slot identity as a non-negative int key.  [Mode.granularity_max] is 16,
+   so a slot index fits in 17 bits and (uid, slot) pairs are injective. *)
+let slot_key t slot = (t.uid lsl 17) lor slot
 let reader_counter t slot = t.readers.(slot)
 
 let locked_slots t =

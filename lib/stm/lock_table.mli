@@ -6,6 +6,7 @@ type t = {
   words : int Atomic.t array;
   readers : int Atomic.t array;
   granularity_log2 : int;
+  uid : int;  (** process-wide unique table id (keys descriptor indexes) *)
 }
 
 val create : clock_now:int -> granularity_log2:int -> t
@@ -15,6 +16,13 @@ val create : clock_now:int -> granularity_log2:int -> t
 val slots : t -> int
 val slot_of_id : t -> int -> int
 val word : t -> int -> int Atomic.t
+
+val slot_key : t -> int -> int
+(** [slot_key t slot] is a non-negative int identifying (table, slot)
+    process-wide — injective because slots fit in 17 bits
+    ([Mode.granularity_max] = 16).  Used to key the transaction
+    descriptor's {!Partstm_util.Intmap} indexes. *)
+
 val reader_counter : t -> int -> int Atomic.t
 
 val locked_slots : t -> int

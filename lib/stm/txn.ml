@@ -65,6 +65,22 @@ type t = {
   vis_counters : int Atomic.t Vec.t;  (* held visible-reader counters *)
   writes : write_entry Vec.t;
   mutable last_serialization : int;  (* stamp of the last committed txn *)
+  (* Indexed fast paths (engine.fast_index; DESIGN.md §3 "descriptor
+     indexing").  Orecs are identified by [Lock_table.slot_key]; every
+     index lookup and [own_bloom] test charges no simulated cycles, so
+     enabling the index never changes a deterministic-sim schedule (only
+     host-time cost).  [indexed = false] keeps the historical linear scans
+     for A/B comparison (bench/exp_p1). *)
+  indexed : bool;
+  read_keys : int Vec.t;  (* slot_key per read entry (indexed mode only) *)
+  read_index : Intmap.t;  (* slot_key -> read-set position (dedup) *)
+  lock_index : Intmap.t;  (* slot_key -> lock_words position *)
+  vis_index : Intmap.t;  (* slot_key -> vis_counters position *)
+  mutable own_bloom : int;
+      (* one-word Bloom filter over owned orecs (write locks + visible
+         holds): a zero intersection proves non-membership, so a
+         read-only-so-far transaction answers [holds_visible] with one
+         [land] and no index probe *)
 }
 
 let dummy_atomic = Atomic.make 0
@@ -91,7 +107,19 @@ let create engine ~worker_id =
     vis_counters = Vec.create ~dummy:dummy_atomic ();
     writes = Vec.create ~dummy:dummy_write ();
     last_serialization = 0;
+    indexed = engine.Engine.fast_index;
+    read_keys = Vec.create ~dummy:0 ();
+    read_index = Intmap.create ();
+    lock_index = Intmap.create ();
+    vis_index = Intmap.create ();
+    own_bloom = 0;
   }
+
+(* Two Bloom probes from one [Bits.mix_int] (non-negative, so [mod] is
+   safe); bit indices range over the 63 usable bits of a native int. *)
+let bloom_bits key =
+  let h = Bits.mix_int key in
+  (1 lsl (h mod 63)) lor (1 lsl ((h lsr 6) mod 63))
 
 let worker_id t = t.worker_id
 let attempt t = t.attempt
@@ -146,6 +174,14 @@ let find_lock_prev t word =
   in
   loop 0
 
+(* Indexed variant: the read entry's slot_key (logged in [read_keys])
+   resolves the owning lock entry in O(1) instead of scanning
+   [lock_words] — the scan made validating a read set with many self-locked
+   entries O(reads * locks). *)
+let find_lock_prev_indexed t ~read_pos =
+  let j = Intmap.find t.lock_index (Vec.get t.read_keys read_pos) in
+  if j >= 0 then Some (Vec.get t.lock_prev j) else None
+
 (* A read entry is valid iff its orec still carries the exact word observed
    at read time, or we have since write-locked it ourselves (in which case
    the pre-lock word must match).  Returns the index of the first invalid
@@ -161,7 +197,10 @@ let first_invalid t =
       let current = Atomic.get word in
       if current = observed then loop (i + 1)
       else if Orec.locked_by current ~owner:t.id then
-        match find_lock_prev t word with
+        let prev =
+          if t.indexed then find_lock_prev_indexed t ~read_pos:i else find_lock_prev t word
+        in
+        match prev with
         | Some previous when previous = observed -> loop (i + 1)
         | Some _ | None -> i
       else i
@@ -199,7 +238,19 @@ let record_validation_conflict t ~fallback_region ~failed_index =
    exposes a version newer than [rv]. *)
 let extend t (entry : region_entry) =
   let now = Engine.now t.engine in
-  if Vec.is_empty t.read_words then
+  if now = t.rv then
+    (* Extension coalescing: the read set is already valid at [now] — [rv]
+       is by construction the clock value of the last successful full
+       validation (or of begin), so there is nothing new to validate
+       against and the revalidation pass can be skipped outright.  (Note
+       the asymmetric unsound sibling: revalidating only entries logged
+       since the last extension is NOT safe, because an old entry can be
+       overwritten with a version in (rv, now] — see DESIGN.md §3.)  From
+       the current call sites this branch never fires — they all guard on
+       [version > rv], and a committed version is <= the clock — but it
+       makes coalescing explicit and keeps any future call site cheap. *)
+    ()
+  else if Vec.is_empty t.read_words then
     (* Nothing read invisibly yet: the snapshot can move forward for free
        (visible reads are 2PL-protected and need no revalidation). *)
     t.rv <- now
@@ -253,12 +304,36 @@ let read_invisible (type a) t (entry : region_entry) (tvar : a Tvar.t) ~slot (wo
       end
       else begin
         if Orec.version w1 > t.rv then extend t entry;
-        (* Consecutive reads covered by the same orec (array scans, coarse
-           tables) need only one log entry — this is what makes coarse
-           granularity cheap for scan-style transactions. *)
-        let n = Vec.length t.read_words in
-        if n = 0 || not (Vec.get t.read_words (n - 1) == word && Vec.get t.read_observed (n - 1) = w1)
-        then begin
+        (* Reads covered by an already-logged orec need no new log entry —
+           this is what makes coarse granularity cheap for scan-style
+           transactions.  Indexed mode suppresses duplicates anywhere in
+           the read set (alternating reads over two coarse orecs no longer
+           double the set per iteration); this is sound because at this
+           point [version w1 <= rv], and by clock monotonicity the logged
+           observation of the same orec at [<= rv] must be the identical
+           word — a later committed version would carry a tick past the
+           validation that moved [rv].  The equality check keeps the dedup
+           conservative anyway (under seeded zombie bugs a mismatch
+           appends, so validation still sees the stale entry and fails as
+           it should).  The baseline collapses only consecutive
+           duplicates, as historically. *)
+        let fresh =
+          if t.indexed then begin
+            let key = Lock_table.slot_key entry.re_table slot in
+            let i = Intmap.find t.read_index key in
+            if i >= 0 && Vec.get t.read_observed i = w1 then false
+            else begin
+              Intmap.set t.read_index key (Vec.length t.read_words);
+              Vec.push t.read_keys key;
+              true
+            end
+          end
+          else
+            let n = Vec.length t.read_words in
+            n = 0
+            || not (Vec.get t.read_words (n - 1) == word && Vec.get t.read_observed (n - 1) = w1)
+        in
+        if fresh then begin
           Vec.push t.read_words word;
           Vec.push t.read_observed w1;
           (* Keep the conflict-attribution log in lockstep with the read
@@ -276,14 +351,24 @@ let read_invisible (type a) t (entry : region_entry) (tvar : a Tvar.t) ~slot (wo
   in
   sample 0
 
-let holds_visible t counter = Vec.exists (fun c -> c == counter) t.vis_counters
+(* Do we already hold a visible-reader count on [counter]?  Called once per
+   visible read, so the historical [Vec.exists] made a transaction's k-th
+   visible read cost O(k).  Indexed mode answers with a Bloom test (one
+   [land]; exact "no" for the common read-only-so-far case) backed by the
+   vis index. *)
+let holds_visible t ~key counter =
+  if t.indexed then
+    let bits = bloom_bits key in
+    t.own_bloom land bits = bits && Intmap.find t.vis_index key >= 0
+  else Vec.exists (fun c -> c == counter) t.vis_counters
 
 let read_visible (type a) t (entry : region_entry) (tvar : a Tvar.t) ~(table : Lock_table.t)
     ~slot (word : int Atomic.t) : a =
   let counter = Lock_table.reader_counter table slot in
+  let key = Lock_table.slot_key table slot in
   let w0 = Atomic.get word in
   if Orec.locked_by w0 ~owner:t.id then Atomic.get tvar.Tvar.cell
-  else if holds_visible t counter then
+  else if holds_visible t ~key counter then
     (* Shared hold since an earlier read (strict 2PL): no writer can have
        committed to this slot meanwhile. *)
     Atomic.get tvar.Tvar.cell
@@ -291,6 +376,10 @@ let read_visible (type a) t (entry : region_entry) (tvar : a Tvar.t) ~(table : L
     Runtime_hook.charge Runtime_hook.Read_visible;
     ignore (Atomic.fetch_and_add counter 1);
     Vec.push t.vis_counters counter;
+    if t.indexed then begin
+      Intmap.set t.vis_index key (Vec.length t.vis_counters - 1);
+      t.own_bloom <- t.own_bloom lor bloom_bits key
+    end;
     let w = Atomic.get word in
     if Orec.is_locked w then
       if Orec.owner w = t.id then Atomic.get tvar.Tvar.cell else lock_conflict t entry ~slot
@@ -325,6 +414,7 @@ let read t (tvar : 'a Tvar.t) : 'a =
    drain — an expired wait is a reader conflict and we abort ourselves, which
    releases the lock via rollback. *)
 let acquire_slot t (entry : region_entry) ~slot (word : int Atomic.t) (counter : int Atomic.t) =
+  let key = Lock_table.slot_key entry.re_table slot in
   let rec attempt retries =
     if retries > t.engine.Engine.sample_retry_limit then lock_conflict t entry ~slot;
     let w = Atomic.get word in
@@ -339,7 +429,17 @@ let acquire_slot t (entry : region_entry) ~slot (word : int Atomic.t) (counter :
       else begin
         Vec.push t.lock_words word;
         Vec.push t.lock_prev w;
-        let my_holds = Vec.count (fun c -> c == counter) t.vis_counters in
+        if t.indexed then begin
+          Intmap.set t.lock_index key (Vec.length t.lock_words - 1);
+          t.own_bloom <- t.own_bloom lor bloom_bits key
+        end;
+        (* Visible holds are unique per counter (read_visible guards on
+           [holds_visible]), so the historical O(holds) count is just a
+           membership test: 1 if we hold this slot's counter, else 0. *)
+        let my_holds =
+          if t.indexed then if Intmap.find t.vis_index key >= 0 then 1 else 0
+          else Vec.count (fun c -> c == counter) t.vis_counters
+        in
         let rec wait spins =
           if Atomic.get counter > my_holds then
             if spins >= t.engine.Engine.writer_wait_limit then begin
@@ -450,6 +550,11 @@ let begin_txn t =
   Vec.clear t.lock_prev;
   Vec.clear t.vis_counters;
   Vec.clear t.writes;
+  Vec.clear t.read_keys;
+  Intmap.clear t.read_index;
+  Intmap.clear t.lock_index;
+  Intmap.clear t.vis_index;
+  t.own_bloom <- 0;
   t.regions <- [];
   t.rv <- Engine.now t.engine;
   t.active <- true;
@@ -460,6 +565,27 @@ let begin_txn t =
 let release_visible_holds t =
   Vec.iter (fun counter -> ignore (Atomic.fetch_and_add counter (-1))) t.vis_counters
 
+(* Descriptor reuse must not leak: [Vec.clear] only resets the length, so a
+   completed transaction would keep pinning its orec words, reader counters
+   and write closures (and through the closures, whole tvar graphs) until
+   the worker's next transaction happened to overwrite the same slots.
+   Wipe the used prefix of every pointer-holding vec at transaction end
+   (O(entries used), not O(capacity)); the int vecs hold no references and
+   reset lazily at [begin_txn]. *)
+let release_references t =
+  Vec.wipe t.read_words;
+  Vec.wipe t.lock_words;
+  Vec.wipe t.vis_counters;
+  Vec.wipe t.writes;
+  t.regions <- []
+
+(* White-box leak probe: heap references a quiescent descriptor still pins
+   (backing-array slots not reset to the dummy, plus cached region
+   entries).  0 after a completed transaction. *)
+let debug_resident t =
+  Vec.resident t.read_words + Vec.resident t.lock_words + Vec.resident t.vis_counters
+  + Vec.resident t.writes + List.length t.regions
+
 let finalize_success t =
   release_visible_holds t;
   List.iter
@@ -468,6 +594,7 @@ let finalize_success t =
       if e.re_writes = 0 then
         e.re_shard.Region_stats.ro_commits <- e.re_shard.Region_stats.ro_commits + 1)
     t.regions;
+  release_references t;
   Engine.leave t.engine;
   t.active <- false
 
@@ -538,6 +665,7 @@ let rollback t =
   List.iter
     (fun e -> e.re_shard.Region_stats.aborts <- e.re_shard.Region_stats.aborts + 1)
     t.regions;
+  release_references t;
   Engine.leave t.engine;
   t.active <- false;
   Runtime_hook.charge Runtime_hook.Abort_restart

@@ -59,3 +59,8 @@ val validate : t -> bool
 val begin_txn : t -> unit
 val commit : t -> unit
 val rollback : t -> unit
+
+val debug_resident : t -> int
+(* Heap references a quiescent descriptor still pins (backing-array slots
+   not reset to the dummy, plus cached region entries); 0 after a completed
+   transaction. Leak-regression probe. *)

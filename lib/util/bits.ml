@@ -2,7 +2,18 @@
 
 let is_power_of_two n = n > 0 && n land (n - 1) = 0
 
-let rec ceil_power_of_two n = if is_power_of_two n then n else ceil_power_of_two (n + (n land -n))
+(* Largest power of two representable in a native int (2^61 on 64-bit:
+   max_int = 2^62 - 1). *)
+let max_power_of_two = 1 lsl 61
+
+(* [n land -n] is 0 for [n = 0] (infinite loop) and the rounding silently
+   wraps negative near [max_int], so both ends are guarded like
+   [floor_log2]. *)
+let ceil_power_of_two n =
+  if n <= 0 then invalid_arg "Bits.ceil_power_of_two";
+  if n > max_power_of_two then invalid_arg "Bits.ceil_power_of_two: overflow";
+  let rec round n = if is_power_of_two n then n else round (n + (n land -n)) in
+  round n
 
 let floor_log2 n =
   if n <= 0 then invalid_arg "Bits.floor_log2";

@@ -3,8 +3,14 @@
 val is_power_of_two : int -> bool
 (** [is_power_of_two n] is true iff [n] is a positive power of two. *)
 
+val max_power_of_two : int
+(** Largest power of two representable in a native int ([2^61] on
+    64-bit); the upper bound accepted by {!ceil_power_of_two}. *)
+
 val ceil_power_of_two : int -> int
-(** Smallest power of two [>= n] (for positive [n]). *)
+(** Smallest power of two [>= n]. Raises [Invalid_argument] on
+    non-positive input and when the result would overflow a native int
+    (i.e. [n > 2^61] on 64-bit). *)
 
 val floor_log2 : int -> int
 (** Floor of log2; raises [Invalid_argument] on non-positive input. *)

@@ -1,0 +1,100 @@
+(* Open-addressing hash map from non-negative int keys to int values,
+   built for the STM descriptor fast paths (Txn's write-set / lock-set /
+   visible-hold indexes):
+
+   - power-of-two capacity, linear probing from [Bits.mix_int key];
+   - O(1) amortised insert and lookup, no boxing, no option allocation on
+     the hot path ([find] returns -1 for absence);
+   - O(1) [clear] by epoch stamping: each slot carries the epoch in which
+     it was written and is live only while the stamp matches the map's
+     current epoch, so resetting the map between transaction attempts is
+     one integer increment — no per-attempt allocation or array fill.
+
+   Not thread-safe (one owner, like the descriptor that embeds it). *)
+
+type t = {
+  mutable keys : int array;
+  mutable values : int array;
+  mutable stamps : int array;  (* slot live iff [stamps.(i) = epoch] *)
+  mutable mask : int;  (* capacity - 1; capacity is a power of two *)
+  mutable epoch : int;
+  mutable live : int;  (* live entries at the current epoch *)
+}
+
+let absent = -1
+
+let create ?(capacity = 16) () =
+  let capacity = Bits.ceil_power_of_two (max 8 capacity) in
+  {
+    keys = Array.make capacity 0;
+    values = Array.make capacity 0;
+    stamps = Array.make capacity 0;
+    mask = capacity - 1;
+    epoch = 1;
+    live = 0;
+  }
+
+let length t = t.live
+let capacity t = t.mask + 1
+
+let clear t =
+  (* Epoch wrap is unreachable in practice (2^62 clears); the guard keeps
+     the stamp trick sound anyway. *)
+  if t.epoch = max_int then begin
+    Array.fill t.stamps 0 (Array.length t.stamps) 0;
+    t.epoch <- 1
+  end
+  else t.epoch <- t.epoch + 1;
+  t.live <- 0
+
+let check_key key = if key < 0 then invalid_arg "Intmap: negative key"
+
+let find t key =
+  check_key key;
+  let rec probe i =
+    if t.stamps.(i) <> t.epoch then absent
+    else if t.keys.(i) = key then t.values.(i)
+    else probe ((i + 1) land t.mask)
+  in
+  probe (Bits.mix_int key land t.mask)
+
+let mem t key = find t key >= 0
+
+let rec set t key value =
+  check_key key;
+  let rec probe i =
+    if t.stamps.(i) <> t.epoch then begin
+      (* Free slot: insert here, growing first when the load factor would
+         pass 1/2 (keeps probe chains short). *)
+      if 2 * (t.live + 1) > t.mask + 1 then begin
+        grow t;
+        set t key value
+      end
+      else begin
+        t.keys.(i) <- key;
+        t.values.(i) <- value;
+        t.stamps.(i) <- t.epoch;
+        t.live <- t.live + 1
+      end
+    end
+    else if t.keys.(i) = key then t.values.(i) <- value
+    else probe ((i + 1) land t.mask)
+  in
+  probe (Bits.mix_int key land t.mask)
+
+and grow t =
+  let old_keys = t.keys and old_values = t.values and old_stamps = t.stamps in
+  let old_epoch = t.epoch in
+  let capacity = 2 * (t.mask + 1) in
+  t.keys <- Array.make capacity 0;
+  t.values <- Array.make capacity 0;
+  t.stamps <- Array.make capacity 0;
+  t.mask <- capacity - 1;
+  t.epoch <- 1;
+  t.live <- 0;
+  Array.iteri
+    (fun i stamp -> if stamp = old_epoch then set t old_keys.(i) old_values.(i))
+    old_stamps
+
+let iter f t =
+  Array.iteri (fun i stamp -> if stamp = t.epoch then f t.keys.(i) t.values.(i)) t.stamps

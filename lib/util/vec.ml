@@ -32,6 +32,18 @@ let deep_clear t =
   Array.fill t.data 0 (Array.length t.data) t.dummy;
   t.length <- 0
 
+(* Bounded deep clear: only the used prefix can hold non-dummy elements
+   (push never skips slots), so overwriting [0, length) releases every
+   reference in O(length) rather than O(capacity). *)
+let wipe t =
+  Array.fill t.data 0 t.length t.dummy;
+  t.length <- 0
+
+let resident t =
+  let n = ref 0 in
+  Array.iter (fun x -> if x != t.dummy then incr n) t.data;
+  !n
+
 let iter f t =
   for i = 0 to t.length - 1 do
     f t.data.(i)

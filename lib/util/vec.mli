@@ -18,6 +18,16 @@ val deep_clear : 'a t -> unit
 (** Resets the length and overwrites capacity with the dummy, releasing
     references. *)
 
+val wipe : 'a t -> unit
+(** Resets the length and overwrites the used prefix [0, length) with the
+    dummy: releases every element reference like {!deep_clear}, but in
+    O(length) rather than O(capacity). *)
+
+val resident : 'a t -> int
+(** Number of slots in the whole backing array (not just [0, length))
+    holding something other (physically) than the dummy — i.e. element
+    references the vec still pins. Diagnostic for leak tests. *)
+
 val iter : ('a -> unit) -> 'a t -> unit
 val iteri : (int -> 'a -> unit) -> 'a t -> unit
 val exists : ('a -> bool) -> 'a t -> bool

@@ -272,6 +272,39 @@ let test_cm_to_string () =
   check Alcotest.string "suicide" "suicide" (Cm.to_string Cm.Suicide);
   check Alcotest.string "constant" "constant(4)" (Cm.to_string (Cm.Constant 4))
 
+let test_cm_smart_constructors () =
+  Alcotest.check_raises "min_delay zero"
+    (Invalid_argument "Cm.backoff: min_delay must be positive") (fun () ->
+      ignore (Cm.backoff ~min_delay:0 ~max_delay:8));
+  Alcotest.check_raises "min_delay negative"
+    (Invalid_argument "Cm.backoff: min_delay must be positive") (fun () ->
+      ignore (Cm.backoff ~min_delay:(-3) ~max_delay:8));
+  Alcotest.check_raises "max below min"
+    (Invalid_argument "Cm.backoff: max_delay < min_delay") (fun () ->
+      ignore (Cm.backoff ~min_delay:8 ~max_delay:4));
+  Alcotest.check_raises "negative constant" (Invalid_argument "Cm.constant: negative delay")
+    (fun () -> ignore (Cm.constant (-1)));
+  check Alcotest.bool "degenerate backoff ok" true
+    (Cm.backoff ~min_delay:1 ~max_delay:1 = Cm.Backoff { min_delay = 1; max_delay = 1 });
+  check Alcotest.bool "constant zero ok" true (Cm.constant 0 = Cm.Constant 0)
+
+let cm_testable =
+  Alcotest.testable (fun ppf cm -> Format.pp_print_string ppf (Cm.to_string cm)) ( = )
+
+let test_cm_string_roundtrip () =
+  List.iter
+    (fun cm ->
+      match Cm.of_string (Cm.to_string cm) with
+      | Ok cm' -> check cm_testable (Cm.to_string cm) cm cm'
+      | Error e -> Alcotest.failf "%S did not round-trip: %s" (Cm.to_string cm) e)
+    [ Cm.Suicide; Cm.default; Cm.backoff ~min_delay:1 ~max_delay:8; Cm.constant 0; Cm.constant 4 ];
+  List.iter
+    (fun s ->
+      match Cm.of_string s with
+      | Ok _ -> Alcotest.failf "of_string accepted %S" s
+      | Error _ -> ())
+    [ ""; "bogus"; "backoff(8..4)"; "backoff(0..8)"; "backoff(1..2)x"; "constant(-1)"; "suicidal" ]
+
 (* -- Transactions: sequential semantics ------------------------------------ *)
 
 let with_txn_env ?mode f =
@@ -418,6 +451,56 @@ let test_txn_stale_read_aborts_and_retries () =
       in
       check Alcotest.bool "retried" true (!tries >= 2);
       check Alcotest.(pair int int) "consistent result" (100, 0) result)
+
+(* A pooled descriptor must not pin heap objects (tvars, regions, reader
+   counters) from its last transaction: both the commit and the rollback
+   paths wipe the pointer-holding sets.  [Txn.debug_resident] counts slots
+   still holding a non-dummy reference. *)
+let test_txn_descriptor_releases_references () =
+  with_txn_env ~mode:(visible_mode 4) (fun _ r txn ->
+      let a = Tvar.make r 1 and b = Tvar.make r 2 in
+      Txn.atomically txn (fun t ->
+          ignore (Txn.read t a);
+          Txn.write t b (Txn.read t b + 1));
+      check Alcotest.int "no refs after commit" 0 (Txn.debug_resident txn);
+      Alcotest.check_raises "body raises" Exit (fun () ->
+          Txn.atomically txn (fun t ->
+              ignore (Txn.read t a);
+              Txn.write t b 99;
+              raise Exit));
+      check Alcotest.int "no refs after rollback" 0 (Txn.debug_resident txn))
+
+(* The indexed descriptor paths (engine flag [fast_index], the default) must
+   be behaviourally equivalent to the linear-scan baseline.  R-P1 phase 2
+   checks full schedule equivalence under contention; this is the cheap
+   tier-1 version: an identical seeded single-worker workload under both
+   arms must leave identical committed state. *)
+let parity_arm ~fast_index mode =
+  let e = Engine.create ~fast_index () in
+  let r = Region.create e ~name:"parity" ~mode () in
+  let n = 32 in
+  let tvars = Array.init n (fun i -> Tvar.make r i) in
+  let txn = Txn.create e ~worker_id:0 in
+  let rng = Rng.make 7 in
+  for _ = 1 to 50 do
+    Txn.atomically txn (fun t ->
+        let sum = ref 0 in
+        (* Duplicate reads are likely (8 draws over 32 slots): exercises the
+           dedup and already-held paths in both arms. *)
+        for _ = 1 to 8 do
+          sum := !sum + Txn.read t tvars.(Rng.int rng n)
+        done;
+        Txn.write t tvars.(Rng.int rng n) !sum)
+  done;
+  Array.map Tvar.peek tvars
+
+let test_txn_fast_index_parity () =
+  List.iter
+    (fun mode ->
+      let indexed = parity_arm ~fast_index:true mode in
+      let baseline = parity_arm ~fast_index:false mode in
+      check Alcotest.(array int) "same final state" baseline indexed)
+    [ invisible_mode 4; visible_mode 4; invisible_mode 0; write_through_mode 4 ]
 
 (* -- Write-through update strategy ----------------------------------------- *)
 
@@ -691,6 +774,8 @@ let () =
         [
           Alcotest.test_case "delay runs" `Quick test_cm_delay_runs;
           Alcotest.test_case "to_string" `Quick test_cm_to_string;
+          Alcotest.test_case "smart constructors" `Quick test_cm_smart_constructors;
+          Alcotest.test_case "string round-trip" `Quick test_cm_string_roundtrip;
         ] );
       ( "txn_sequential",
         [
@@ -708,6 +793,9 @@ let () =
           Alcotest.test_case "attempt counter" `Quick test_txn_attempt_counter;
           Alcotest.test_case "stale read aborts+retries" `Quick
             test_txn_stale_read_aborts_and_retries;
+          Alcotest.test_case "descriptor releases references" `Quick
+            test_txn_descriptor_releases_references;
+          Alcotest.test_case "fast-index parity" `Quick test_txn_fast_index_parity;
           Alcotest.test_case "write-through sequential" `Quick test_write_through_sequential;
           Alcotest.test_case "write-through undo" `Quick test_write_through_undo_on_abort;
           Alcotest.test_case "write-through + write-back mix" `Quick

@@ -17,7 +17,26 @@ let test_is_power_of_two () =
 let test_ceil_power_of_two () =
   List.iter
     (fun (input, expected) -> check Alcotest.int (string_of_int input) expected (Bits.ceil_power_of_two input))
-    [ (1, 1); (2, 2); (3, 4); (5, 8); (17, 32); (1024, 1024); (1025, 2048) ]
+    [ (1, 1); (2, 2); (3, 4); (5, 8); (17, 32); (1024, 1024); (1025, 2048) ];
+  (* Exact powers of two are fixed points, up to the largest representable
+     one. *)
+  List.iter
+    (fun n -> check Alcotest.int (string_of_int n) n (Bits.ceil_power_of_two n))
+    [ 1; 2; 64; 1 lsl 40; Bits.max_power_of_two ]
+
+let test_ceil_power_of_two_guards () =
+  (* n <= 0 used to loop forever ([n land -n] = 0 never advances 0), and
+     values past 2^61 wrapped negative mid-rounding; both must raise. *)
+  List.iter
+    (fun n ->
+      Alcotest.check_raises (string_of_int n) (Invalid_argument "Bits.ceil_power_of_two")
+        (fun () -> ignore (Bits.ceil_power_of_two n)))
+    [ 0; -1; -1024; min_int ];
+  List.iter
+    (fun n ->
+      Alcotest.check_raises "overflow" (Invalid_argument "Bits.ceil_power_of_two: overflow")
+        (fun () -> ignore (Bits.ceil_power_of_two n)))
+    [ Bits.max_power_of_two + 1; max_int ]
 
 let test_log2 () =
   check Alcotest.int "floor 1" 0 (Bits.floor_log2 1);
@@ -381,6 +400,150 @@ let test_vec_set_and_deep_clear () =
   Vec.deep_clear v;
   check Alcotest.int "cleared" 0 (Vec.length v)
 
+let test_vec_wipe_resident () =
+  let v = Vec.create ~dummy:(-1) () in
+  List.iter (Vec.push v) [ 1; 2; 3 ];
+  check Alcotest.int "resident after pushes" 3 (Vec.resident v);
+  (* [clear] resets the length but pins the elements — the descriptor-reuse
+     leak this pair of functions exists to measure and fix. *)
+  Vec.clear v;
+  check Alcotest.int "clear pins slots" 3 (Vec.resident v);
+  List.iter (Vec.push v) [ 7; 8; 9 ];
+  Vec.wipe v;
+  check Alcotest.int "wipe releases" 0 (Vec.resident v);
+  check Alcotest.int "wipe resets length" 0 (Vec.length v);
+  Vec.push v 5;
+  check Alcotest.int "reusable after wipe" 5 (Vec.get v 0);
+  check Alcotest.int "resident counts live" 1 (Vec.resident v)
+
+(* Model-based property: a Vec behaves like a list under every operation
+   mix, including from ~capacity:0 (first push must grow an empty backing
+   array) and re-push after each clear flavour. *)
+
+type vec_op = V_push of int | V_set of int * int | V_clear | V_deep_clear | V_wipe
+
+let vec_op_gen =
+  QCheck2.Gen.(
+    frequency
+      [
+        (6, map (fun x -> V_push x) small_int);
+        (2, map2 (fun i x -> V_set (i, x)) small_nat small_int);
+        (1, return V_clear);
+        (1, return V_deep_clear);
+        (1, return V_wipe);
+      ])
+
+let prop_vec_matches_list_model =
+  qtest "vec matches list model (from capacity 0)"
+    QCheck2.Gen.(list_size (int_range 0 120) vec_op_gen)
+    (fun ops ->
+      let v = Vec.create ~capacity:0 ~dummy:(-1) () in
+      let model = ref [] in
+      List.iter
+        (fun op ->
+          match op with
+          | V_push x ->
+              Vec.push v x;
+              model := !model @ [ x ]
+          | V_set (i, x) ->
+              let n = List.length !model in
+              if n > 0 then begin
+                let i = i mod n in
+                Vec.set v i x;
+                model := List.mapi (fun j y -> if j = i then x else y) !model
+              end
+          | V_clear ->
+              Vec.clear v;
+              model := []
+          | V_deep_clear ->
+              Vec.deep_clear v;
+              model := []
+          | V_wipe ->
+              Vec.wipe v;
+              model := [])
+        ops;
+      Vec.to_list v = !model
+      && Vec.length v = List.length !model
+      && Vec.is_empty v = (!model = []))
+
+(* -- Intmap ----------------------------------------------------------------- *)
+
+let test_intmap_basics () =
+  let m = Intmap.create ~capacity:4 () in
+  check Alcotest.int "absent" (-1) (Intmap.find m 7);
+  check Alcotest.bool "not mem" false (Intmap.mem m 7);
+  Intmap.set m 7 1;
+  Intmap.set m 130 2;
+  check Alcotest.int "find 7" 1 (Intmap.find m 7);
+  check Alcotest.int "find 130" 2 (Intmap.find m 130);
+  Intmap.set m 7 9;
+  check Alcotest.int "overwrite" 9 (Intmap.find m 7);
+  check Alcotest.int "length" 2 (Intmap.length m);
+  Intmap.clear m;
+  check Alcotest.int "cleared find" (-1) (Intmap.find m 7);
+  check Alcotest.int "cleared length" 0 (Intmap.length m);
+  Intmap.set m 7 3;
+  check Alcotest.int "reusable after clear" 3 (Intmap.find m 7);
+  Alcotest.check_raises "negative key" (Invalid_argument "Intmap: negative key") (fun () ->
+      ignore (Intmap.find m (-1)))
+
+let test_intmap_growth () =
+  let m = Intmap.create ~capacity:4 () in
+  for k = 0 to 1999 do
+    Intmap.set m (k * 3) k
+  done;
+  check Alcotest.int "length" 2000 (Intmap.length m);
+  check Alcotest.bool "grew" true (Intmap.capacity m >= 4000);
+  for k = 0 to 1999 do
+    if Intmap.find m (k * 3) <> k then Alcotest.failf "lost key %d after growth" (k * 3)
+  done;
+  Intmap.clear m;
+  for k = 0 to 1999 do
+    if Intmap.mem m (k * 3) then Alcotest.failf "key %d survived clear" (k * 3)
+  done
+
+type intmap_op = I_set of int * int | I_clear
+
+let intmap_op_gen =
+  (* Keys in a small range force collisions, overwrites and probe chains. *)
+  QCheck2.Gen.(
+    frequency
+      [ (8, map2 (fun k v -> I_set (k, v)) (int_range 0 64) small_nat); (1, return I_clear) ])
+
+let prop_intmap_matches_hashtbl =
+  qtest "intmap matches Hashtbl model"
+    QCheck2.Gen.(list_size (int_range 0 300) intmap_op_gen)
+    (fun ops ->
+      let m = Intmap.create ~capacity:4 () in
+      let h = Hashtbl.create 16 in
+      List.for_all
+        (fun op ->
+          (match op with
+          | I_set (k, v) ->
+              Intmap.set m k v;
+              Hashtbl.replace h k v
+          | I_clear ->
+              Intmap.clear m;
+              Hashtbl.reset h);
+          Intmap.length m = Hashtbl.length h
+          && Hashtbl.fold (fun k v acc -> acc && Intmap.find m k = v) h true
+          &&
+          let agree = ref true in
+          for k = 0 to 64 do
+            if Intmap.mem m k <> Hashtbl.mem h k then agree := false
+          done;
+          !agree)
+        ops)
+
+let test_intmap_iter () =
+  let m = Intmap.create () in
+  List.iter (fun (k, v) -> Intmap.set m k v) [ (1, 10); (2, 20); (3, 30) ];
+  let sum = ref 0 in
+  Intmap.iter (fun k v -> sum := !sum + k + v) m;
+  check Alcotest.int "iter covers live bindings" 66 !sum;
+  Intmap.clear m;
+  Intmap.iter (fun _ _ -> Alcotest.fail "iter visited a cleared binding") m
+
 (* -- Runtime hook ---------------------------------------------------------- *)
 
 let test_runtime_hook_install_reset () =
@@ -404,6 +567,7 @@ let () =
         [
           Alcotest.test_case "is_power_of_two" `Quick test_is_power_of_two;
           Alcotest.test_case "ceil_power_of_two" `Quick test_ceil_power_of_two;
+          Alcotest.test_case "ceil_power_of_two guards" `Quick test_ceil_power_of_two_guards;
           Alcotest.test_case "log2" `Quick test_log2;
           Alcotest.test_case "popcount" `Quick test_popcount;
           prop_floor_log2_of_power;
@@ -456,6 +620,15 @@ let () =
           Alcotest.test_case "clear reuse" `Quick test_vec_clear_reuse;
           Alcotest.test_case "iteration" `Quick test_vec_iteration;
           Alcotest.test_case "set deep_clear" `Quick test_vec_set_and_deep_clear;
+          Alcotest.test_case "wipe and resident" `Quick test_vec_wipe_resident;
+          prop_vec_matches_list_model;
+        ] );
+      ( "intmap",
+        [
+          Alcotest.test_case "basics" `Quick test_intmap_basics;
+          Alcotest.test_case "growth" `Quick test_intmap_growth;
+          Alcotest.test_case "iter" `Quick test_intmap_iter;
+          prop_intmap_matches_hashtbl;
         ] );
       ( "runtime_hook",
         [ Alcotest.test_case "install reset" `Quick test_runtime_hook_install_reset ] );
