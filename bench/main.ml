@@ -22,6 +22,7 @@ let experiments =
     ("a3", "ablation: write-back vs write-through", Exp_a3.run);
     ("o1", "observability: tracing & profiling overhead", Exp_o1.run);
     ("p1", "descriptor fast-path per-op cost & schedule equivalence", Exp_p1.run);
+    ("d1", "domains hardware scaling: padded vs boxed (BENCH_D1.json)", Exp_d1.run);
   ]
 
 let run_selected selected quick csv_dir =
@@ -53,7 +54,7 @@ let run_selected selected quick csv_dir =
 open Cmdliner
 
 let selected_arg =
-  let doc = "Run only the given experiment (repeatable). Known ids: t1 f1 f2 f3 f4 f5 t2 t3 a1 a2 a3 o1 p1." in
+  let doc = "Run only the given experiment (repeatable). Known ids: t1 f1 f2 f3 f4 f5 t2 t3 a1 a2 a3 o1 p1 d1." in
   Arg.(value & opt_all string [] & info [ "e"; "experiment" ] ~docv:"ID" ~doc)
 
 let quick_arg =

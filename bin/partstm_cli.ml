@@ -7,6 +7,7 @@
      trace <workload> ...    run with telemetry and print the per-period trace
      profile <workload> ...  run with the span tracer + contention profiler
      check [<scenario>] ...  systematic schedule exploration + opacity oracle
+     bench ...               domains hardware scaling sweep -> BENCH_D1.json
      list                    list workloads, strategies and check scenarios
 
    Examples:
@@ -682,9 +683,104 @@ let check_cmd =
           invariants; failures are shrunk to a minimal replayable schedule")
     Term.(const cmd_check $ check_spec_term)
 
+(* -- bench: domains hardware scaling (experiment D1) ------------------------- *)
+
+type bench_spec = {
+  bn_backend : string;
+  bn_workers : int list;
+  bn_seconds : float;
+  bn_trials : int;
+  bn_seed : int;
+  bn_out : string;
+}
+
+let cmd_bench spec =
+  if spec.bn_backend <> "domains" then begin
+    Printf.eprintf
+      "bench: unknown backend %S (only \"domains\" is supported here; simulated-backend \
+       figures come from the bench harness, `dune exec bench/main.exe`)\n"
+      spec.bn_backend;
+    2
+  end
+  else if spec.bn_workers <> [] && List.exists (fun w -> w <= 0) spec.bn_workers then begin
+    Printf.eprintf "bench: --workers must be positive\n";
+    2
+  end
+  else
+    match ensure_writable_dir (Filename.dirname spec.bn_out) with
+    | Error msg ->
+        Printf.eprintf "bench: --out %S is not writable: %s\n" spec.bn_out msg;
+        2
+    | Ok () ->
+        let config =
+          {
+            Scaling.workers =
+              (match spec.bn_workers with
+              | [] -> Scaling.default_config.Scaling.workers
+              | ws -> List.sort_uniq compare ws);
+            seconds = spec.bn_seconds;
+            trials = spec.bn_trials;
+            seed = spec.bn_seed;
+          }
+        in
+        let report =
+          Scaling.run ~progress:(fun line -> Printf.printf "%s\n%!" line) config
+        in
+        Partstm_util.Table.print (Scaling.to_table report);
+        write_text_file spec.bn_out
+          (Partstm_util.Json.to_string (Scaling.to_json report) ^ "\n");
+        Printf.printf "wrote %s\n" spec.bn_out;
+        (* Skipped checks (single-core host) are not failures. *)
+        (match (Scaling.check_scaling report, Scaling.check_padding report) with
+        | `Failed reason, _ | _, `Failed reason ->
+            Printf.eprintf "bench: acceptance check failed: %s\n" reason;
+            1
+        | _ -> 0)
+
+let bench_spec_term =
+  let backend =
+    Arg.(
+      value & opt string "domains"
+      & info [ "backend"; "b" ] ~docv:"BACKEND"
+          ~doc:"Backend to measure (only $(b,domains) — real hardware parallelism)")
+  in
+  let workers =
+    Arg.(
+      value & opt_all int []
+      & info [ "workers"; "w" ] ~docv:"N"
+          ~doc:"Worker count to sweep (repeatable; default 1 2 4 8)")
+  in
+  let seconds =
+    Arg.(
+      value & opt float 1.0
+      & info [ "seconds" ] ~docv:"S" ~doc:"Measured window per run, in seconds")
+  in
+  let trials =
+    Arg.(value & opt int 3 & info [ "trials" ] ~docv:"T" ~doc:"Trials per arm (best-of-T)")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed") in
+  let out =
+    Arg.(
+      value & opt string "BENCH_D1.json"
+      & info [ "out"; "o" ] ~docv:"PATH" ~doc:"Where to write the JSON report")
+  in
+  let make bn_backend bn_workers bn_seconds bn_trials bn_seed bn_out =
+    { bn_backend; bn_workers; bn_seconds; bn_trials; bn_seed; bn_out }
+  in
+  Term.(const make $ backend $ workers $ seconds $ trials $ seed $ out)
+
+let bench_cmd =
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Measure committed transactions per wall-clock second on real domains across worker \
+          counts, padded vs packed memory layout, and write the BENCH_D1.json report; \
+          acceptance checks self-skip on hosts without enough cores")
+    Term.(const cmd_bench $ bench_spec_term)
+
 let main_cmd =
   let doc = "Partitioned software transactional memory playground" in
   Cmd.group (Cmd.info "partstm" ~doc)
-    [ dsa_cmd; list_cmd; run_cmd; stats_cmd; trace_cmd; profile_cmd; check_cmd ]
+    [ dsa_cmd; list_cmd; run_cmd; stats_cmd; trace_cmd; profile_cmd; check_cmd; bench_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

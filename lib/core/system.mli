@@ -22,10 +22,12 @@ val create :
   ?sample_retry_limit:int ->
   ?max_attempts:int ->
   ?fast_index:bool ->
+  ?padded:bool ->
   unit ->
   t
 (** [fast_index] (default [true]) selects the descriptor's indexed lookup
-    paths; see {!Partstm_stm.Engine.create}. *)
+    paths; [padded] (default [true]) cache-line-pads the hot shared words;
+    see {!Partstm_stm.Engine.create}. *)
 
 val engine : t -> Engine.t
 val registry : t -> Registry.t
@@ -37,6 +39,14 @@ val partition :
 val descriptor : t -> worker_id:int -> Txn.t
 (** One per worker; reused across transactions. *)
 
+val domain_descriptor : t -> Txn.t
+(** The calling domain's pooled descriptor for this system: created on the
+    domain's first call, returned unchanged afterwards, never shared across
+    domains. Pooled worker ids are drawn from the top of the worker-id
+    space ([max_workers - 1] downward) so they cannot collide with
+    explicitly managed ids (allocated from 0 up). Raises
+    [Invalid_argument] when the id space is exhausted. *)
+
 val atomically : Txn.t -> (Txn.t -> 'a) -> 'a
 val read : Txn.t -> 'a Tvar.t -> 'a
 val write : Txn.t -> 'a Tvar.t -> 'a -> unit
@@ -44,6 +54,10 @@ val modify : Txn.t -> 'a Tvar.t -> ('a -> 'a) -> unit
 
 val retry : Txn.t -> 'a
 (** Blocking retry; see {!Partstm_stm.Txn.retry}. *)
+
+val set_retry_hook : Txn.t -> (unit -> unit) -> unit
+(** Callback after every rollback in the retry loop; see
+    {!Partstm_stm.Txn.set_retry_hook}. *)
 
 val tvar : Partition.t -> 'a -> 'a Tvar.t
 

@@ -21,6 +21,11 @@ type ctx = {
   rng : Rng.t;
   should_stop : unit -> bool;
   progress : unit -> float;  (* fraction of the run elapsed, in [0, 1] *)
+  attempt_tick : unit -> unit;
+      (* called once per aborted transaction attempt (wire it as the
+         descriptor's retry hook): advances the deadline countdown so a
+         worker livelocked inside one [atomically] still observes the end
+         of the measured window instead of only counting completed ops *)
 }
 
 type mode =
@@ -42,6 +47,10 @@ type result = {
 let mode_to_string = function
   | Domains { seconds } -> Printf.sprintf "domains(%.2fs)" seconds
   | Simulated { cycles; _ } -> Printf.sprintf "sim(%dc)" cycles
+
+(* Warn once per process, not per run: bench sweeps on a small machine
+   would otherwise repeat the same line for every arm. *)
+let warned_oversubscription = ref false
 
 let mode_label (m : Partstm_stm.Mode.t) =
   Printf.sprintf "%s/g%d/%s"
@@ -91,6 +100,9 @@ let run ?tuner ?(tuner_steps = 40) ?telemetry ?(telemetry_steps = 40) ?tracer ?c
             rng = Rng.split master ~index:id;
             should_stop = (fun () -> Sim.now () >= cycles);
             progress = (fun () -> float_of_int (Sim.now ()) /. float_of_int cycles);
+            (* Simulated deadlines are virtual-time reads with no countdown
+               to advance; retries already charge cycles. *)
+            attempt_tick = (fun () -> ());
           }
         in
         ops.(id) <- worker ctx
@@ -160,56 +172,86 @@ let run ?tuner ?(tuner_steps = 40) ?telemetry ?(telemetry_steps = 40) ?tracer ?c
       let deadline = start +. seconds in
       let make_ctx id =
         (* Check the wall clock only every few iterations; a syscall per
-           operation would dominate short transactions. *)
+           operation would dominate short transactions.  [attempt_tick]
+           shares the same countdown, so repeated aborts inside one
+           [atomically] also burn it down and the deadline is observed even
+           by a livelocked worker — without it, only completed operations
+           counted and a worker stuck retrying overran the measured
+           window. *)
         let countdown = ref 0 in
         let stopped = ref false in
+        let check () =
+          if not !stopped then
+            if !countdown > 0 then decr countdown
+            else begin
+              countdown := 32;
+              stopped := Unix.gettimeofday () >= deadline
+            end
+        in
         let should_stop () =
-          if !stopped then true
-          else if !countdown > 0 then begin
-            decr countdown;
-            false
-          end
-          else begin
-            countdown := 32;
-            stopped := Unix.gettimeofday () >= deadline;
-            !stopped
-          end
+          check ();
+          !stopped
         in
         {
           worker_id = id;
           rng = Rng.split master ~index:id;
           should_stop;
           progress = (fun () -> min 1.0 ((Unix.gettimeofday () -. start) /. seconds));
+          attempt_tick = check;
         }
       in
-      (* Sleep at most to the deadline and never act past it: an unclamped
-         sleep could overrun the measured window and run one step after the
-         workers have stopped (holding the join meanwhile). *)
-      let periodic interval action =
+      (* Tuner and telemetry share ONE service domain (historically each
+         got its own, so a run cost [workers + 2] domains and oversubscribed
+         the machine).  Each action keeps its own absolute next-due time;
+         the loop sleeps to the earlier one, never past the deadline, and
+         reschedules from "now" after each action (a slow step skips missed
+         slots instead of bursting to catch up).  Merging also removes a
+         data race: the tuner's decision listener appends to the telemetry
+         instance ([Telemetry.attach_tuner]), which on separate domains
+         mutated telemetry state concurrently with its sampling loop. *)
+      let service_thread () =
+        let tuner_period = seconds /. float_of_int tuner_steps in
+        let telemetry_period = seconds /. float_of_int telemetry_steps in
+        let tuner_next =
+          ref (match tuner with Some _ -> start +. tuner_period | None -> Float.infinity)
+        and telemetry_next =
+          ref (match telemetry with Some _ -> start +. telemetry_period | None -> Float.infinity)
+        in
         let rec loop () =
-          let now = Unix.gettimeofday () in
-          if now < deadline then begin
-            Unix.sleepf (Float.min interval (deadline -. now));
-            if Unix.gettimeofday () < deadline then action ();
-            loop ()
+          let next = Float.min !tuner_next !telemetry_next in
+          if next < deadline then begin
+            let now = Unix.gettimeofday () in
+            if next > now then Unix.sleepf (Float.min (next -. now) (deadline -. now));
+            let now = Unix.gettimeofday () in
+            if now < deadline then begin
+              if !tuner_next <= now then begin
+                (match tuner with Some tuner -> Tuner.step tuner | None -> ());
+                tuner_next := now +. tuner_period
+              end;
+              if !telemetry_next <= now then begin
+                (match telemetry with
+                | Some telemetry -> Telemetry.sample telemetry ~time:(now -. start)
+                | None -> ());
+                telemetry_next := now +. telemetry_period
+              end;
+              loop ()
+            end
           end
         in
         loop ()
       in
-      let tuner_thread () =
-        match tuner with
-        | None -> ()
-        | Some tuner ->
-            periodic (seconds /. float_of_int tuner_steps) (fun () -> Tuner.step tuner)
-      in
-      let telemetry_thread () =
-        match telemetry with
-        | None -> ()
-        | Some telemetry ->
-            periodic
-              (seconds /. float_of_int telemetry_steps)
-              (fun () -> Telemetry.sample telemetry ~time:(Unix.gettimeofday () -. start))
-      in
+      let service_domains = match (tuner, telemetry) with None, None -> 0 | _ -> 1 in
+      let recommended = Domain.recommended_domain_count () in
+      if workers + service_domains > recommended && not !warned_oversubscription then begin
+        warned_oversubscription := true;
+        Printf.eprintf
+          "driver: %d domains (%d workers%s) exceed recommended_domain_count = %d; expect \
+           timeslicing, not parallel speed-up\n\
+           %!"
+          (workers + service_domains) workers
+          (if service_domains > 0 then " + 1 service" else "")
+          recommended
+      end;
       Option.iter
         (fun telemetry ->
           Telemetry.set_clock telemetry (fun () -> Unix.gettimeofday () -. start))
@@ -222,11 +264,11 @@ let run ?tuner ?(tuner_steps = 40) ?telemetry ?(telemetry_steps = 40) ?tracer ?c
         List.init workers (fun id ->
             Domain.spawn (fun () -> ops.(id) <- worker (make_ctx id)))
       in
-      let tuner_domain = Domain.spawn tuner_thread in
-      let telemetry_domain = Domain.spawn telemetry_thread in
+      let service_domain =
+        if service_domains > 0 then Some (Domain.spawn service_thread) else None
+      in
       List.iter Domain.join domains;
-      Domain.join tuner_domain;
-      Domain.join telemetry_domain;
+      Option.iter Domain.join service_domain;
       let elapsed = Unix.gettimeofday () -. start in
       clear_obs_clock ();
       Option.iter

@@ -10,6 +10,11 @@ type ctx = {
   rng : Rng.t;  (** worker-private deterministic stream *)
   should_stop : unit -> bool;
   progress : unit -> float;  (** fraction of the run elapsed, in [0, 1] *)
+  attempt_tick : unit -> unit;
+      (** advance the deadline countdown without completing an operation;
+          workloads wire it as the descriptor's retry hook
+          ({!Partstm_core.System.set_retry_hook}) so repeated aborts inside
+          one transaction still observe the end of the measured window *)
 }
 
 type mode =
@@ -44,10 +49,16 @@ val run :
   result
 (** Run one worker function per worker until the duration elapses; the
     worker returns its operation count. When [tuner] is given, its [step]
-    runs [tuner_steps] times, evenly spaced, on a dedicated fiber/domain
-    (steps never run past the deadline). When [telemetry] is given, it is
-    sampled [telemetry_steps] times the same way, plus a final sample after
-    the run (and it is subscribed to [tuner]'s decision events). When
+    runs [tuner_steps] times, evenly spaced (steps never run past the
+    deadline). When [telemetry] is given, it is sampled [telemetry_steps]
+    times the same way, plus a final sample after the run (and it is
+    subscribed to [tuner]'s decision events). On the Domains backend,
+    tuner and telemetry share ONE extra service domain (so a run costs
+    [workers + 1] domains at most, [workers] when neither is attached);
+    keep [workers] at or below [Domain.recommended_domain_count ()] — the
+    driver warns (once per process) when the total exceeds it. On the
+    Simulated backend each gets its own fiber, preserving historical
+    schedules. When
     [tracer] / [contention] are given, the run installs the backend clock
     into them (virtual cycles on Simulated, nanoseconds since start on
     Domains) and bridges [tuner]'s decisions into the tracer's timeline;

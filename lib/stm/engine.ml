@@ -79,6 +79,10 @@ type t = {
   fast_index : bool;
       (* descriptors use the indexed (Intmap + Bloom) lookup paths; [false]
          selects the linear-scan baseline, kept for A/B (see bench/exp_p1) *)
+  padded : bool;
+      (* hot shared words (clock, in-flight state, orec words, reader
+         counters) live on their own cache lines; [false] is the packed
+         baseline, kept for A/B (see bench/exp_d1) *)
   mutable recorder : recorder option;
       (* the composed fan-out over [taps]; hook sites read only this field *)
   mutable taps : (int * recorder) list;  (* attach order; ids never reused *)
@@ -93,20 +97,31 @@ let inflight_unit = 2
    (hundreds of cycles) rather than abort — visible readers drain quickly
    because new readers abort against the held write lock. *)
 let create ?(max_workers = 64) ?(contention_manager = Cm.default) ?(writer_wait_limit = 512)
-    ?(sample_retry_limit = 64) ?(max_attempts = 1_000_000) ?(fast_index = true) () =
+    ?(sample_retry_limit = 64) ?(max_attempts = 1_000_000) ?(fast_index = true)
+    ?(padded = true) () =
   if max_workers <= 0 then invalid_arg "Engine.create: max_workers";
+  (* The clock and the in-flight state word are the two globally contended
+     words of the whole engine (every commit ticks the clock, every begin
+     and end CASes the state): keep each on its own cache line so they
+     neither fight each other nor whatever the allocator packs next to
+     them.  The id counters are cold (allocation-time only) and stay
+     packed. *)
+  let hot initial =
+    if padded then Partstm_util.Padding.atomic_int initial else Atomic.make initial
+  in
   {
-    clock = Atomic.make 0;
+    clock = hot 0;
     tvar_counter = Atomic.make 0;
     descriptor_counter = Atomic.make 0;
     region_counter = Atomic.make 0;
-    state = Atomic.make 0;
+    state = hot 0;
     max_workers;
     contention_manager;
     writer_wait_limit;
     sample_retry_limit;
     max_attempts;
     fast_index;
+    padded;
     recorder = None;
     taps = [];
     tap_counter = 0;
@@ -188,17 +203,20 @@ let is_frozen t = Atomic.get t.state land frozen_bit <> 0
 
 (* Register an in-flight transaction; spins while a reconfiguration is
    quiescing (brief: a few loads and stores under the freeze). *)
+(* Top-level recursion (not a local [let rec] closure): [enter] runs once
+   per transaction on the zero-allocation fast path, and a local loop
+   capturing [t] would allocate its closure every call. *)
+let rec enter_loop t =
+  let s = Atomic.get t.state in
+  if s land frozen_bit <> 0 then begin
+    Partstm_util.Runtime_hook.relax ();
+    enter_loop t
+  end
+  else if not (Atomic.compare_and_set t.state s (s + inflight_unit)) then enter_loop t
+
 let enter t =
   Partstm_util.Runtime_hook.charge Partstm_util.Runtime_hook.First_touch;
-  let rec loop () =
-    let s = Atomic.get t.state in
-    if s land frozen_bit <> 0 then begin
-      Partstm_util.Runtime_hook.relax ();
-      loop ()
-    end
-    else if not (Atomic.compare_and_set t.state s (s + inflight_unit)) then loop ()
-  in
-  loop ()
+  enter_loop t
 
 let leave t =
   let previous = Atomic.fetch_and_add t.state (-inflight_unit) in

@@ -54,6 +54,10 @@ type t = {
   fast_index : bool;
       (** descriptors use the indexed (Intmap + Bloom) lookup paths;
           [false] selects the linear-scan baseline (A/B, bench/exp_p1) *)
+  padded : bool;
+      (** hot shared words (clock, state, orecs, reader counters) are
+          cache-line-padded; [false] is the packed baseline (A/B,
+          bench/exp_d1) *)
   mutable recorder : recorder option;
       (** the composed fan-out over all attached taps; hook sites read only
           this field. [None] (the default) costs one branch per hook site *)
@@ -69,10 +73,15 @@ val create :
   ?sample_retry_limit:int ->
   ?max_attempts:int ->
   ?fast_index:bool ->
+  ?padded:bool ->
   unit ->
   t
 (** [fast_index] (default [true]) selects the descriptor's indexed lookup
-    paths; [false] is the linear-scan baseline kept for A/B comparison. *)
+    paths; [false] is the linear-scan baseline kept for A/B comparison.
+    [padded] (default [true]) places the hot shared words (global clock,
+    in-flight state, and — via {!Region} — every lock table's orec words
+    and reader counters) on their own cache lines; [false] is the packed
+    baseline kept for A/B comparison (bench/exp_d1). *)
 
 val add_tap : t -> recorder -> int
 (** Attach an event sink; several taps can observe one engine (checker

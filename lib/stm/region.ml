@@ -36,7 +36,9 @@ let create engine ~name ?(mode = Mode.default) () =
     id;
     name;
     engine;
-    table = Lock_table.create ~clock_now:base ~granularity_log2:mode.Mode.granularity_log2;
+    table =
+      Lock_table.create ~padded:engine.Engine.padded ~clock_now:base
+        ~granularity_log2:mode.Mode.granularity_log2;
     visibility = mode.Mode.visibility;
     update = mode.Mode.update;
     stats = Region_stats.create ~max_workers:engine.Engine.max_workers;
@@ -62,7 +64,8 @@ let reconfigure t (new_mode : Mode.t) =
         let base = Engine.now t.engine in
         record_generation t.engine ~region:t.id ~version:base;
         t.table <-
-          Lock_table.create ~clock_now:base ~granularity_log2:new_mode.Mode.granularity_log2
+          Lock_table.create ~padded:t.engine.Engine.padded ~clock_now:base
+            ~granularity_log2:new_mode.Mode.granularity_log2
       end;
       t.visibility <- new_mode.Mode.visibility;
       t.update <- new_mode.Mode.update)

@@ -1,49 +1,94 @@
-(* Per-region statistics, sharded per worker.
+(* Per-region statistics as flat, cache-line-padded per-worker stripes.
 
-   Each shard has a single writer (the worker that owns the index), so the
-   fields are plain mutable ints; concurrent snapshot readers (the tuner, the
-   harness) may observe slightly stale values, which is fine for tuning
-   heuristics and reporting.  Shards are separate records so that they land
-   on different cache lines. *)
+   Layout: one [int array] holding [max_workers + 1] stripes of
+   [stride = 16] words (128 bytes) each.  Stripe [w] (for worker [w])
+   occupies [w * stride .. w * stride + field_count - 1]; the remaining
+   words are padding so two workers' hot counters never share a cache line
+   (nor an adjacent-line prefetch pair).  The extra stripe at index
+   [max_workers] belongs to the single-threaded tuner and carries the
+   [mode_switches] counter, so tuner writes never touch a worker's lines.
 
-type shard = {
-  mutable commits : int;
-  mutable ro_commits : int;  (* read-only subset of commits *)
-  mutable aborts : int;
-  mutable reads : int;
-  mutable writes : int;
-  mutable lock_conflicts : int;  (* aborted on a locked orec *)
-  mutable reader_conflicts : int;  (* writer gave up waiting for visible readers *)
-  mutable validation_fails : int;  (* read-set validation failed *)
-  mutable extensions : int;  (* successful timestamp extensions *)
-  mutable mode_switches : int;  (* tuner-applied reconfigurations, see [record_mode_switch] *)
-}
+   Consistency model (the "stripe-sum" contract, DESIGN.md §3.2): each
+   stripe has exactly one writer, which uses plain loads and stores — no
+   atomics, no contention, no read-modify-write on the fast path.  OCaml
+   guarantees int array elements are accessed without tearing, so a
+   concurrent [snapshot] (the tuner, telemetry) reads each counter either
+   before or after any in-flight increment: totals may lag by the last few
+   events but are never torn and never lose updates.  Once the writing
+   domains have been joined, [snapshot] is exact — the property the
+   4-domain stress test in test/test_domains.ml pins down.  (The previous
+   representation — one record of mutable fields per worker — had the same
+   single-writer discipline but packed ~3 records per cache line, so every
+   counter bump under real domains was a false-sharing miss.) *)
 
-type t = { shards : shard array }
+let stride = 16  (* words per stripe: 128 bytes on 64-bit *)
 
-let make_shard () =
-  {
-    commits = 0;
-    ro_commits = 0;
-    aborts = 0;
-    reads = 0;
-    writes = 0;
-    lock_conflicts = 0;
-    reader_conflicts = 0;
-    validation_fails = 0;
-    extensions = 0;
-    mode_switches = 0;
-  }
+(* Field offsets within a stripe; [field_count <= stride]. *)
+let f_commits = 0
+let f_ro_commits = 1
+let f_aborts = 2
+let f_reads = 3
+let f_writes = 4
+let f_lock_conflicts = 5
+let f_reader_conflicts = 6
+let f_validation_fails = 7
+let f_extensions = 8
+let f_mode_switches = 9
+let _field_count = 10  (* documentation: must stay <= stride *)
 
-let create ~max_workers = { shards = Array.init max_workers (fun _ -> make_shard ()) }
+type t = { data : int array; workers : int }
 
-let shard t worker_id = t.shards.(worker_id)
+(* A domain-private view of one stripe.  [base] is always a multiple of
+   [stride] and [base + field_count <= Array.length data], so the unsafe
+   accesses below stay in bounds by construction. *)
+type stripe = { data : int array; base : int }
 
-(* The tuner is single-threaded and is the only writer of this field, so
-   parking it on shard 0 keeps the single-writer-per-field discipline. *)
-let record_mode_switch t = t.shards.(0).mode_switches <- t.shards.(0).mode_switches + 1
+let create ~max_workers =
+  if max_workers <= 0 then invalid_arg "Region_stats.create: max_workers";
+  { data = Array.make ((max_workers + 1) * stride) 0; workers = max_workers }
 
-let max_workers t = Array.length t.shards
+let stripe t worker_id =
+  if worker_id < 0 || worker_id >= t.workers then
+    invalid_arg "Region_stats.stripe: worker_id out of range";
+  { data = t.data; base = worker_id * stride }
+
+let max_workers t = t.workers
+
+(* Hot-path bumps: one plain load + one plain store on the caller's own
+   stripe.  [unsafe_*] because the bounds hold by construction (see
+   [stripe]) and these sit on every transactional read/write. *)
+let[@inline] bump s field n =
+  let i = s.base + field in
+  Array.unsafe_set s.data i (Array.unsafe_get s.data i + n)
+
+let incr_commits s = bump s f_commits 1
+let incr_ro_commits s = bump s f_ro_commits 1
+let incr_aborts s = bump s f_aborts 1
+let incr_reads s = bump s f_reads 1
+let incr_writes s = bump s f_writes 1
+let incr_lock_conflicts s = bump s f_lock_conflicts 1
+let incr_reader_conflicts s = bump s f_reader_conflicts 1
+let incr_validation_fails s = bump s f_validation_fails 1
+let incr_extensions s = bump s f_extensions 1
+
+(* Test/bench support: arbitrary additions to a stripe's counters. *)
+let add_commits s n = bump s f_commits n
+let add_ro_commits s n = bump s f_ro_commits n
+let add_aborts s n = bump s f_aborts n
+let add_reads s n = bump s f_reads n
+let add_writes s n = bump s f_writes n
+let add_lock_conflicts s n = bump s f_lock_conflicts n
+let add_reader_conflicts s n = bump s f_reader_conflicts n
+let add_validation_fails s n = bump s f_validation_fails n
+let add_extensions s n = bump s f_extensions n
+let add_mode_switches s n = bump s f_mode_switches n
+
+(* The tuner is single-threaded and is the only writer of its dedicated
+   stripe (index [workers]), keeping the single-writer-per-stripe
+   discipline even while workers run. *)
+let record_mode_switch t =
+  let i = (t.workers * stride) + f_mode_switches in
+  t.data.(i) <- t.data.(i) + 1
 
 type snapshot = {
   s_commits : int;
@@ -73,21 +118,25 @@ let empty_snapshot =
   }
 
 let snapshot t =
-  Array.fold_left
-    (fun acc s ->
-      {
-        s_commits = acc.s_commits + s.commits;
-        s_ro_commits = acc.s_ro_commits + s.ro_commits;
-        s_aborts = acc.s_aborts + s.aborts;
-        s_reads = acc.s_reads + s.reads;
-        s_writes = acc.s_writes + s.writes;
-        s_lock_conflicts = acc.s_lock_conflicts + s.lock_conflicts;
-        s_reader_conflicts = acc.s_reader_conflicts + s.reader_conflicts;
-        s_validation_fails = acc.s_validation_fails + s.validation_fails;
-        s_extensions = acc.s_extensions + s.extensions;
-        s_mode_switches = acc.s_mode_switches + s.mode_switches;
-      })
-    empty_snapshot t.shards
+  let sum field =
+    let acc = ref 0 in
+    for w = 0 to t.workers do
+      acc := !acc + t.data.((w * stride) + field)
+    done;
+    !acc
+  in
+  {
+    s_commits = sum f_commits;
+    s_ro_commits = sum f_ro_commits;
+    s_aborts = sum f_aborts;
+    s_reads = sum f_reads;
+    s_writes = sum f_writes;
+    s_lock_conflicts = sum f_lock_conflicts;
+    s_reader_conflicts = sum f_reader_conflicts;
+    s_validation_fails = sum f_validation_fails;
+    s_extensions = sum f_extensions;
+    s_mode_switches = sum f_mode_switches;
+  }
 
 let diff ~current ~previous =
   {
@@ -103,20 +152,9 @@ let diff ~current ~previous =
     s_mode_switches = current.s_mode_switches - previous.s_mode_switches;
   }
 
-let reset t =
-  Array.iter
-    (fun s ->
-      s.commits <- 0;
-      s.ro_commits <- 0;
-      s.aborts <- 0;
-      s.reads <- 0;
-      s.writes <- 0;
-      s.lock_conflicts <- 0;
-      s.reader_conflicts <- 0;
-      s.validation_fails <- 0;
-      s.extensions <- 0;
-      s.mode_switches <- 0)
-    t.shards
+(* Callers must quiesce the writers first: a reset concurrent with a
+   worker's read-modify-write bump would lose the bump. *)
+let reset (t : t) = Array.fill t.data 0 (Array.length t.data) 0
 
 (* Canonical export order for the snapshot counters: telemetry CSV columns,
    JSON keys and the round-trip tests all iterate this list. *)

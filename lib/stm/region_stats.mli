@@ -1,29 +1,53 @@
-(** Per-region statistics, sharded per worker. Each shard has a single
-    writer; snapshot readers tolerate slightly stale values. *)
+(** Per-region statistics as cache-line-padded per-worker stripes.
 
-type shard = {
-  mutable commits : int;
-  mutable ro_commits : int;
-  mutable aborts : int;
-  mutable reads : int;
-  mutable writes : int;
-  mutable lock_conflicts : int;
-  mutable reader_conflicts : int;
-  mutable validation_fails : int;
-  mutable extensions : int;
-  mutable mode_switches : int;
-}
+    Each stripe has exactly one writer (its worker; the extra final stripe
+    belongs to the single-threaded tuner) and occupies its own 128-byte
+    slice of one flat [int array], so concurrent counter bumps under real
+    domains never contend on a cache line.  Snapshot readers sum the
+    stripes and tolerate slightly stale values; after the writing domains
+    are joined the sums are exact (the stripe-sum contract, DESIGN.md
+    §3.2). *)
 
 type t
 
+type stripe
+(** A worker's (or the tuner's) private view into the counters.  All
+    [incr_*]/[add_*] operations are plain loads and stores: only the
+    stripe's single designated writer may call them. *)
+
 val create : max_workers:int -> t
-val shard : t -> int -> shard
+val stripe : t -> int -> stripe
 val max_workers : t -> int
 
+(** {1 Hot-path increments} (single-writer, one load + one store each) *)
+
+val incr_commits : stripe -> unit
+val incr_ro_commits : stripe -> unit
+val incr_aborts : stripe -> unit
+val incr_reads : stripe -> unit
+val incr_writes : stripe -> unit
+val incr_lock_conflicts : stripe -> unit
+val incr_reader_conflicts : stripe -> unit
+val incr_validation_fails : stripe -> unit
+val incr_extensions : stripe -> unit
+
+(** {1 Bulk additions} (tests and synthetic fills) *)
+
+val add_commits : stripe -> int -> unit
+val add_ro_commits : stripe -> int -> unit
+val add_aborts : stripe -> int -> unit
+val add_reads : stripe -> int -> unit
+val add_writes : stripe -> int -> unit
+val add_lock_conflicts : stripe -> int -> unit
+val add_reader_conflicts : stripe -> int -> unit
+val add_validation_fails : stripe -> int -> unit
+val add_extensions : stripe -> int -> unit
+val add_mode_switches : stripe -> int -> unit
+
 val record_mode_switch : t -> unit
-(** Count one tuner-applied reconfiguration. Caller must be the
-    single-threaded tuner (the counter lives on shard 0, whose other fields
-    keep their own single writer). *)
+(** Count one tuner-applied reconfiguration.  Caller must be the
+    single-threaded tuner: the counter lives on a dedicated stripe past the
+    worker stripes, so the write races with no worker. *)
 
 type snapshot = {
   s_commits : int;
@@ -41,7 +65,9 @@ type snapshot = {
 val empty_snapshot : snapshot
 val snapshot : t -> snapshot
 val diff : current:snapshot -> previous:snapshot -> snapshot
+
 val reset : t -> unit
+(** Zero all stripes.  Callers must quiesce the writers first. *)
 
 val fields : (string * (snapshot -> int)) list
 (** Snapshot counters in canonical export order (telemetry CSV columns and

@@ -38,11 +38,12 @@ exception Too_many_attempts of int
 
 type region_entry = {
   re_region : Region.t;
-  re_table : Lock_table.t;  (* cached at first touch; stable while in-flight *)
-  re_visibility : Mode.read_visibility;
-  re_update : Mode.update_strategy;
-  re_shard : Region_stats.shard;
+  mutable re_table : Lock_table.t;  (* cached at activation; stable while in-flight *)
+  mutable re_visibility : Mode.read_visibility;
+  mutable re_update : Mode.update_strategy;
+  re_stripe : Region_stats.stripe;  (* stable: region stats outlive reconfigs *)
   mutable re_writes : int;  (* writes by this txn in this region *)
+  mutable re_epoch : int;  (* txn epoch of last activation; see [enter_region] *)
 }
 
 type write_entry = { w_commit : unit -> unit; w_reset : unit -> unit }
@@ -55,7 +56,24 @@ type t = {
   mutable rv : int;  (* read version (snapshot timestamp) *)
   mutable active : bool;
   mutable attempt : int;
-  mutable regions : region_entry list;  (* regions touched (few per txn) *)
+  (* Pooled region entries: one per region this descriptor EVER touched
+     (cons'd once at first-ever touch), reused by every later transaction.
+     An entry is active in the current transaction iff
+     [re_epoch = txn_epoch]; [txn_epoch] is bumped at transaction end, which
+     deactivates every entry without walking or reallocating the list.  The
+     steady-state begin/read/commit path therefore allocates nothing. *)
+  mutable entries : region_entry list;
+  mutable txn_epoch : int;
+  (* Scalar fallback for conflict attribution (the historical "head of the
+     regions list"): the most recently activated entry's region id and
+     stripe, valid iff [cur_epoch = txn_epoch]. *)
+  mutable cur_region_id : int;
+  mutable cur_stripe : Region_stats.stripe;
+  mutable cur_epoch : int;
+  (* Invoked after every rollback inside [atomically]'s retry loop, so a
+     harness deadline can be observed even by a livelocked worker that
+     never returns from [atomically] (Driver wires its countdown here). *)
+  mutable retry_hook : (unit -> unit) option;
   read_words : int Atomic.t Vec.t;  (* invisible read set: orec words ... *)
   read_observed : int Vec.t;  (* ... and the unlocked word observed *)
   read_regions : int Vec.t;  (* recorder-only: region id per read entry ... *)
@@ -86,6 +104,10 @@ type t = {
 let dummy_atomic = Atomic.make 0
 let dummy_write = { w_commit = (fun () -> ()); w_reset = (fun () -> ()) }
 
+(* Placeholder for [cur_stripe] before any region is activated; never
+   written (guarded by [cur_epoch]).  Shared by all descriptors. *)
+let dummy_stripe = Region_stats.stripe (Region_stats.create ~max_workers:1) 0
+
 let create engine ~worker_id =
   if worker_id < 0 || worker_id >= engine.Engine.max_workers then
     invalid_arg "Txn.create: worker_id out of range";
@@ -97,7 +119,12 @@ let create engine ~worker_id =
     rv = 0;
     active = false;
     attempt = 0;
-    regions = [];
+    entries = [];
+    txn_epoch = 1;  (* > 0 so a fresh entry's epoch 0 reads as inactive *)
+    cur_region_id = -1;
+    cur_stripe = dummy_stripe;
+    cur_epoch = 0;
+    retry_hook = None;
     read_words = Vec.create ~dummy:dummy_atomic ();
     read_observed = Vec.create ~dummy:0 ();
     read_regions = Vec.create ~dummy:0 ();
@@ -124,6 +151,10 @@ let bloom_bits key =
 let worker_id t = t.worker_id
 let attempt t = t.attempt
 let rng t = t.rng
+let set_retry_hook t f = t.retry_hook <- Some f
+
+let run_retry_hook t =
+  match t.retry_hook with None -> () | Some f -> f ()
 
 (* Serialization stamp of the descriptor's last committed transaction: the
    commit version [wv] for update transactions, the (possibly extended)
@@ -138,30 +169,69 @@ let check_active t operation =
 
 (* -- Region tracking ----------------------------------------------------- *)
 
-let enter_region t region =
-  let rec find = function
-    | [] -> None
-    | e :: rest -> if e.re_region == region then Some e else find rest
-  in
-  match find t.regions with
-  | Some e -> e
-  | None ->
-      (* Per-partition bookkeeping: caching the table/mode and locating the
-         stats shard.  Safe because we are registered in-flight with the
-         engine, so no reconfiguration can swap the table under us. *)
-      Runtime_hook.charge (Runtime_hook.Step 2);
+(* First touch of [region] in the current transaction: refresh the cached
+   table/mode (the tuner may have reconfigured between transactions — never
+   during one, because we are registered in-flight with the engine) and
+   mark the entry active.  Charged as per-partition bookkeeping, exactly
+   once per region per transaction, as the historical allocating version
+   was. *)
+let activate t (e : region_entry) =
+  Runtime_hook.charge (Runtime_hook.Step 2);
+  let region = e.re_region in
+  e.re_table <- region.Region.table;
+  e.re_visibility <- region.Region.visibility;
+  e.re_update <- region.Region.update;
+  e.re_writes <- 0;
+  e.re_epoch <- t.txn_epoch;
+  t.cur_region_id <- region.Region.id;
+  t.cur_stripe <- e.re_stripe;
+  t.cur_epoch <- t.txn_epoch
+
+(* Top-level recursion: this runs once per read/write on the
+   zero-allocation fast path; a local [let rec] capturing [t] and [region]
+   would allocate its closure on every call. *)
+let rec find_entry t region = function
+  | [] ->
+      (* First-ever touch by this descriptor: allocate the pooled entry.
+         Steady state never reaches this branch. *)
       let e =
         {
           re_region = region;
           re_table = region.Region.table;
           re_visibility = region.Region.visibility;
           re_update = region.Region.update;
-          re_shard = Region_stats.shard region.Region.stats t.worker_id;
+          re_stripe = Region_stats.stripe region.Region.stats t.worker_id;
           re_writes = 0;
+          re_epoch = 0;
         }
       in
-      t.regions <- e :: t.regions;
+      t.entries <- e :: t.entries;
+      activate t e;
       e
+  | e :: rest ->
+      if e.re_region == region then begin
+        if e.re_epoch <> t.txn_epoch then activate t e;
+        e
+      end
+      else find_entry t region rest
+
+let enter_region t region = find_entry t region t.entries
+
+(* Region id charged when a conflict has no attributable read site: the
+   most recently activated region, mirroring the historical "head of the
+   per-txn regions list". *)
+let fallback_region_id t = if t.cur_epoch = t.txn_epoch then t.cur_region_id else -1
+
+(* Top-level recursion, not [List.iter (fun e -> ...)]: an intermediate
+   closure would capture [t] and allocate on every commit/abort, and this
+   runs on the zero-allocation fast path. *)
+let rec iter_active_aux epoch f = function
+  | [] -> ()
+  | e :: rest ->
+      if e.re_epoch = epoch then f e;
+      iter_active_aux epoch f rest
+
+let iter_active_entries t f = iter_active_aux t.txn_epoch f t.entries
 
 (* -- Validation and extension ------------------------------------------- *)
 
@@ -260,19 +330,18 @@ let extend t (entry : region_entry) =
   else begin
     let failed = first_invalid t in
     if failed < 0 then begin
-      entry.re_shard.Region_stats.extensions <- entry.re_shard.Region_stats.extensions + 1;
+      Region_stats.incr_extensions entry.re_stripe;
       t.rv <- now
     end
     else begin
-      entry.re_shard.Region_stats.validation_fails <-
-        entry.re_shard.Region_stats.validation_fails + 1;
+      Region_stats.incr_validation_fails entry.re_stripe;
       record_validation_conflict t ~fallback_region:entry.re_region.Region.id ~failed_index:failed;
       raise Abort
     end
   end
 
 let lock_conflict t (entry : region_entry) ~slot =
-  entry.re_shard.Region_stats.lock_conflicts <- entry.re_shard.Region_stats.lock_conflicts + 1;
+  Region_stats.incr_lock_conflicts entry.re_stripe;
   record_conflict_raw t ~cause:Engine.Lock_busy ~region:entry.re_region.Region.id ~slot;
   raise Abort
 
@@ -283,26 +352,28 @@ let record_read t (entry : region_entry) ~slot ~version =
   | None -> ()
   | Some r -> r.Engine.rec_read ~txn:t.id ~region:entry.re_region.Region.id ~slot ~version
 
-let read_invisible (type a) t (entry : region_entry) (tvar : a Tvar.t) ~slot (word : int Atomic.t)
-    : a =
-  Runtime_hook.charge Runtime_hook.Read_invisible;
-  let rec sample retries =
-    if retries > t.engine.Engine.sample_retry_limit then lock_conflict t entry ~slot;
-    let w1 = Atomic.get word in
-    if Orec.is_locked w1 then
-      if Orec.owner w1 = t.id then
-        (* We hold the write lock covering this tvar (a co-located write):
-           the committed cell is stable under our lock; no logging needed. *)
-        Atomic.get tvar.Tvar.cell
-      else lock_conflict t entry ~slot
+(* Top-level recursion: one call per invisible read on the zero-allocation
+   fast path; a local [let rec sample] closure over [t]/[entry]/[tvar]/
+   [word] would allocate on every read. *)
+let rec invisible_sample : type a.
+    t -> region_entry -> a Tvar.t -> slot:int -> int Atomic.t -> int -> a =
+ fun t entry tvar ~slot word retries ->
+  if retries > t.engine.Engine.sample_retry_limit then lock_conflict t entry ~slot;
+  let w1 = Atomic.get word in
+  if Orec.is_locked w1 then
+    if Orec.owner w1 = t.id then
+      (* We hold the write lock covering this tvar (a co-located write):
+         the committed cell is stable under our lock; no logging needed. *)
+      Atomic.get tvar.Tvar.cell
+    else lock_conflict t entry ~slot
+  else begin
+    let value = Atomic.get tvar.Tvar.cell in
+    let w2 = Atomic.get word in
+    if w1 <> w2 then begin
+      Runtime_hook.relax ();
+      invisible_sample t entry tvar ~slot word (retries + 1)
+    end
     else begin
-      let value = Atomic.get tvar.Tvar.cell in
-      let w2 = Atomic.get word in
-      if w1 <> w2 then begin
-        Runtime_hook.relax ();
-        sample (retries + 1)
-      end
-      else begin
         if Orec.version w1 > t.rv then extend t entry;
         (* Reads covered by an already-logged orec need no new log entry —
            this is what makes coarse granularity cheap for scan-style
@@ -346,10 +417,12 @@ let read_invisible (type a) t (entry : region_entry) (tvar : a Tvar.t) ~slot (wo
         end;
         record_read t entry ~slot ~version:(Orec.version w1);
         value
-      end
     end
-  in
-  sample 0
+  end
+
+let read_invisible t (entry : region_entry) tvar ~slot (word : int Atomic.t) =
+  Runtime_hook.charge Runtime_hook.Read_invisible;
+  invisible_sample t entry tvar ~slot word 0
 
 (* Do we already hold a visible-reader count on [counter]?  Called once per
    visible read, so the historical [Vec.exists] made a transaction's k-th
@@ -396,7 +469,7 @@ let read_visible (type a) t (entry : region_entry) (tvar : a Tvar.t) ~(table : L
 let read t (tvar : 'a Tvar.t) : 'a =
   check_active t "Txn.read";
   let entry = enter_region t tvar.Tvar.region in
-  entry.re_shard.Region_stats.reads <- entry.re_shard.Region_stats.reads + 1;
+  Region_stats.incr_reads entry.re_stripe;
   if tvar.Tvar.pending_owner = t.id then tvar.Tvar.pending
   else begin
     let table = entry.re_table in
@@ -443,8 +516,7 @@ let acquire_slot t (entry : region_entry) ~slot (word : int Atomic.t) (counter :
         let rec wait spins =
           if Atomic.get counter > my_holds then
             if spins >= t.engine.Engine.writer_wait_limit then begin
-              entry.re_shard.Region_stats.reader_conflicts <-
-                entry.re_shard.Region_stats.reader_conflicts + 1;
+              Region_stats.incr_reader_conflicts entry.re_stripe;
               record_conflict_raw t ~cause:Engine.Reader_wait
                 ~region:entry.re_region.Region.id ~slot;
               raise Abort
@@ -477,7 +549,7 @@ let record_write t (entry : region_entry) ~slot =
 let write (type a) t (tvar : a Tvar.t) (value : a) =
   check_active t "Txn.write";
   let entry = enter_region t tvar.Tvar.region in
-  entry.re_shard.Region_stats.writes <- entry.re_shard.Region_stats.writes + 1;
+  Region_stats.incr_writes entry.re_stripe;
   entry.re_writes <- entry.re_writes + 1;
   match entry.re_update with
   | Mode.Write_back ->
@@ -534,8 +606,7 @@ let retry t =
   check_active t "Txn.retry";
   if Vec.is_empty t.read_words then
     invalid_arg "Txn.retry: nothing read invisibly (the wait set would be empty)";
-  let region = match t.regions with e :: _ -> e.re_region.Region.id | [] -> -1 in
-  record_conflict_raw t ~cause:Engine.Explicit_retry ~region ~slot:(-1);
+  record_conflict_raw t ~cause:Engine.Explicit_retry ~region:(fallback_region_id t) ~slot:(-1);
   raise Retry
 
 (* -- Lifecycle ------------------------------------------------------------ *)
@@ -555,7 +626,6 @@ let begin_txn t =
   Intmap.clear t.lock_index;
   Intmap.clear t.vis_index;
   t.own_bloom <- 0;
-  t.regions <- [];
   t.rv <- Engine.now t.engine;
   t.active <- true;
   match t.engine.Engine.recorder with
@@ -577,23 +647,24 @@ let release_references t =
   Vec.wipe t.lock_words;
   Vec.wipe t.vis_counters;
   Vec.wipe t.writes;
-  t.regions <- []
+  (* Deactivate every pooled region entry in O(1): stale epochs read as
+     inactive.  The entries themselves stay — that is the pool. *)
+  t.txn_epoch <- t.txn_epoch + 1
 
 (* White-box leak probe: heap references a quiescent descriptor still pins
-   (backing-array slots not reset to the dummy, plus cached region
-   entries).  0 after a completed transaction. *)
+   (backing-array slots not reset to the dummy, plus active region
+   entries).  0 after a completed transaction; pooled-but-inactive region
+   entries are deliberate retention and not counted. *)
 let debug_resident t =
+  let active = List.fold_left (fun n e -> if e.re_epoch = t.txn_epoch then n + 1 else n) 0 t.entries in
   Vec.resident t.read_words + Vec.resident t.lock_words + Vec.resident t.vis_counters
-  + Vec.resident t.writes + List.length t.regions
+  + Vec.resident t.writes + active
 
 let finalize_success t =
   release_visible_holds t;
-  List.iter
-    (fun e ->
-      e.re_shard.Region_stats.commits <- e.re_shard.Region_stats.commits + 1;
-      if e.re_writes = 0 then
-        e.re_shard.Region_stats.ro_commits <- e.re_shard.Region_stats.ro_commits + 1)
-    t.regions;
+  iter_active_entries t (fun e ->
+      Region_stats.incr_commits e.re_stripe;
+      if e.re_writes = 0 then Region_stats.incr_ro_commits e.re_stripe);
   release_references t;
   Engine.leave t.engine;
   t.active <- false
@@ -623,15 +694,8 @@ let commit t =
     (if not skip_validation then
        let failed = first_invalid t in
        if failed >= 0 then begin
-         let fallback_region =
-           match t.regions with e :: _ -> e.re_region.Region.id | [] -> -1
-         in
-         (match t.regions with
-         | e :: _ ->
-             e.re_shard.Region_stats.validation_fails <-
-               e.re_shard.Region_stats.validation_fails + 1
-         | [] -> ());
-         record_validation_conflict t ~fallback_region ~failed_index:failed;
+         if t.cur_epoch = t.txn_epoch then Region_stats.incr_validation_fails t.cur_stripe;
+         record_validation_conflict t ~fallback_region:(fallback_region_id t) ~failed_index:failed;
          raise Abort
        end);
     (* Publish + release are not abortable: once the first buffered value
@@ -662,9 +726,7 @@ let rollback t =
   (match t.engine.Engine.recorder with
   | None -> ()
   | Some r -> r.Engine.rec_abort ~txn:t.id);
-  List.iter
-    (fun e -> e.re_shard.Region_stats.aborts <- e.re_shard.Region_stats.aborts + 1)
-    t.regions;
+  iter_active_entries t (fun e -> Region_stats.incr_aborts e.re_stripe);
   release_references t;
   Engine.leave t.engine;
   t.active <- false;
@@ -683,45 +745,46 @@ let wait_for_read_set_change watched_words observed_words =
     Runtime_hook.relax ()
   done
 
-type attempt_outcome = Committed | Conflicted | Retry_requested
+(* The retry loop is written with [match ... with exception] rather than a
+   [try]/outcome variant: the success path returns the body's value with no
+   [ref]/[option] boxing, so a committed transaction allocates nothing here
+   (exception branches are tail positions, so retries also run in constant
+   stack). *)
+(* Top-level recursion (not a local [let rec loop] closing over [t]/[f],
+   which would allocate its closure per transaction). *)
+let rec atomically_loop : type a. t -> (t -> a) -> a =
+ fun t f ->
+  t.attempt <- t.attempt + 1;
+  if t.attempt > t.engine.Engine.max_attempts then raise (Too_many_attempts t.attempt);
+  begin_txn t;
+  match
+    let value = f t in
+    commit t;
+    value
+  with
+  | value -> value
+  | exception Abort ->
+      rollback t;
+      run_retry_hook t;
+      Cm.delay t.engine.Engine.contention_manager t.rng ~attempt:t.attempt;
+      atomically_loop t f
+  | exception Retry ->
+      (* Snapshot the wait set before rollback clears it. *)
+      let n = Vec.length t.read_words in
+      let watched = Array.init n (Vec.get t.read_words) in
+      let observed = Array.init n (Vec.get t.read_observed) in
+      rollback t;
+      run_retry_hook t;
+      wait_for_read_set_change watched observed;
+      t.attempt <- 0;
+      atomically_loop t f
+  | exception exn ->
+      record_conflict_raw t ~cause:Engine.Exception_unwind ~region:(fallback_region_id t)
+        ~slot:(-1);
+      rollback t;
+      raise exn
 
 let atomically t f =
   if t.active then invalid_arg "Txn.atomically: transactions do not nest";
   t.attempt <- 0;
-  let result = ref None in
-  let rec loop () =
-    t.attempt <- t.attempt + 1;
-    if t.attempt > t.engine.Engine.max_attempts then raise (Too_many_attempts t.attempt);
-    begin_txn t;
-    let outcome =
-      try
-        result := Some (f t);
-        commit t;
-        Committed
-      with
-      | Abort -> Conflicted
-      | Retry -> Retry_requested
-      | exn ->
-          let region = match t.regions with e :: _ -> e.re_region.Region.id | [] -> -1 in
-          record_conflict_raw t ~cause:Engine.Exception_unwind ~region ~slot:(-1);
-          rollback t;
-          raise exn
-    in
-    match outcome with
-    | Committed -> (
-        match !result with Some value -> value | None -> assert false)
-    | Conflicted ->
-        rollback t;
-        Cm.delay t.engine.Engine.contention_manager t.rng ~attempt:t.attempt;
-        loop ()
-    | Retry_requested ->
-        (* Snapshot the wait set before rollback clears it. *)
-        let n = Vec.length t.read_words in
-        let watched = Array.init n (Vec.get t.read_words) in
-        let observed = Array.init n (Vec.get t.read_observed) in
-        rollback t;
-        wait_for_read_set_change watched observed;
-        t.attempt <- 0;
-        loop ()
-  in
-  loop ()
+  atomically_loop t f

@@ -13,8 +13,15 @@ type t
 (** A transaction descriptor (one per worker, reused across transactions). *)
 
 val create : Engine.t -> worker_id:int -> t
-(** [worker_id] selects the statistics shard; must be unique per concurrent
+(** [worker_id] selects the statistics stripe; must be unique per concurrent
     worker and [< engine.max_workers]. *)
+
+val set_retry_hook : t -> (unit -> unit) -> unit
+(** Install a callback invoked after every rollback inside {!atomically}'s
+    internal retry loop (conflict aborts and blocking retries).  Harnesses
+    use it to keep observing a measurement deadline even when a worker
+    livelocks inside one [atomically] call.  The hook runs with no
+    transaction in flight; it must not start one. *)
 
 val worker_id : t -> int
 
@@ -62,5 +69,7 @@ val rollback : t -> unit
 
 val debug_resident : t -> int
 (* Heap references a quiescent descriptor still pins (backing-array slots
-   not reset to the dummy, plus cached region entries); 0 after a completed
-   transaction. Leak-regression probe. *)
+   not reset to the dummy, plus region entries active in the current
+   transaction); 0 after a completed transaction. Pooled-but-inactive
+   region entries are deliberate retention and not counted.
+   Leak-regression probe. *)

@@ -49,38 +49,42 @@ let clear t =
 
 let check_key key = if key < 0 then invalid_arg "Intmap: negative key"
 
+(* Probe loops are top-level recursive functions, not local [let rec]
+   closures: [find]/[set] run several times per transaction on the STM
+   descriptor's zero-allocation fast path, and a closure capturing [t] and
+   [key] would allocate on every call. *)
+let rec find_probe t key i =
+  if t.stamps.(i) <> t.epoch then absent
+  else if t.keys.(i) = key then t.values.(i)
+  else find_probe t key ((i + 1) land t.mask)
+
 let find t key =
   check_key key;
-  let rec probe i =
-    if t.stamps.(i) <> t.epoch then absent
-    else if t.keys.(i) = key then t.values.(i)
-    else probe ((i + 1) land t.mask)
-  in
-  probe (Bits.mix_int key land t.mask)
+  find_probe t key (Bits.mix_int key land t.mask)
 
 let mem t key = find t key >= 0
 
-let rec set t key value =
-  check_key key;
-  let rec probe i =
-    if t.stamps.(i) <> t.epoch then begin
-      (* Free slot: insert here, growing first when the load factor would
-         pass 1/2 (keeps probe chains short). *)
-      if 2 * (t.live + 1) > t.mask + 1 then begin
-        grow t;
-        set t key value
-      end
-      else begin
-        t.keys.(i) <- key;
-        t.values.(i) <- value;
-        t.stamps.(i) <- t.epoch;
-        t.live <- t.live + 1
-      end
+let rec set_probe t key value i =
+  if t.stamps.(i) <> t.epoch then begin
+    (* Free slot: insert here, growing first when the load factor would
+       pass 1/2 (keeps probe chains short). *)
+    if 2 * (t.live + 1) > t.mask + 1 then begin
+      grow t;
+      set t key value
     end
-    else if t.keys.(i) = key then t.values.(i) <- value
-    else probe ((i + 1) land t.mask)
-  in
-  probe (Bits.mix_int key land t.mask)
+    else begin
+      t.keys.(i) <- key;
+      t.values.(i) <- value;
+      t.stamps.(i) <- t.epoch;
+      t.live <- t.live + 1
+    end
+  end
+  else if t.keys.(i) = key then t.values.(i) <- value
+  else set_probe t key value ((i + 1) land t.mask)
+
+and set t key value =
+  check_key key;
+  set_probe t key value (Bits.mix_int key land t.mask)
 
 and grow t =
   let old_keys = t.keys and old_values = t.values and old_stamps = t.stamps in

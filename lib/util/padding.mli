@@ -1,0 +1,18 @@
+(** Cache-line-padded atomics (OCaml 5.1 stand-in for
+    [Atomic.make_contended]): the atomic's heap block is allocated with
+    trailing padding words so no two padded atomics share a cache line.
+    Semantics are identical to [Atomic.make]; only the block size differs. *)
+
+val cache_line_words : int
+(** Words per padded block (128 bytes on 64-bit: defeats false sharing and
+    adjacent-line prefetch pairing). *)
+
+val atomic_int : int -> int Atomic.t
+(** A fresh atomic on its own cache line. *)
+
+val atomic_array : len:int -> int -> int Atomic.t array
+(** [len] independent padded atomics, each initialised to the given value. *)
+
+val block_words : int Atomic.t -> int
+(** Size in words of the block backing [a] (diagnostic; [cache_line_words]
+    for padded atomics, 1 for [Atomic.make]). *)

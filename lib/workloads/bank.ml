@@ -58,6 +58,7 @@ let audit txn book ~start ~length =
 let worker t (ctx : Driver.ctx) =
   let config = t.config in
   let txn = System.descriptor t.system ~worker_id:ctx.Driver.worker_id in
+  System.set_retry_hook txn ctx.Driver.attempt_tick;
   let rng = ctx.Driver.rng in
   let operations = ref 0 in
   while not (ctx.Driver.should_stop ()) do

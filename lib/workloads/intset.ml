@@ -101,6 +101,7 @@ let setup system ~strategy config =
 let worker t (ctx : Driver.ctx) =
   let config = t.config in
   let txn = System.descriptor t.system ~worker_id:ctx.Driver.worker_id in
+  System.set_retry_hook txn ctx.Driver.attempt_tick;
   let operations = ref 0 in
   while not (ctx.Driver.should_stop ()) do
     let key = Rng.int ctx.Driver.rng config.key_range in

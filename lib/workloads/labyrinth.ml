@@ -189,6 +189,7 @@ let remove_random_path t txn rng =
 
 let worker t (ctx : Driver.ctx) =
   let txn = System.descriptor t.system ~worker_id:ctx.Driver.worker_id in
+  System.set_retry_hook txn ctx.Driver.attempt_tick;
   let rng = ctx.Driver.rng in
   let operations = ref 0 in
   while not (ctx.Driver.should_stop ()) do

@@ -129,6 +129,7 @@ let cross_percent = 5
 let worker t (ctx : Driver.ctx) =
   let config = t.config in
   let txn = System.descriptor t.system ~worker_id:ctx.Driver.worker_id in
+  System.set_retry_hook txn ctx.Driver.attempt_tick;
   let rng = ctx.Driver.rng in
   let operations = ref 0 in
   let list_hi = config.list_update_percent in

@@ -74,6 +74,7 @@ let update_percent_of_phase config phase =
 let worker t (ctx : Driver.ctx) =
   let config = t.config in
   let txn = System.descriptor t.system ~worker_id:ctx.Driver.worker_id in
+  System.set_retry_hook txn ctx.Driver.attempt_tick;
   let rng = ctx.Driver.rng in
   let buckets = t.op_buckets.(ctx.Driver.worker_id) in
   let operations = ref 0 in

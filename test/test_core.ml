@@ -271,11 +271,11 @@ let test_tuner_forced_switch_accounting () =
   check Alcotest.int "no switch yet" 0 (Tuner.switches tuner);
   check Alcotest.int "stat still zero" 0
     (Partition.snapshot p).Region_stats.s_mode_switches;
-  let shard = Region_stats.shard (Partition.region p).Region.stats 0 in
-  shard.Region_stats.commits <- 1000;
-  shard.Region_stats.ro_commits <- 300;
-  shard.Region_stats.aborts <- 400;
-  shard.Region_stats.validation_fails <- 250;
+  let stripe = Region_stats.stripe (Partition.region p).Region.stats 0 in
+  Region_stats.add_commits stripe 1000;
+  Region_stats.add_ro_commits stripe 300;
+  Region_stats.add_aborts stripe 400;
+  Region_stats.add_validation_fails stripe 250;
   Tuner.step tuner;
   check Alcotest.int "one switch" 1 (Tuner.switches tuner);
   check Alcotest.int "mode_switches stat bumped" 1
@@ -299,21 +299,21 @@ let test_tuner_trace_capped () =
   let system = fresh_system () in
   let p = System.partition system "capped" ~mode:(invisible 10) in
   let tuner = System.tuner system ~cooldown:0 ~max_trace:3 in
-  let shard = Region_stats.shard (Partition.region p).Region.stats 0 in
+  let stripe = Region_stats.stripe (Partition.region p).Region.stats 0 in
   Tuner.step tuner;
   (* Alternate the visible-switch and invisible-switch conditions so every
      step applies one switch. *)
   for i = 1 to 5 do
     if i mod 2 = 1 then begin
-      shard.Region_stats.commits <- shard.Region_stats.commits + 1000;
-      shard.Region_stats.ro_commits <- shard.Region_stats.ro_commits + 300;
-      shard.Region_stats.aborts <- shard.Region_stats.aborts + 400;
-      shard.Region_stats.validation_fails <- shard.Region_stats.validation_fails + 250
+      Region_stats.add_commits stripe 1000;
+      Region_stats.add_ro_commits stripe 300;
+      Region_stats.add_aborts stripe 400;
+      Region_stats.add_validation_fails stripe 250
     end
     else begin
-      shard.Region_stats.commits <- shard.Region_stats.commits + 1000;
-      shard.Region_stats.ro_commits <- shard.Region_stats.ro_commits + 980;
-      shard.Region_stats.aborts <- shard.Region_stats.aborts + 100
+      Region_stats.add_commits stripe 1000;
+      Region_stats.add_ro_commits stripe 980;
+      Region_stats.add_aborts stripe 100
     end;
     Tuner.step tuner
   done;

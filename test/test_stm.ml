@@ -124,14 +124,14 @@ let test_engine_quiesce_waits_for_inflight () =
 (* -- Lock table ------------------------------------------------------------ *)
 
 let test_lock_table_basics () =
-  let t = Lock_table.create ~clock_now:5 ~granularity_log2:4 in
+  let t = Lock_table.create ~padded:true ~clock_now:5 ~granularity_log2:4 in
   check Alcotest.int "slots" 16 (Lock_table.slots t);
   check Alcotest.int "initial version" (Orec.make_version 5) (Atomic.get (Lock_table.word t 0));
   check Alcotest.int "no readers" 0 (Lock_table.readers_total t);
   check Alcotest.int "no locks" 0 (Lock_table.locked_slots t)
 
 let test_lock_table_whole_region () =
-  let t = Lock_table.create ~clock_now:0 ~granularity_log2:0 in
+  let t = Lock_table.create ~padded:true ~clock_now:0 ~granularity_log2:0 in
   check Alcotest.int "one slot" 1 (Lock_table.slots t);
   for i = 0 to 100 do
     check Alcotest.int "all ids map to slot 0" 0 (Lock_table.slot_of_id t i)
@@ -141,7 +141,9 @@ let prop_lock_table_slot_in_range =
   qtest "slot_of_id in range"
     QCheck2.Gen.(pair (int_range 0 12) (int_range 0 1_000_000))
     (fun (g, id) ->
-      let t = Lock_table.create ~clock_now:0 ~granularity_log2:g in
+      (* Alternate padded/boxed representations: slot mapping must not
+         depend on the memory layout. *)
+      let t = Lock_table.create ~padded:(id mod 2 = 0) ~clock_now:0 ~granularity_log2:g in
       let slot = Lock_table.slot_of_id t id in
       slot >= 0 && slot < Lock_table.slots t)
 
@@ -170,17 +172,17 @@ let test_region_tvar_count () =
 
 let test_region_stats_snapshot_diff () =
   let stats = Region_stats.create ~max_workers:4 in
-  let s0 = Region_stats.shard stats 0 and s3 = Region_stats.shard stats 3 in
-  s0.Region_stats.commits <- 5;
-  s0.Region_stats.reads <- 10;
-  s3.Region_stats.commits <- 2;
-  s3.Region_stats.aborts <- 1;
+  let s0 = Region_stats.stripe stats 0 and s3 = Region_stats.stripe stats 3 in
+  Region_stats.add_commits s0 5;
+  Region_stats.add_reads s0 10;
+  Region_stats.add_commits s3 2;
+  Region_stats.add_aborts s3 1;
   let snap = Region_stats.snapshot stats in
   check Alcotest.int "commits summed" 7 snap.Region_stats.s_commits;
   check Alcotest.int "aborts summed" 1 snap.Region_stats.s_aborts;
   check Alcotest.int "attempts" 8 (Region_stats.attempts snap);
   check (Alcotest.float 1e-9) "abort rate" 0.125 (Region_stats.abort_rate snap);
-  s0.Region_stats.commits <- 9;
+  Region_stats.add_commits s0 4;
   let diff = Region_stats.diff ~current:(Region_stats.snapshot stats) ~previous:snap in
   check Alcotest.int "diff commits" 4 diff.Region_stats.s_commits;
   Region_stats.reset stats;
@@ -206,26 +208,26 @@ let test_region_stats_ratios () =
    forgotten in [snapshot]/[diff] without failing here. *)
 let test_region_stats_diff_roundtrip () =
   let stats = Region_stats.create ~max_workers:3 in
-  let fill shard base =
-    shard.Region_stats.commits <- base;
-    shard.Region_stats.ro_commits <- base + 1;
-    shard.Region_stats.aborts <- base + 2;
-    shard.Region_stats.reads <- base + 3;
-    shard.Region_stats.writes <- base + 4;
-    shard.Region_stats.lock_conflicts <- base + 5;
-    shard.Region_stats.reader_conflicts <- base + 6;
-    shard.Region_stats.validation_fails <- base + 7;
-    shard.Region_stats.extensions <- base + 8;
-    shard.Region_stats.mode_switches <- base + 9
+  let fill stripe base =
+    Region_stats.add_commits stripe base;
+    Region_stats.add_ro_commits stripe (base + 1);
+    Region_stats.add_aborts stripe (base + 2);
+    Region_stats.add_reads stripe (base + 3);
+    Region_stats.add_writes stripe (base + 4);
+    Region_stats.add_lock_conflicts stripe (base + 5);
+    Region_stats.add_reader_conflicts stripe (base + 6);
+    Region_stats.add_validation_fails stripe (base + 7);
+    Region_stats.add_extensions stripe (base + 8);
+    Region_stats.add_mode_switches stripe (base + 9)
   in
-  fill (Region_stats.shard stats 0) 10;
-  fill (Region_stats.shard stats 2) 100;
+  fill (Region_stats.stripe stats 0) 10;
+  fill (Region_stats.stripe stats 2) 100;
   let previous = Region_stats.snapshot stats in
-  (* Each field must see the sum of both written shards. *)
+  (* Each field must see the sum of both written stripes. *)
   List.iteri
     (fun i (name, get) -> check Alcotest.int name ((10 + i) + (100 + i)) (get previous))
     Region_stats.fields;
-  fill (Region_stats.shard stats 1) 1000;
+  fill (Region_stats.stripe stats 1) 1000;
   let current = Region_stats.snapshot stats in
   let delta = Region_stats.diff ~current ~previous in
   List.iteri

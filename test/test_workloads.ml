@@ -22,6 +22,7 @@ let ctx_for_ops ?(worker_id = 1) n =
         decr remaining;
         !remaining < 0);
     progress = (fun () -> 1.0 -. (float_of_int !remaining /. float_of_int n));
+    attempt_tick = (fun () -> ());
   }
 
 (* -- Strategy ---------------------------------------------------------------- *)
