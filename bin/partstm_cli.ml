@@ -130,8 +130,51 @@ type run_spec = {
   cycles : int;
   seed : int;
   cm : Cm.t option;  (* None = engine default *)
+  protocols : (string option * Protocol.t) list;
+      (* --protocol overrides, applied after workload setup: [(Some name, p)]
+         forces partition [name]; [(None, p)] forces every partition. *)
   telemetry_out : string option;
 }
+
+(* Force concurrency-control protocols onto freshly set-up partitions.  The
+   non-single-version protocols own their read path and buffering, so the
+   rest of the mode is normalised exactly as [Tuning_policy.decide] does —
+   [Mode.validate] rejects any other composition. *)
+let force_protocols system overrides =
+  let registry = System.registry system in
+  let set protocol p =
+    let mode = Partition.mode p in
+    let mode =
+      match protocol with
+      | Protocol.Single_version -> { mode with Mode.protocol }
+      | Protocol.Multi_version _ | Protocol.Commit_time_lock ->
+          { mode with Mode.protocol; visibility = Mode.Invisible; update = Mode.Write_back }
+    in
+    Partition.set_mode p mode
+  in
+  let unknown =
+    List.filter_map
+      (fun (target, protocol) ->
+        match target with
+        | None ->
+            List.iter (set protocol) (Registry.partitions registry);
+            None
+        | Some name -> (
+            match Registry.find_by_name registry name with
+            | Some p ->
+                set protocol p;
+                None
+            | None -> Some name))
+      overrides
+  in
+  match unknown with
+  | [] -> Ok ()
+  | names ->
+      Printf.eprintf "--protocol: unknown partition(s) %s (known: %s)\n"
+        (String.concat ", " (List.map (Printf.sprintf "%S") names))
+        (String.concat ", "
+           (List.map (fun p -> Partition.name p) (Registry.partitions registry)));
+      Error 2
 
 type run_outcome = {
   ro_result : Driver.result;
@@ -169,6 +212,9 @@ let execute ?tracer ?contention spec ~with_telemetry =
             System.create ~max_workers:(spec.workers + 8) ?contention_manager:spec.cm ()
           in
           let state = wl_setup system ~strategy in
+          (match force_protocols system spec.protocols with
+          | Error code -> Error code
+          | Ok () ->
           Registry.reset_stats (System.registry system);
           let tuner =
             if Strategy.uses_tuner strategy then Some (System.tuner system) else None
@@ -212,7 +258,7 @@ let execute ?tracer ?contention spec ~with_telemetry =
               ro_verified = wl_verify state;
               ro_strategy = strategy;
               ro_mode = mode;
-            }
+            })
       | other ->
           Printf.eprintf "unknown backend %S (sim|domains)\n" other;
           Error 2)
@@ -261,6 +307,10 @@ let cmd_list () =
   List.iter
     (fun s -> Printf.printf "  %-18s %d fibers\n" s.Check.Scenario.name s.Check.Scenario.fibers)
     Check.Scenario.all;
+  print_endline "protocols (run --protocol [PARTITION=]PROTO):";
+  Printf.printf "  %-10s single-version timestamps (the default)\n" "sv";
+  Printf.printf "  %-10s multi-version, history depth K (e.g. mv8)\n" "mv<K>";
+  Printf.printf "  %-10s commit-time locking (NOrec-style sequence lock)\n" "ctl";
   print_endline "seeded bugs (check --bug):";
   List.iter (fun b -> Printf.printf "  %s\n" (Bug.to_string b)) Bug.all;
   print_endline "(any workload/strategy above works with run, stats, trace and profile)";
@@ -543,6 +593,37 @@ let spec_term =
             "Contention manager: $(b,suicide), $(b,backoff(MIN..MAX)) or $(b,constant(N)) \
              (default: the engine's backoff)")
   in
+  (* Same round-trip discipline as [cm_conv]: printing goes through
+     [Protocol.to_string], so any displayed value parses back. *)
+  let protocol_conv =
+    let parse s =
+      let target, proto =
+        match String.index_opt s '=' with
+        | Some i -> (Some (String.sub s 0 i), String.sub s (i + 1) (String.length s - i - 1))
+        | None -> (None, s)
+      in
+      match Protocol.of_string proto with
+      | Ok p -> Ok (target, p)
+      | Error m -> Error (`Msg ("--protocol " ^ m))
+    in
+    let print ppf (target, p) =
+      match target with
+      | Some name -> Format.fprintf ppf "%s=%s" name (Protocol.to_string p)
+      | None -> Format.pp_print_string ppf (Protocol.to_string p)
+    in
+    Arg.conv ~docv:"PROTO" (parse, print)
+  in
+  let protocols =
+    Arg.(
+      value
+      & opt_all protocol_conv []
+      & info [ "protocol" ] ~docv:"[PARTITION=]PROTO"
+          ~doc:
+            "Force a concurrency-control protocol — $(b,sv), $(b,mv<depth>) (e.g. $(b,mv8)) or \
+             $(b,ctl) — on one partition ($(b,name=mv8)) or on all of them (bare $(b,mv8)). \
+             Repeatable; applied after workload setup, left to the tuner afterwards \
+             (unknown partition names fail; see `partstm list`)")
+  in
   let telemetry_out =
     Arg.(
       value
@@ -550,12 +631,24 @@ let spec_term =
       & info [ "telemetry-out" ] ~docv:"DIR"
           ~doc:"Write the telemetry time series as CSV and JSON into $(docv)")
   in
-  let make workload_name strategy_name workers backend seconds cycles seed cm telemetry_out =
-    { workload_name; strategy_name; workers; backend; seconds; cycles; seed; cm; telemetry_out }
+  let make workload_name strategy_name workers backend seconds cycles seed cm protocols
+      telemetry_out =
+    {
+      workload_name;
+      strategy_name;
+      workers;
+      backend;
+      seconds;
+      cycles;
+      seed;
+      cm;
+      protocols;
+      telemetry_out;
+    }
   in
   Term.(
     const make $ workload $ strategy $ workers $ backend $ seconds $ cycles $ seed $ cm
-    $ telemetry_out)
+    $ protocols $ telemetry_out)
 
 let run_cmd =
   Cmd.v
@@ -686,19 +779,44 @@ let check_cmd =
 (* -- bench: domains hardware scaling (experiment D1) ------------------------- *)
 
 type bench_spec = {
+  bn_experiment : string;
   bn_backend : string;
   bn_workers : int list;
   bn_seconds : float;
   bn_trials : int;
   bn_seed : int;
-  bn_out : string;
+  bn_quick : bool;
+  bn_out : string option;  (* None = the experiment's committed BENCH_*.json *)
 }
 
-let cmd_bench spec =
+(* Committed BENCH_*.json files accumulate arms across runs: the fresh report
+   is merged over whatever is already there ([Json.merge] keeps the existing
+   key order and only replaces the keys this run produced), so re-running one
+   experiment never clobbers another's results and the bytes stay
+   reproducible. *)
+let merge_into_json_file path json =
+  let existing =
+    if not (Sys.file_exists path) then Partstm_util.Json.Obj []
+    else
+      let ic = open_in_bin path in
+      let contents =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      match Partstm_util.Json.of_string contents with
+      | Ok doc -> doc
+      | Error _ -> Partstm_util.Json.Obj []
+  in
+  write_text_file path
+    (Partstm_util.Json.to_string (Partstm_util.Json.merge existing json) ^ "\n")
+
+let cmd_bench_d1 spec out =
   if spec.bn_backend <> "domains" then begin
     Printf.eprintf
-      "bench: unknown backend %S (only \"domains\" is supported here; simulated-backend \
-       figures come from the bench harness, `dune exec bench/main.exe`)\n"
+      "bench: unknown backend %S (d1 measures real parallelism and only supports \
+       \"domains\"; the simulated-backend figures come from `partstm bench -e m1` and \
+       `dune exec bench/main.exe`)\n"
       spec.bn_backend;
     2
   end
@@ -707,37 +825,82 @@ let cmd_bench spec =
     2
   end
   else
-    match ensure_writable_dir (Filename.dirname spec.bn_out) with
-    | Error msg ->
-        Printf.eprintf "bench: --out %S is not writable: %s\n" spec.bn_out msg;
-        2
-    | Ok () ->
-        let config =
-          {
-            Scaling.workers =
-              (match spec.bn_workers with
-              | [] -> Scaling.default_config.Scaling.workers
-              | ws -> List.sort_uniq compare ws);
-            seconds = spec.bn_seconds;
-            trials = spec.bn_trials;
-            seed = spec.bn_seed;
-          }
-        in
-        let report =
-          Scaling.run ~progress:(fun line -> Printf.printf "%s\n%!" line) config
-        in
-        Partstm_util.Table.print (Scaling.to_table report);
-        write_text_file spec.bn_out
-          (Partstm_util.Json.to_string (Scaling.to_json report) ^ "\n");
-        Printf.printf "wrote %s\n" spec.bn_out;
-        (* Skipped checks (single-core host) are not failures. *)
-        (match (Scaling.check_scaling report, Scaling.check_padding report) with
-        | `Failed reason, _ | _, `Failed reason ->
-            Printf.eprintf "bench: acceptance check failed: %s\n" reason;
-            1
-        | _ -> 0)
+    let config =
+      {
+        Scaling.workers =
+          (match spec.bn_workers with
+          | [] -> Scaling.default_config.Scaling.workers
+          | ws -> List.sort_uniq compare ws);
+        seconds = spec.bn_seconds;
+        trials = spec.bn_trials;
+        seed = spec.bn_seed;
+      }
+    in
+    let report = Scaling.run ~progress:(fun line -> Printf.printf "%s\n%!" line) config in
+    Partstm_util.Table.print (Scaling.to_table report);
+    merge_into_json_file out (Scaling.to_json report);
+    Printf.printf "wrote %s\n" out;
+    (* Skipped checks (single-core host) are not failures. *)
+    (match (Scaling.check_scaling report, Scaling.check_padding report) with
+    | `Failed reason, _ | _, `Failed reason ->
+        Printf.eprintf "bench: acceptance check failed: %s\n" reason;
+        1
+    | _ -> 0)
+
+let cmd_bench_m1 spec out =
+  (* The protocol matrix runs on the deterministic simulator — single-core
+     hosts produce the same bytes as many-core ones, so there is nothing to
+     gate on the backend. *)
+  let config =
+    let base =
+      if spec.bn_quick then Protocol_bench.quick_config else Protocol_bench.default_config
+    in
+    { base with Protocol_bench.seed = spec.bn_seed }
+  in
+  let report =
+    Protocol_bench.run ~progress:(fun line -> Printf.printf "%s\n%!" line) config
+  in
+  print_newline ();
+  Partstm_util.Table.print (Protocol_bench.to_table report);
+  merge_into_json_file out (Protocol_bench.to_json report);
+  Printf.printf "wrote %s\n" out;
+  List.fold_left
+    (fun code (name, verdict) ->
+      match verdict with
+      | `Passed ->
+          Printf.printf "check %-24s passed\n" name;
+          code
+      | `Failed reason ->
+          Printf.eprintf "bench: check %s failed: %s\n" name reason;
+          1)
+    0 (Protocol_bench.checks report)
+
+let cmd_bench spec =
+  let default_out =
+    match spec.bn_experiment with "m1" -> "BENCH_M1.json" | _ -> "BENCH_D1.json"
+  in
+  let out = Option.value spec.bn_out ~default:default_out in
+  match ensure_writable_dir (Filename.dirname out) with
+  | Error msg ->
+      Printf.eprintf "bench: --out %S is not writable: %s\n" out msg;
+      2
+  | Ok () -> (
+      match spec.bn_experiment with
+      | "d1" -> cmd_bench_d1 spec out
+      | "m1" -> cmd_bench_m1 spec out
+      | other ->
+          Printf.eprintf "bench: unknown experiment %S (known: d1, m1)\n" other;
+          2)
 
 let bench_spec_term =
+  let experiment =
+    Arg.(
+      value & opt string "d1"
+      & info [ "experiment"; "e" ] ~docv:"ID"
+          ~doc:
+            "Which experiment to run: $(b,d1) (domains hardware scaling, BENCH_D1.json) or \
+             $(b,m1) (simulated protocol comparison, BENCH_M1.json)")
+  in
   let backend =
     Arg.(
       value & opt string "domains"
@@ -759,23 +922,33 @@ let bench_spec_term =
     Arg.(value & opt int 3 & info [ "trials" ] ~docv:"T" ~doc:"Trials per arm (best-of-T)")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed") in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"Smaller sweeps (m1 only); for smoke-testing the bench")
+  in
   let out =
     Arg.(
-      value & opt string "BENCH_D1.json"
-      & info [ "out"; "o" ] ~docv:"PATH" ~doc:"Where to write the JSON report")
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"PATH"
+          ~doc:"Where to write the JSON report (default: the experiment's BENCH_*.json)")
   in
-  let make bn_backend bn_workers bn_seconds bn_trials bn_seed bn_out =
-    { bn_backend; bn_workers; bn_seconds; bn_trials; bn_seed; bn_out }
+  let make bn_experiment bn_backend bn_workers bn_seconds bn_trials bn_seed bn_quick bn_out =
+    { bn_experiment; bn_backend; bn_workers; bn_seconds; bn_trials; bn_seed; bn_quick; bn_out }
   in
-  Term.(const make $ backend $ workers $ seconds $ trials $ seed $ out)
+  Term.(const make $ experiment $ backend $ workers $ seconds $ trials $ seed $ quick $ out)
 
 let bench_cmd =
   Cmd.v
     (Cmd.info "bench"
        ~doc:
-         "Measure committed transactions per wall-clock second on real domains across worker \
-          counts, padded vs packed memory layout, and write the BENCH_D1.json report; \
-          acceptance checks self-skip on hosts without enough cores")
+         "Regenerate a committed BENCH_*.json report: $(b,-e d1) measures committed \
+          transactions per wall-clock second on real domains across worker counts and memory \
+          layouts; $(b,-e m1) runs the deterministic protocol comparison (single-version vs \
+          multi-version vs commit-time locking, plus the tuner-autonomy phase). Results merge \
+          into the existing file without clobbering other arms; acceptance checks self-skip \
+          on hosts without enough cores")
     Term.(const cmd_bench $ bench_spec_term)
 
 let main_cmd =

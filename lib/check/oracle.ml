@@ -78,9 +78,19 @@ let check events =
       | History.Begin { txn; rv } ->
           Hashtbl.replace inflight txn { at_txn = txn; at_rv = rv; at_reads = []; at_writes = [] }
       | History.Read { txn; region; slot; version } -> (
-          match Hashtbl.find_opt inflight txn with
-          | Some a -> a.at_reads <- (access region slot, version) :: a.at_reads
-          | None -> ())
+          (* slot < 0: not an orec-versioned observation, so the lock-span
+             argument above does not apply and the read is exempt from the
+             version rules.  Two engine paths emit these (DESIGN.md §10.4):
+             multi-version history reads (the version is a *historical*
+             publish stamp, valid in its own window [version, successor),
+             not at the transaction's stamp) and commit-time-lock reads
+             (value-validated; the recorded "version" is a sequence-word
+             snapshot).  Their correctness is covered by the scenario
+             invariants plus the protocol-specific seeded mutants. *)
+          if slot >= 0 then
+            match Hashtbl.find_opt inflight txn with
+            | Some a -> a.at_reads <- (access region slot, version) :: a.at_reads
+            | None -> ())
       | History.Write { txn; region; slot } -> (
           match Hashtbl.find_opt inflight txn with
           | Some a -> a.at_writes <- access region slot :: a.at_writes

@@ -152,7 +152,18 @@ let queue ?(producers = 2) ?(consumers = 2) ?(items = 4) ~name () =
    and update-strategy flips change the code paths) while transfers are
    in flight.  Exercises quiesce and the oracle's generation handling. *)
 
-let reconfigure ?(workers = 3) ?(transfers = 4) ~name () =
+let reconfigure ?modes ?(workers = 3) ?(transfers = 4) ~name () =
+  let modes =
+    match modes with
+    | Some modes -> modes
+    | None ->
+        [
+          Mode.make ~granularity_log2:0 ();
+          Mode.make ~visibility:Mode.Visible ();
+          Mode.make ~update:Mode.Write_through ~granularity_log2:2 ();
+          Mode.make ();
+        ]
+  in
   let fibers = workers + 2 (* observer + tuner *) in
   let make () =
     let system = System.create ~max_workers:fibers () in
@@ -186,14 +197,6 @@ let reconfigure ?(workers = 3) ?(transfers = 4) ~name () =
       done
     in
     let tuner _fiber =
-      let modes =
-        [
-          Mode.make ~granularity_log2:0 ();
-          Mode.make ~visibility:Mode.Visible ();
-          Mode.make ~update:Mode.Write_through ~granularity_log2:2 ();
-          Mode.make ();
-        ]
-      in
       List.iter
         (fun mode ->
           Partstm_util.Runtime_hook.charge (Partstm_util.Runtime_hook.Step 50);
@@ -266,6 +269,75 @@ let mixed_modes ?(workers = 3) ?(transfers = 4) ~name () =
   in
   { name; fibers; make }
 
+(* -- Mixed protocols -------------------------------------------------------
+   Three partitions running the three concurrency-control protocols
+   (DESIGN.md §10): multi-version, commit-time-lock and single-version,
+   with transfers that cross protocol boundaries in one transaction and a
+   read-only observer spanning all three.  The cross-protocol shape is
+   the point: one transaction mixes orec-versioned reads with
+   value-validated ones and (depending on timing) a frozen multi-version
+   snapshot, so the staleness discipline and the joint commit-time
+   validation both carry load here. *)
+
+let mixed_protocols ?(workers = 3) ?(transfers = 4) ~name () =
+  let fibers = workers + 1 in
+  let make () =
+    let system = System.create ~max_workers:fibers () in
+    let history = History.create () in
+    History.attach history (System.engine system);
+    let p_mv =
+      System.partition system "mv"
+        ~mode:(Mode.make ~protocol:(Protocol.Multi_version { depth = 4 }) ())
+        ~tunable:false
+    in
+    let p_ctl =
+      System.partition system "ctl"
+        ~mode:(Mode.make ~protocol:Protocol.Commit_time_lock ())
+        ~tunable:false
+    in
+    let p_sv = System.partition system "sv" ~tunable:false in
+    let initial = 100 in
+    let a = System.tvar p_mv initial
+    and b = System.tvar p_ctl initial
+    and c = System.tvar p_sv initial in
+    let total = 3 * initial in
+    let bad_sums = ref [] in
+    let worker i _fiber =
+      let txn = System.descriptor system ~worker_id:i in
+      for k = 1 to transfers do
+        let amount = 1 + ((i + k) mod 5) in
+        let src, dst =
+          match (i + k) mod 3 with 0 -> (a, b) | 1 -> (b, c) | _ -> (c, a)
+        in
+        System.atomically txn (fun t ->
+            System.write t src (System.read t src - amount);
+            System.write t dst (System.read t dst + amount))
+      done
+    in
+    let observer _fiber =
+      let txn = System.descriptor system ~worker_id:workers in
+      for _ = 1 to transfers do
+        let sum =
+          System.atomically txn (fun t ->
+              System.read t a + System.read t b + System.read t c)
+        in
+        if sum <> total then bad_sums := sum :: !bad_sums
+      done
+    in
+    let bodies = List.init workers (fun i -> worker i) @ [ observer ] in
+    let check () =
+      let final = Tvar.peek a + Tvar.peek b + Tvar.peek c in
+      (if final <> total then
+         [ Fmt.str "conservation violated: accounts sum to %d, expected %d" final total ]
+       else [])
+      @ List.rev_map
+          (fun s -> Fmt.str "observer read inconsistent sum %d (expected %d)" s total)
+          !bad_sums
+    in
+    { bodies; engine = System.engine system; history; check }
+  in
+  { name; fibers; make }
+
 let bank_invisible = bank ~name:"bank-invisible" ()
 let bank_visible = bank ~mode:(Mode.make ~visibility:Mode.Visible ()) ~name:"bank-visible" ()
 
@@ -274,18 +346,120 @@ let bank_write_through =
     ~mode:(Mode.make ~update:Mode.Write_through ())
     ~accounts:2 ~workers:2 ~name:"bank-write-through" ()
 
+(* Multi-version bank: workers' update transactions begin with a read, so
+   a concurrent commit between begin and first read routes them through
+   the history path — exactly where the staleness discipline (and its
+   seeded mutant) lives.  Depth 4 keeps enough versions for the history
+   lookup to hit rather than miss. *)
+let bank_multi_version =
+  bank
+    ~mode:(Mode.make ~protocol:(Protocol.Multi_version { depth = 4 }) ())
+    ~name:"bank-multi-version" ()
+
+(* Commit-time-lock bank: small and hot, so transactions routinely commit
+   with [wv > rv + 1] and the value-revalidation pass actually runs. *)
+let bank_commit_lock =
+  bank
+    ~mode:(Mode.make ~protocol:Protocol.Commit_time_lock ())
+    ~accounts:2 ~workers:2 ~name:"bank-commit-lock" ()
+
+(* -- Commit-time-lock mirror -----------------------------------------------
+   The shape whose ONLY line of defence is commit-time value revalidation.
+   In the bank, a stale commit-time-lock read is always caught early: the
+   transaction either performs a later ctl read (whose sequence-word
+   mismatch branch revalidates, independent of the commit-time pass) or
+   writes the very slot the concurrent writer needs (encounter-time orec
+   locking excludes the race).  Here the mirrorer reads [a] and writes
+   only [b] — no later read, no orec overlap at the fatal moment — so a
+   concurrent incrementer can slip a full commit between the read and the
+   mirrorer's commit, and nothing but the commit-time value check stands
+   in the way.  Invariants: a == b (a stale mirror publishes an old [a]
+   over a fresh [b]), and [a] covers the committed increments (an
+   incrementer pair racing on the same window loses an update).  The
+   increment count is one-sided: a fault-injection kill between commit
+   and count leaves [a] ahead of the count, never behind. *)
+
+let ctl_mirror ?(incrementers = 2) ?(mirrorers = 1) ?(iterations = 2) ~name () =
+  let fibers = incrementers + mirrorers in
+  let make () =
+    let system = System.create ~max_workers:fibers () in
+    let history = History.create () in
+    History.attach history (System.engine system);
+    let p =
+      System.partition system "ctl"
+        ~mode:(Mode.make ~protocol:Protocol.Commit_time_lock ())
+        ~tunable:false
+    in
+    let a = System.tvar p 0 and b = System.tvar p 0 in
+    let committed = Array.make incrementers 0 in
+    let incrementer i _fiber =
+      let txn = System.descriptor system ~worker_id:i in
+      for _ = 1 to iterations do
+        System.atomically txn (fun t ->
+            System.write t a (System.read t a + 1);
+            System.write t b (System.read t b + 1));
+        committed.(i) <- committed.(i) + 1
+      done
+    in
+    let mirrorer j _fiber =
+      let txn = System.descriptor system ~worker_id:(incrementers + j) in
+      for _ = 1 to iterations do
+        System.atomically txn (fun t -> System.write t b (System.read t a))
+      done
+    in
+    let bodies =
+      List.init incrementers (fun i -> incrementer i)
+      @ List.init mirrorers (fun j -> mirrorer j)
+    in
+    let check () =
+      let va = Tvar.peek a and vb = Tvar.peek b in
+      let incs = Array.fold_left ( + ) 0 committed in
+      (if va <> vb then [ Fmt.str "mirror broken: a = %d, b = %d" va vb ] else [])
+      @
+      if va < incs then
+        [ Fmt.str "lost increment: a = %d after %d committed increments" va incs ]
+      else []
+    in
+    { bodies; engine = System.engine system; history; check }
+  in
+  { name; fibers; make }
+
+let ctl_mirror_default = ctl_mirror ~name:"ctl-mirror" ()
+
 let queue_default = queue ~name:"queue" ()
 let reconfigure_default = reconfigure ~name:"reconfigure" ()
+
+(* Mid-run protocol transitions: the tuner walks the partition across all
+   three protocols (plus a granularity swap under multi-version), so
+   epoch invalidation of cached histories and the seqlock's quiescent
+   idleness are exercised while transfers are in flight. *)
+let protocol_reconfigure_default =
+  reconfigure
+    ~modes:
+      [
+        Mode.make ~protocol:(Protocol.Multi_version { depth = 2 }) ();
+        Mode.make ~protocol:Protocol.Commit_time_lock ();
+        Mode.make ~granularity_log2:0 ~protocol:(Protocol.Multi_version { depth = 4 }) ();
+        Mode.make ();
+      ]
+    ~name:"protocol-reconfigure" ()
+
 let mixed_modes_default = mixed_modes ~name:"mixed-modes" ()
+let mixed_protocols_default = mixed_protocols ~name:"mixed-protocols" ()
 
 let all =
   [
     bank_invisible;
     bank_visible;
     bank_write_through;
+    bank_multi_version;
+    bank_commit_lock;
+    ctl_mirror_default;
     queue_default;
     reconfigure_default;
+    protocol_reconfigure_default;
     mixed_modes_default;
+    mixed_protocols_default;
   ]
 
 let find name = List.find_opt (fun s -> s.name = name) all
@@ -296,3 +470,5 @@ let for_bug = function
   | Bug.Skip_extension_validation -> bank_invisible
   | Bug.Skip_reader_drain -> bank_visible
   | Bug.Skip_undo_log -> bank_write_through
+  | Bug.Mv_skip_stale_check -> bank_multi_version
+  | Bug.Ctl_skip_validation -> ctl_mirror_default

@@ -31,19 +31,36 @@ val queue : ?producers:int -> ?consumers:int -> ?items:int -> name:string -> uni
 (** Producer/consumer over {!Partstm_structures.Tqueue}; invariant: no
     item lost or duplicated. *)
 
-val reconfigure : ?workers:int -> ?transfers:int -> name:string -> unit -> t
-(** Bank plus a tuner fiber swapping the partition's mode mid-run. *)
+val reconfigure :
+  ?modes:Mode.t list -> ?workers:int -> ?transfers:int -> name:string -> unit -> t
+(** Bank plus a tuner fiber swapping the partition's mode mid-run, walking
+    the given mode sequence (default: granularity/visibility/update flips). *)
 
 val mixed_modes : ?workers:int -> ?transfers:int -> name:string -> unit -> t
 (** Transfers spanning an invisible/write-back and a visible/write-through
     partition in one transaction. *)
 
+val mixed_protocols : ?workers:int -> ?transfers:int -> name:string -> unit -> t
+(** Transfers spanning multi-version, commit-time-lock and single-version
+    partitions in one transaction, plus an observer reading all three. *)
+
+val ctl_mirror :
+  ?incrementers:int -> ?mirrorers:int -> ?iterations:int -> name:string -> unit -> t
+(** Read-one-write-another transactions over a commit-time-lock partition:
+    the shape whose only defence is commit-time value revalidation.
+    Invariants: the mirrored pair stays equal and no increment is lost. *)
+
 val bank_invisible : t
 val bank_visible : t
 val bank_write_through : t
+val bank_multi_version : t
+val bank_commit_lock : t
+val ctl_mirror_default : t
 val queue_default : t
 val reconfigure_default : t
+val protocol_reconfigure_default : t
 val mixed_modes_default : t
+val mixed_protocols_default : t
 
 val all : t list
 val find : string -> t option

@@ -18,7 +18,16 @@
    region); fine tables avoid false conflicts.  We coarsen under sustained
    high conflict rates and refine when conflicts are rare.
 
-   Both directions use hysteresis (hi/lo thresholds) and the tuner adds a
+   Concurrency-control protocol (DESIGN.md §10).  A read-dominated
+   partition whose read-only transactions still pay validation (or abort
+   outright) is moved to the multi-version protocol, whose history reads
+   commit read-only transactions without validation; a small, update-heavy,
+   high-conflict partition is moved to commit-time locking, whose reads
+   touch no orec and whose single sequence lock amortises well over a tiny
+   footprint.  Both revert to single-version when the signal that justified
+   them decays.
+
+   All directions use hysteresis (hi/lo thresholds) and the tuner adds a
    cooldown after each switch, so the policy cannot oscillate on a steady
    workload. *)
 
@@ -38,6 +47,13 @@ type config = {
   granularity_step : int;  (* log2 slots added/removed per decision *)
   granularity_lo : int;  (* coarsest allowed (log2 slots) *)
   granularity_hi : int;  (* finest allowed (log2 slots) *)
+  mv_ro_ratio_hi : float;  (* multi-version above this read-only commit share ... *)
+  mv_ro_ratio_lo : float;  (* ... back to single-version below this *)
+  mv_wasted_hi : float;  (* (ro_aborts+val_fails)/attempts to justify multi-version *)
+  mv_depth : int;  (* history depth proposed on a multi-version switch *)
+  ctl_tvars_max : int;  (* commit-time locking only for regions this small *)
+  ctl_abort_hi : float;  (* commit-time locking above this abort rate ... *)
+  ctl_abort_lo : float;  (* ... back to single-version below this *)
 }
 
 (* update_ratio counts transactions that actually wrote (a failed intset add
@@ -57,6 +73,13 @@ let default_config =
     granularity_step = 4;
     granularity_lo = 0;
     granularity_hi = 14;
+    mv_ro_ratio_hi = 0.80;
+    mv_ro_ratio_lo = 0.50;
+    mv_wasted_hi = 0.02;
+    mv_depth = 8;
+    ctl_tvars_max = 64;
+    ctl_abort_hi = 0.30;
+    ctl_abort_lo = 0.05;
   }
 
 (* What the tuner observed in a partition over one sampling period. *)
@@ -132,6 +155,45 @@ let decide config { delta; current; tvars } =
       | Mode.Write_through when abort_rate > config.write_through_abort_hi -> Mode.Write_back
       | current_update -> current_update
     in
-    let proposed = { Mode.visibility; granularity_log2 = granularity; update } in
+    (* Concurrency-control protocol.  Multi-version pays when the partition
+       is read-dominated AND its read-only transactions demonstrably waste
+       work under single-version (they abort, or burn failed validations);
+       commit-time locking pays on a small, update-heavy partition under
+       sustained conflict pressure, where one sequence lock replaces all
+       orec traffic on the read side.  Each exits on the decayed form of
+       its entry signal (hysteresis). *)
+    let protocol =
+      let ro_ratio = Region_stats.ro_commit_ratio delta in
+      let ro_wasted =
+        float_of_int (delta.Region_stats.s_ro_aborts + delta.Region_stats.s_validation_fails)
+        /. float_of_int attempts
+      in
+      match current.Mode.protocol with
+      | Protocol.Single_version ->
+          if
+            tvars <= config.ctl_tvars_max
+            && abort_rate > config.ctl_abort_hi
+            && update_ratio > config.update_ratio_hi
+          then Protocol.Commit_time_lock
+          else if ro_ratio > config.mv_ro_ratio_hi && ro_wasted > config.mv_wasted_hi then
+            Protocol.Multi_version { depth = config.mv_depth }
+          else Protocol.Single_version
+      | Protocol.Multi_version _ as p ->
+          if ro_ratio < config.mv_ro_ratio_lo then Protocol.Single_version else p
+      | Protocol.Commit_time_lock ->
+          if abort_rate < config.ctl_abort_lo || tvars > config.ctl_tvars_max then
+            Protocol.Single_version
+          else Protocol.Commit_time_lock
+    in
+    let proposed = { Mode.visibility; granularity_log2 = granularity; update; protocol } in
+    (* Normalise to a valid composition: the non-single-version protocols
+       own their read path and buffering (Mode.validate rejects anything
+       else). *)
+    let proposed =
+      match protocol with
+      | Protocol.Single_version -> proposed
+      | Protocol.Multi_version _ | Protocol.Commit_time_lock ->
+          { proposed with Mode.visibility = Mode.Invisible; update = Mode.Write_back }
+    in
     if Mode.equal proposed current then Keep else Switch proposed
   end

@@ -1,6 +1,7 @@
-(** Pure per-partition tuning heuristic (read visibility + conflict
-    granularity, with hysteresis). See the implementation header for the
-    rationale, which follows the paper's Section 1 examples. *)
+(** Pure per-partition tuning heuristic (read visibility, conflict
+    granularity, update strategy and concurrency-control protocol, with
+    hysteresis). See the implementation header for the rationale, which
+    follows the paper's Section 1 examples. *)
 
 open Partstm_stm
 
@@ -18,6 +19,13 @@ type config = {
   granularity_step : int;
   granularity_lo : int;
   granularity_hi : int;
+  mv_ro_ratio_hi : float;
+  mv_ro_ratio_lo : float;
+  mv_wasted_hi : float;
+  mv_depth : int;
+  ctl_tvars_max : int;
+  ctl_abort_hi : float;
+  ctl_abort_lo : float;
 }
 
 val default_config : config

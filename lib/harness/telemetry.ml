@@ -157,6 +157,9 @@ let add_snapshots a b =
       s_validation_fails = a.s_validation_fails + b.s_validation_fails;
       s_extensions = a.s_extensions + b.s_extensions;
       s_mode_switches = a.s_mode_switches + b.s_mode_switches;
+      s_ro_aborts = a.s_ro_aborts + b.s_ro_aborts;
+      s_mv_hist_reads = a.s_mv_hist_reads + b.s_mv_hist_reads;
+      s_ctl_commits = a.s_ctl_commits + b.s_ctl_commits;
     }
 
 (* Summed per-period deltas per partition (equals the final snapshot minus
@@ -182,7 +185,7 @@ let totals t =
 let counter_columns = List.map fst Region_stats.fields
 
 let columns =
-  [ "sample"; "time"; "partition"; "visibility"; "granularity_log2"; "update" ]
+  [ "sample"; "time"; "partition"; "visibility"; "granularity_log2"; "update"; "protocol" ]
   @ counter_columns
   @ [ "abort_rate"; "update_ratio" ]
 
@@ -196,6 +199,7 @@ let sample_row s =
     Mode.visibility_to_string s.sm_mode.Mode.visibility;
     string_of_int s.sm_mode.Mode.granularity_log2;
     Mode.update_to_string s.sm_mode.Mode.update;
+    Protocol.to_string s.sm_mode.Mode.protocol;
   ]
   @ List.map (fun (_, get) -> string_of_int (get s.sm_delta)) Region_stats.fields
   @ [
@@ -211,6 +215,7 @@ let mode_json (mode : Mode.t) =
       ("visibility", Json.String (Mode.visibility_to_string mode.Mode.visibility));
       ("granularity_log2", Json.Int mode.Mode.granularity_log2);
       ("update", Json.String (Mode.update_to_string mode.Mode.update));
+      ("protocol", Json.String (Protocol.to_string mode.Mode.protocol));
     ]
 
 let snapshot_json snapshot =

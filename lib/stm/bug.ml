@@ -23,14 +23,32 @@ type t =
   | Skip_undo_log
       (* rollback skips the write-log resets: write-through aborts leak
          uncommitted in-place values *)
+  | Mv_skip_stale_check
+      (* a multi-version history hit skips the epoch/staleness discipline:
+         update transactions and extensions proceed on a frozen snapshot,
+         so a history read can be serialised against fresher state *)
+  | Ctl_skip_validation
+      (* commit-time-lock commit publishes without value-revalidating the
+         read log when the sequence word moved: the NOrec analogue of
+         Skip_commit_validation *)
 
-let all = [ Skip_commit_validation; Skip_extension_validation; Skip_reader_drain; Skip_undo_log ]
+let all =
+  [
+    Skip_commit_validation;
+    Skip_extension_validation;
+    Skip_reader_drain;
+    Skip_undo_log;
+    Mv_skip_stale_check;
+    Ctl_skip_validation;
+  ]
 
 let to_string = function
   | Skip_commit_validation -> "skip-commit-validation"
   | Skip_extension_validation -> "skip-extension-validation"
   | Skip_reader_drain -> "skip-reader-drain"
   | Skip_undo_log -> "skip-undo-log"
+  | Mv_skip_stale_check -> "mv-skip-stale-check"
+  | Ctl_skip_validation -> "ctl-skip-validation"
 
 let of_string s = List.find_opt (fun b -> to_string b = s) all
 

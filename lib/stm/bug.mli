@@ -11,6 +11,10 @@ type t =
   | Skip_extension_validation  (** timestamp extension skips revalidation *)
   | Skip_reader_drain  (** writers ignore visible-reader counters *)
   | Skip_undo_log  (** rollback skips the write-log resets *)
+  | Mv_skip_stale_check
+      (** multi-version history hits skip the staleness discipline *)
+  | Ctl_skip_validation
+      (** commit-time-lock value revalidation passes vacuously *)
 
 val all : t list
 val to_string : t -> string

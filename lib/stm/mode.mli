@@ -1,6 +1,7 @@
 (** Per-region concurrency-control configuration: read visibility,
-    conflict-detection granularity, and update strategy (write-back vs.
-    write-through) — the per-partition knobs. *)
+    conflict-detection granularity, update strategy (write-back vs.
+    write-through) and concurrency-control protocol — the per-partition
+    knobs. *)
 
 type read_visibility = Invisible | Visible
 
@@ -15,25 +16,39 @@ type t = {
       (** log2 of the region's orec count: 0 = whole-region conflict
           detection, larger = finer. *)
   update : update_strategy;
+  protocol : Protocol.t;
 }
 
 val make :
   ?visibility:read_visibility ->
   ?granularity_log2:int ->
   ?update:update_strategy ->
+  ?protocol:Protocol.t ->
   unit ->
   t
 
 val default : t
-(** Invisible reads, g10, write-back. *)
+(** Invisible reads, g10, write-back, single-version. *)
 
 val granularity_min : int
 val granularity_max : int
 
 val validate : t -> unit
-(** Raises [Invalid_argument] if the granularity is out of range. *)
+(** Raises [Invalid_argument] if the granularity or multi-version depth is
+    out of range, or if a non-single-version protocol is combined with
+    visible reads or write-through updates. *)
 
 val visibility_to_string : read_visibility -> string
 val update_to_string : update_strategy -> string
+val visibility_of_string : string -> (read_visibility, string) result
+val update_of_string : string -> (update_strategy, string) result
+
+val to_string : t -> string
+(** Canonical fully-explicit form, e.g. ["invisible/g10/wb/sv"]. *)
+
+val of_string : string -> (t, string) result
+(** Inverse of {!to_string}; also accepts the abbreviated {!pp} rendering
+    (omitted fields take the defaults), so any printed mode parses back. *)
+
 val pp : Format.formatter -> t -> unit
 val equal : t -> t -> bool

@@ -1,0 +1,86 @@
+(* Per-tvar multi-version history: the storage half of the Multi_version
+   protocol (DESIGN.md §10.1).
+
+   A state is an immutable record swapped atomically into the tvar's [mv]
+   slot, so concurrent readers always observe an internally consistent
+   (epoch, current-version, history) triple with a single [Atomic.get] —
+   there is no torn pair to reason about.  Only the orec write-lock holder
+   builds new states, so swaps never race each other.
+
+   Meaning of the fields:
+
+   - [mv_epoch] ties the state to one multi-version configuration period of
+     the region ({!Region}'s [mv_epoch] is bumped by every reconfiguration).
+     While a region is *not* running Multi_version its writers do not
+     maintain histories, so any state from an earlier period may understate
+     [mv_version]; a reader that trusted it could serve a value that was
+     since overwritten.  A stale epoch therefore means "no multi-version
+     information", and the first multi-version write of the new period
+     rebuilds the state from the orec version (conservatively *overstating*
+     the publish version: readers with older snapshots fall back to the
+     single-version path instead of being lied to).
+
+   - [mv_version] is the global-clock version at which the tvar's *current*
+     committed cell value was published (or conservatively later, after an
+     epoch rebuild).  It answers "is the current value already valid at my
+     snapshot?" without consulting the orec, whose version is per-slot and
+     can exceed the tvar's own last write under orec sharing.
+
+   - [mv_hist] holds superseded (publish-version, value) pairs, newest
+     first, truncated to the region's depth: version GC is inherent — the
+     (depth+1)-oldest version dies on every push. *)
+
+type 'a state = {
+  mv_epoch : int;
+  mv_version : int;  (* publish version of the current committed value *)
+  mv_hist : (int * 'a) list;  (* superseded versions, newest first *)
+}
+
+(* Epoch -1 never matches a region epoch (regions count up from 0), so a
+   fresh tvar carries no multi-version claims until its first MV write. *)
+let initial = { mv_epoch = -1; mv_version = 0; mv_hist = [] }
+
+let truncate depth list =
+  let rec take n = function
+    | [] -> []
+    | _ :: _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  take depth list
+
+(* The current cell value (published at [st.mv_version]) is about to be
+   overwritten: retire it into the history.  Called by the lock holder at
+   first-write time, *before* any mutation of the tvar, so [current] is the
+   committed value.  Idempotent per version: an aborted writer leaves a
+   head entry duplicating the still-current value, which a later writer
+   replaces rather than stacking. *)
+let retire st ~epoch ~depth ~current =
+  let hist =
+    match st.mv_hist with
+    | (v, _) :: rest when v = st.mv_version -> (st.mv_version, current) :: rest
+    | hist -> truncate (depth - 1) ((st.mv_version, current) :: hist)
+  in
+  { mv_epoch = epoch; mv_version = st.mv_version; mv_hist = hist }
+
+(* Rebuild after an epoch change: the history is unmaintained, so drop it
+   and claim the current value published at [version] (the orec's current
+   version — an overstatement that only ever sends readers to the
+   single-version fallback, never to a wrong value). *)
+let rebuild ~epoch ~version = { mv_epoch = epoch; mv_version = version; mv_hist = [] }
+
+(* Commit publish: the new cell value is now current, published at [version]. *)
+let published st ~version = { st with mv_version = version }
+
+(* Newest historical version <= [at], for a reader whose snapshot the
+   current value post-dates.  The history never contains the current value
+   (except as a harmless abort-duplicate carrying the same version as
+   [mv_version], which such a reader cannot want anyway: it requires
+   [mv_version > at]). *)
+let rec find_le hist ~at =
+  match hist with
+  | [] -> None
+  | (v, value) :: rest -> if v <= at then Some (v, value) else find_le rest ~at
+
+let find st ~at = find_le st.mv_hist ~at
+
+let depth st = List.length st.mv_hist

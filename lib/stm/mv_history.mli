@@ -1,0 +1,33 @@
+(** Per-tvar multi-version history: immutable states swapped atomically by
+    the orec lock holder, read race-free by snapshot readers
+    (DESIGN.md §10.1). *)
+
+type 'a state = {
+  mv_epoch : int;
+      (** region multi-version period this state was maintained under; a
+          mismatch means the state carries no usable claims *)
+  mv_version : int;
+      (** global-clock version at which the current committed cell value
+          was published (or conservatively later, after a rebuild) *)
+  mv_hist : (int * 'a) list;  (** superseded (version, value), newest first *)
+}
+
+val initial : 'a state
+(** Epoch -1: matches no region period. *)
+
+val retire : 'a state -> epoch:int -> depth:int -> current:'a -> 'a state
+(** Move the current value (still [current] in the cell) into the history
+    ahead of its overwrite; truncates to [depth] entries. Idempotent per
+    version. Lock holder only. *)
+
+val rebuild : epoch:int -> version:int -> 'a state
+(** Fresh state after an epoch change: empty history, current value claimed
+    published at [version] (conservative overstatement). *)
+
+val published : 'a state -> version:int -> 'a state
+(** The buffered value just became the committed value at [version]. *)
+
+val find : 'a state -> at:int -> (int * 'a) option
+(** Newest historical (version, value) with version <= [at]. *)
+
+val depth : 'a state -> int

@@ -1,0 +1,78 @@
+(* Per-partition concurrency-control protocol (DESIGN.md §10).
+
+   The paper's thesis is that no single STM configuration fits all
+   partitions; visibility and granularity alone still leave every partition
+   on one single-version timestamp protocol.  This module names the third
+   axis — which *protocol* a partition runs:
+
+   - [Single_version]: the historical TinySTM/LSA word-based protocol
+     (orec sampling, timestamp extension, commit-time validation).
+   - [Multi_version { depth }]: each tvar additionally keeps its last
+     [depth] committed (version, value) pairs, so a read with a fixed
+     snapshot timestamp can be served from history instead of aborting when
+     the location has moved on — read-only transactions on read-dominated
+     partitions never validate and never abort on this path (after
+     Kuznetsov & Ravi, "Progressive Transactional Memory in Time and
+     Space", PAPERS.md).
+   - [Commit_time_lock]: a NOrec-flavoured mode for tiny high-contention
+     partitions: reads log (location, value) pairs against a per-partition
+     sequence lock and are revalidated *by value*; the sequence lock is
+     taken only at commit, so the read path touches no orec at all (the
+     Synchrobench protocol-comparison study maps where global-versioned-
+     lock protocols win, PAPERS.md).
+
+   Protocol composition rules (enforced by [Mode.validate]): the
+   non-single-version protocols define their own read path and buffering
+   discipline, so they require invisible reads and write-back updates —
+   visible readers would bypass the multi-version snapshot rule, and
+   write-through's in-place mutation would be visible to commit-time-lock
+   readers that never consult orecs. *)
+
+type t =
+  | Single_version
+  | Multi_version of { depth : int }  (* committed versions kept per tvar *)
+  | Commit_time_lock
+
+let default = Single_version
+
+let depth_min = 1
+let depth_max = 64
+
+let validate = function
+  | Single_version | Commit_time_lock -> ()
+  | Multi_version { depth } ->
+      if depth < depth_min || depth > depth_max then
+        invalid_arg "Protocol.validate: multi-version depth out of range"
+
+let to_string = function
+  | Single_version -> "sv"
+  | Multi_version { depth } -> Printf.sprintf "mv%d" depth
+  | Commit_time_lock -> "ctl"
+
+(* Inverse of [to_string] plus forgiving aliases (the CLI's --protocol flag
+   round-trips through both, mirroring [Cm.of_string]). *)
+let of_string s =
+  let invalid message = Error (Printf.sprintf "%S: %s" s message) in
+  match s with
+  | "sv" | "single" | "single-version" -> Ok Single_version
+  | "ctl" | "commit-time-lock" | "norec" -> Ok Commit_time_lock
+  | "mv" | "multi-version" -> Ok (Multi_version { depth = 8 })
+  | _ -> (
+      match Scanf.sscanf_opt s "mv%d%!" Fun.id with
+      | Some depth ->
+          if depth < depth_min || depth > depth_max then
+            invalid
+              (Printf.sprintf "multi-version depth must be in [%d, %d]" depth_min depth_max)
+          else Ok (Multi_version { depth })
+      | None -> invalid "expected sv, mvDEPTH (e.g. mv8) or ctl")
+
+let equal a b =
+  match (a, b) with
+  | Single_version, Single_version | Commit_time_lock, Commit_time_lock -> true
+  | Multi_version { depth = d1 }, Multi_version { depth = d2 } -> d1 = d2
+  | _ -> false
+
+let is_multi_version = function Multi_version _ -> true | _ -> false
+let is_commit_time_lock = function Commit_time_lock -> true | _ -> false
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

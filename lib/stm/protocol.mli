@@ -1,0 +1,37 @@
+(** Per-partition concurrency-control protocol: the third tuning axis next
+    to read visibility and conflict-detection granularity (DESIGN.md §10).
+
+    [Single_version] is the historical timestamp protocol.
+    [Multi_version] keeps the last [depth] committed (version, value) pairs
+    per tvar so snapshot reads need never abort or validate.
+    [Commit_time_lock] value-validates reads against a per-partition
+    sequence lock taken only at commit (NOrec-style).
+
+    The non-single-version protocols require invisible reads and write-back
+    updates; [Mode.validate] enforces the composition rules. *)
+
+type t =
+  | Single_version
+  | Multi_version of { depth : int }
+      (** [depth] committed (version, value) pairs kept per tvar. *)
+  | Commit_time_lock
+
+val default : t
+(** [Single_version]. *)
+
+val depth_min : int
+val depth_max : int
+
+val validate : t -> unit
+(** Raises [Invalid_argument] when a multi-version depth is out of range. *)
+
+val to_string : t -> string
+(** ["sv"], ["mv<depth>"] or ["ctl"]. *)
+
+val of_string : string -> (t, string) result
+(** Inverse of {!to_string}, plus aliases ([single], [norec], bare [mv]). *)
+
+val equal : t -> t -> bool
+val is_multi_version : t -> bool
+val is_commit_time_lock : t -> bool
+val pp : Format.formatter -> t -> unit

@@ -34,7 +34,10 @@ let f_reader_conflicts = 6
 let f_validation_fails = 7
 let f_extensions = 8
 let f_mode_switches = 9
-let _field_count = 10  (* documentation: must stay <= stride *)
+let f_ro_aborts = 10
+let f_mv_hist_reads = 11
+let f_ctl_commits = 12
+let _field_count = 13  (* documentation: must stay <= stride *)
 
 type t = { data : int array; workers : int }
 
@@ -70,6 +73,9 @@ let incr_lock_conflicts s = bump s f_lock_conflicts 1
 let incr_reader_conflicts s = bump s f_reader_conflicts 1
 let incr_validation_fails s = bump s f_validation_fails 1
 let incr_extensions s = bump s f_extensions 1
+let incr_ro_aborts s = bump s f_ro_aborts 1
+let incr_mv_hist_reads s = bump s f_mv_hist_reads 1
+let incr_ctl_commits s = bump s f_ctl_commits 1
 
 (* Test/bench support: arbitrary additions to a stripe's counters. *)
 let add_commits s n = bump s f_commits n
@@ -82,6 +88,9 @@ let add_reader_conflicts s n = bump s f_reader_conflicts n
 let add_validation_fails s n = bump s f_validation_fails n
 let add_extensions s n = bump s f_extensions n
 let add_mode_switches s n = bump s f_mode_switches n
+let add_ro_aborts s n = bump s f_ro_aborts n
+let add_mv_hist_reads s n = bump s f_mv_hist_reads n
+let add_ctl_commits s n = bump s f_ctl_commits n
 
 (* The tuner is single-threaded and is the only writer of its dedicated
    stripe (index [workers]), keeping the single-writer-per-stripe
@@ -101,6 +110,9 @@ type snapshot = {
   s_validation_fails : int;
   s_extensions : int;
   s_mode_switches : int;
+  s_ro_aborts : int;
+  s_mv_hist_reads : int;
+  s_ctl_commits : int;
 }
 
 let empty_snapshot =
@@ -115,6 +127,9 @@ let empty_snapshot =
     s_validation_fails = 0;
     s_extensions = 0;
     s_mode_switches = 0;
+    s_ro_aborts = 0;
+    s_mv_hist_reads = 0;
+    s_ctl_commits = 0;
   }
 
 let snapshot t =
@@ -136,6 +151,34 @@ let snapshot t =
     s_validation_fails = sum f_validation_fails;
     s_extensions = sum f_extensions;
     s_mode_switches = sum f_mode_switches;
+    s_ro_aborts = sum f_ro_aborts;
+    s_mv_hist_reads = sum f_mv_hist_reads;
+    s_ctl_commits = sum f_ctl_commits;
+  }
+
+(* One stripe's counters in isolation.  Under the stripe-sum contract this
+   is the exact per-worker view once that worker's domain has been joined
+   (or, on the simulator, once its fiber has finished): the stripe has no
+   other writer.  The protocol bench uses it to attribute read-only-abort
+   counts to the auditor fibers specifically. *)
+let worker_snapshot t worker_id =
+  if worker_id < 0 || worker_id >= t.workers then
+    invalid_arg "Region_stats.worker_snapshot: worker_id out of range";
+  let get field = t.data.((worker_id * stride) + field) in
+  {
+    s_commits = get f_commits;
+    s_ro_commits = get f_ro_commits;
+    s_aborts = get f_aborts;
+    s_reads = get f_reads;
+    s_writes = get f_writes;
+    s_lock_conflicts = get f_lock_conflicts;
+    s_reader_conflicts = get f_reader_conflicts;
+    s_validation_fails = get f_validation_fails;
+    s_extensions = get f_extensions;
+    s_mode_switches = get f_mode_switches;
+    s_ro_aborts = get f_ro_aborts;
+    s_mv_hist_reads = get f_mv_hist_reads;
+    s_ctl_commits = get f_ctl_commits;
   }
 
 let diff ~current ~previous =
@@ -150,6 +193,9 @@ let diff ~current ~previous =
     s_validation_fails = current.s_validation_fails - previous.s_validation_fails;
     s_extensions = current.s_extensions - previous.s_extensions;
     s_mode_switches = current.s_mode_switches - previous.s_mode_switches;
+    s_ro_aborts = current.s_ro_aborts - previous.s_ro_aborts;
+    s_mv_hist_reads = current.s_mv_hist_reads - previous.s_mv_hist_reads;
+    s_ctl_commits = current.s_ctl_commits - previous.s_ctl_commits;
   }
 
 (* Callers must quiesce the writers first: a reset concurrent with a
@@ -170,6 +216,9 @@ let fields =
     ("validation_fails", fun s -> s.s_validation_fails);
     ("extensions", fun s -> s.s_extensions);
     ("mode_switches", fun s -> s.s_mode_switches);
+    ("ro_aborts", fun s -> s.s_ro_aborts);
+    ("mv_hist_reads", fun s -> s.s_mv_hist_reads);
+    ("ctl_commits", fun s -> s.s_ctl_commits);
   ]
 
 (* Derived metrics used by the tuner and the reports. *)
@@ -188,9 +237,22 @@ let write_ratio snap =
   let accesses = snap.s_reads + snap.s_writes in
   if accesses = 0 then 0.0 else float_of_int snap.s_writes /. float_of_int accesses
 
+(* Fraction of commits that were read-only: the tuner's primary signal for
+   proposing the multi-version protocol. *)
+let ro_commit_ratio snap =
+  if snap.s_commits = 0 then 0.0
+  else float_of_int snap.s_ro_commits /. float_of_int snap.s_commits
+
+(* Fraction of aborted attempts that were read-only at rollback time: the
+   waste the multi-version read path eliminates. *)
+let ro_abort_ratio snap =
+  if snap.s_aborts = 0 then 0.0
+  else float_of_int snap.s_ro_aborts /. float_of_int snap.s_aborts
+
 let pp_snapshot ppf s =
   Fmt.pf ppf
-    "commits=%d (ro=%d) aborts=%d reads=%d writes=%d lock_cf=%d reader_cf=%d val_fail=%d ext=%d \
-     switches=%d"
-    s.s_commits s.s_ro_commits s.s_aborts s.s_reads s.s_writes s.s_lock_conflicts
-    s.s_reader_conflicts s.s_validation_fails s.s_extensions s.s_mode_switches
+    "commits=%d (ro=%d) aborts=%d (ro=%d) reads=%d writes=%d lock_cf=%d reader_cf=%d val_fail=%d \
+     ext=%d switches=%d mv_hist=%d ctl=%d"
+    s.s_commits s.s_ro_commits s.s_aborts s.s_ro_aborts s.s_reads s.s_writes s.s_lock_conflicts
+    s.s_reader_conflicts s.s_validation_fails s.s_extensions s.s_mode_switches s.s_mv_hist_reads
+    s.s_ctl_commits

@@ -30,6 +30,9 @@ val incr_lock_conflicts : stripe -> unit
 val incr_reader_conflicts : stripe -> unit
 val incr_validation_fails : stripe -> unit
 val incr_extensions : stripe -> unit
+val incr_ro_aborts : stripe -> unit
+val incr_mv_hist_reads : stripe -> unit
+val incr_ctl_commits : stripe -> unit
 
 (** {1 Bulk additions} (tests and synthetic fills) *)
 
@@ -43,6 +46,9 @@ val add_reader_conflicts : stripe -> int -> unit
 val add_validation_fails : stripe -> int -> unit
 val add_extensions : stripe -> int -> unit
 val add_mode_switches : stripe -> int -> unit
+val add_ro_aborts : stripe -> int -> unit
+val add_mv_hist_reads : stripe -> int -> unit
+val add_ctl_commits : stripe -> int -> unit
 
 val record_mode_switch : t -> unit
 (** Count one tuner-applied reconfiguration.  Caller must be the
@@ -60,10 +66,17 @@ type snapshot = {
   s_validation_fails : int;
   s_extensions : int;
   s_mode_switches : int;
+  s_ro_aborts : int;  (** aborted attempts that had written nothing *)
+  s_mv_hist_reads : int;  (** reads served from a multi-version history *)
+  s_ctl_commits : int;  (** commits published under the sequence lock *)
 }
 
 val empty_snapshot : snapshot
 val snapshot : t -> snapshot
+
+(** One worker's stripe in isolation — exact once that worker's domain (or
+    fiber) has finished, by the single-writer-per-stripe contract. *)
+val worker_snapshot : t -> int -> snapshot
 val diff : current:snapshot -> previous:snapshot -> snapshot
 
 val reset : t -> unit
@@ -84,5 +97,11 @@ val update_txn_ratio : snapshot -> float
 
 val write_ratio : snapshot -> float
 (** writes / (reads + writes). *)
+
+val ro_commit_ratio : snapshot -> float
+(** ro_commits / commits, 0 when idle. *)
+
+val ro_abort_ratio : snapshot -> float
+(** ro_aborts / aborts, 0 when abort-free. *)
 
 val pp_snapshot : Format.formatter -> snapshot -> unit

@@ -14,6 +14,10 @@ type 'a t = {
   cell : 'a Atomic.t;
   mutable pending : 'a;
   mutable pending_owner : int;
+  mv : 'a Mv_history.state Atomic.t;
+      (* multi-version history; swapped only by the orec lock holder, read
+         race-free by snapshot readers (one Atomic.get yields a consistent
+         state) *)
 }
 
 let no_owner = -1
@@ -26,6 +30,7 @@ let make region initial =
     cell = Atomic.make initial;
     pending = initial;
     pending_owner = no_owner;
+    mv = Atomic.make Mv_history.initial;
   }
 
 let id t = t.id

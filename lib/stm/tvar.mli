@@ -6,6 +6,8 @@ type 'a t = {
   cell : 'a Atomic.t;  (** committed value *)
   mutable pending : 'a;  (** tentative value; owned by the lock holder *)
   mutable pending_owner : int;  (** descriptor id of the buffering writer *)
+  mv : 'a Mv_history.state Atomic.t;
+      (** multi-version history (swapped only by the orec lock holder) *)
 }
 
 val no_owner : int

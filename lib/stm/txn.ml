@@ -41,6 +41,15 @@ type region_entry = {
   mutable re_table : Lock_table.t;  (* cached at activation; stable while in-flight *)
   mutable re_visibility : Mode.read_visibility;
   mutable re_update : Mode.update_strategy;
+  mutable re_protocol : Protocol.t;  (* cached at activation, like the table *)
+  mutable re_mv_depth : int;  (* cached [Region.mv_depth]; 0 = not multi-version *)
+  mutable re_mv_epoch : int;  (* cached [Region.mv_epoch] *)
+  mutable re_ctl_snap : int;
+      (* commit-time-lock sequence snapshot this txn's reads in the region
+         are consistent with; -1 before the first such read *)
+  mutable re_ctl_held : int;
+      (* sequence value captured by a commit-time seqlock acquire, -1 when
+         not held; rollback must abandon, commit must release *)
   re_stripe : Region_stats.stripe;  (* stable: region stats outlive reconfigs *)
   mutable re_writes : int;  (* writes by this txn in this region *)
   mutable re_epoch : int;  (* txn epoch of last activation; see [enter_region] *)
@@ -83,6 +92,20 @@ type t = {
   vis_counters : int Atomic.t Vec.t;  (* held visible-reader counters *)
   writes : write_entry Vec.t;
   mutable last_serialization : int;  (* stamp of the last committed txn *)
+  (* -- Protocol state (DESIGN.md §10) --
+     [mv_stale]: some read was served from a multi-version history, so the
+     snapshot is frozen at [rv]: extension and writes must abort (only
+     read-only transactions benefit from history reads).  [mv_inhibit]
+     disables history serving for the descriptor's next attempts after an
+     abort while stale (prevents history-induced retry livelock); cleared
+     on success.  [commit_wv] carries the commit version into the
+     write-back closures (multi-version publish needs it).  [ctl_checks]
+     is the commit-time-lock read log: one value-revalidation closure per
+     such read. *)
+  mutable mv_stale : bool;
+  mutable mv_inhibit : bool;
+  mutable commit_wv : int;
+  ctl_checks : (unit -> bool) Vec.t;
   (* Indexed fast paths (engine.fast_index; DESIGN.md §3 "descriptor
      indexing").  Orecs are identified by [Lock_table.slot_key]; every
      index lookup and [own_bloom] test charges no simulated cycles, so
@@ -103,6 +126,7 @@ type t = {
 
 let dummy_atomic = Atomic.make 0
 let dummy_write = { w_commit = (fun () -> ()); w_reset = (fun () -> ()) }
+let dummy_check () = true
 
 (* Placeholder for [cur_stripe] before any region is activated; never
    written (guarded by [cur_epoch]).  Shared by all descriptors. *)
@@ -134,6 +158,10 @@ let create engine ~worker_id =
     vis_counters = Vec.create ~dummy:dummy_atomic ();
     writes = Vec.create ~dummy:dummy_write ();
     last_serialization = 0;
+    mv_stale = false;
+    mv_inhibit = false;
+    commit_wv = 0;
+    ctl_checks = Vec.create ~dummy:dummy_check ();
     indexed = engine.Engine.fast_index;
     read_keys = Vec.create ~dummy:0 ();
     read_index = Intmap.create ();
@@ -181,6 +209,11 @@ let activate t (e : region_entry) =
   e.re_table <- region.Region.table;
   e.re_visibility <- region.Region.visibility;
   e.re_update <- region.Region.update;
+  e.re_protocol <- region.Region.protocol;
+  e.re_mv_depth <- region.Region.mv_depth;
+  e.re_mv_epoch <- region.Region.mv_epoch;
+  e.re_ctl_snap <- -1;
+  e.re_ctl_held <- -1;
   e.re_writes <- 0;
   e.re_epoch <- t.txn_epoch;
   t.cur_region_id <- region.Region.id;
@@ -200,6 +233,11 @@ let rec find_entry t region = function
           re_table = region.Region.table;
           re_visibility = region.Region.visibility;
           re_update = region.Region.update;
+          re_protocol = region.Region.protocol;
+          re_mv_depth = region.Region.mv_depth;
+          re_mv_epoch = region.Region.mv_epoch;
+          re_ctl_snap = -1;
+          re_ctl_held = -1;
           re_stripe = Region_stats.stripe region.Region.stats t.worker_id;
           re_writes = 0;
           re_epoch = 0;
@@ -303,9 +341,69 @@ let record_validation_conflict t ~fallback_region ~failed_index =
   | Some (region, slot) -> record_conflict_raw t ~cause:Engine.Validation ~region ~slot
   | None -> record_conflict_raw t ~cause:Engine.Validation ~region:fallback_region ~slot:(-1)
 
+(* -- Commit-time-lock read-log validation ---------------------------------
+
+   The value-revalidation closures in [ctl_checks] prove the commit-time-
+   lock reads consistent *at the moment they all pass under stable sequence
+   words* (NOrec's invariant).  Joint validation samples every active
+   unheld commit-time-lock region's sequence word (even = no publish in
+   flight), runs all checks, and confirms the words did not move — on
+   success each entry's snapshot advances to the sampled value.  Entries
+   whose seqlock this transaction holds at commit are stable by
+   construction and skip the sampling. *)
+
+let ctl_is_active t (e : region_entry) =
+  e.re_epoch = t.txn_epoch && Protocol.is_commit_time_lock e.re_protocol && e.re_ctl_held < 0
+
+let rec ctl_sample_phase t spin_limit = function
+  | [] -> true
+  | e :: rest ->
+      if ctl_is_active t e then
+        match Seqlock.read_even e.re_region.Region.ctl_seq ~spin_limit with
+        | Some s ->
+            e.re_ctl_snap <- s;
+            ctl_sample_phase t spin_limit rest
+        | None -> false
+      else ctl_sample_phase t spin_limit rest
+
+let rec ctl_confirm_phase t = function
+  | [] -> true
+  | e :: rest ->
+      if ctl_is_active t e then
+        Seqlock.read e.re_region.Region.ctl_seq = e.re_ctl_snap && ctl_confirm_phase t rest
+      else ctl_confirm_phase t rest
+
+(* Seeded bug: the value checks pass vacuously — everywhere revalidation
+   runs (read mismatch, extension, commit).  Guarding only the commit-time
+   call would make the mutant unobservable: the acquire-time and read-path
+   extensions (which share this pass) close every window in which a torn
+   snapshot could form, leaving the commit-only skip with stale-but-
+   consistent snapshots that remain serializable. *)
+let ctl_run_checks t =
+  Bug.enabled Bug.Ctl_skip_validation || Vec.for_all (fun check -> check ()) t.ctl_checks
+
+let rec ctl_all_valid_aux t retries =
+  if retries > t.engine.Engine.sample_retry_limit then false
+  else if not (ctl_sample_phase t t.engine.Engine.sample_retry_limit t.entries) then false
+  else begin
+    Runtime_hook.charge (Runtime_hook.Step (Vec.length t.ctl_checks));
+    if not (ctl_run_checks t) then false
+    else if ctl_confirm_phase t t.entries then true
+    else begin
+      Runtime_hook.relax ();
+      ctl_all_valid_aux t (retries + 1)
+    end
+  end
+
+let ctl_all_valid t = Vec.is_empty t.ctl_checks || ctl_all_valid_aux t 0
+
 (* Timestamp extension: move [rv] forward to the current clock if nothing we
    read has changed meanwhile.  Called when a read (or an acquired lock)
-   exposes a version newer than [rv]. *)
+   exposes a version newer than [rv].  A transaction whose snapshot is
+   frozen by a multi-version history read cannot extend (the history read
+   is valid at [rv] only, and is not in the validatable read set), so it
+   aborts — and inhibits history serving for the retry, which otherwise
+   could freeze and abort again forever. *)
 let extend t (entry : region_entry) =
   let now = Engine.now t.engine in
   if now = t.rv then
@@ -316,11 +414,17 @@ let extend t (entry : region_entry) =
        the asymmetric unsound sibling: revalidating only entries logged
        since the last extension is NOT safe, because an old entry can be
        overwritten with a version in (rv, now] — see DESIGN.md §3.)  From
-       the current call sites this branch never fires — they all guard on
-       [version > rv], and a committed version is <= the clock — but it
-       makes coalescing explicit and keeps any future call site cheap. *)
+       the single-version call sites this branch never fires — they all
+       guard on [version > rv], and a committed version is <= the clock —
+       but the commit-time-lock read path can reach it, and it keeps
+       coalescing explicit and any future call site cheap. *)
     ()
-  else if Vec.is_empty t.read_words then
+  else if t.mv_stale then begin
+    Region_stats.incr_validation_fails entry.re_stripe;
+    record_conflict_raw t ~cause:Engine.Validation ~region:entry.re_region.Region.id ~slot:(-1);
+    raise Abort
+  end
+  else if Vec.is_empty t.read_words && Vec.is_empty t.ctl_checks then
     (* Nothing read invisibly yet: the snapshot can move forward for free
        (visible reads are 2PL-protected and need no revalidation). *)
     t.rv <- now
@@ -328,15 +432,22 @@ let extend t (entry : region_entry) =
     (* Seeded bug: extend without revalidating — zombie snapshots. *)
     t.rv <- now
   else begin
-    let failed = first_invalid t in
-    if failed < 0 then begin
-      Region_stats.incr_extensions entry.re_stripe;
-      t.rv <- now
-    end
-    else begin
+    let failed = if Vec.is_empty t.read_words then -1 else first_invalid t in
+    if failed >= 0 then begin
       Region_stats.incr_validation_fails entry.re_stripe;
       record_validation_conflict t ~fallback_region:entry.re_region.Region.id ~failed_index:failed;
       raise Abort
+    end
+    else if not (ctl_all_valid t) then begin
+      (* Moving [rv] forward moves the whole-transaction snapshot point, so
+         the value-logged commit-time-lock reads must also hold there. *)
+      Region_stats.incr_validation_fails entry.re_stripe;
+      record_conflict_raw t ~cause:Engine.Validation ~region:entry.re_region.Region.id ~slot:(-1);
+      raise Abort
+    end
+    else begin
+      Region_stats.incr_extensions entry.re_stripe;
+      t.rv <- now
     end
   end
 
@@ -352,6 +463,89 @@ let record_read t (entry : region_entry) ~slot ~version =
   | None -> ()
   | Some r -> r.Engine.rec_read ~txn:t.id ~region:entry.re_region.Region.id ~slot ~version
 
+(* Log an invisible read whose orec word [w1] has been double-sample
+   confirmed and whose validity at [rv] is established by the caller
+   (version <= rv, or a multi-version publish claim).  A successful
+   extension does NOT establish it — the extension validates only the
+   already-logged set, so callers must re-sample after extending rather
+   than log a pre-extension word.  Shared tail of the single-version and
+   multi-version paths. *)
+let log_invisible_read t (entry : region_entry) ~slot (word : int Atomic.t) w1 =
+  (* Reads covered by an already-logged orec need no new log entry —
+     this is what makes coarse granularity cheap for scan-style
+     transactions.  Indexed mode suppresses duplicates anywhere in
+     the read set (alternating reads over two coarse orecs no longer
+     double the set per iteration); this is sound because at this
+     point the word is known valid at [rv], and by clock monotonicity the
+     logged observation of the same orec at [<= rv] must be the identical
+     word — a later committed version would carry a tick past the
+     validation that moved [rv].  The equality check keeps the dedup
+     conservative anyway (under seeded zombie bugs a mismatch
+     appends, so validation still sees the stale entry and fails as
+     it should).  The baseline collapses only consecutive
+     duplicates, as historically. *)
+  let fresh =
+    if t.indexed then begin
+      let key = Lock_table.slot_key entry.re_table slot in
+      let i = Intmap.find t.read_index key in
+      if i >= 0 && Vec.get t.read_observed i = w1 then false
+      else begin
+        Intmap.set t.read_index key (Vec.length t.read_words);
+        Vec.push t.read_keys key;
+        true
+      end
+    end
+    else
+      let n = Vec.length t.read_words in
+      n = 0 || not (Vec.get t.read_words (n - 1) == word && Vec.get t.read_observed (n - 1) = w1)
+  in
+  if fresh then begin
+    Vec.push t.read_words word;
+    Vec.push t.read_observed w1;
+    (* Keep the conflict-attribution log in lockstep with the read
+       set, but only while someone is listening. *)
+    match t.engine.Engine.recorder with
+    | None -> ()
+    | Some _ ->
+        Vec.push t.read_regions entry.re_region.Region.id;
+        Vec.push t.read_slots slot
+  end;
+  record_read t entry ~slot ~version:(Orec.version w1)
+
+(* Serve a read from the tvar's multi-version history: the newest committed
+   value published at or before [rv] (DESIGN.md §10.1).  Only worthwhile
+   when the caller saw an orec version beyond [rv] (otherwise the current
+   value is the snapshot value).  The served value is NOT in the validatable
+   read set, so taking this path freezes the snapshot ([mv_stale]): it is
+   reserved for transactions that are read-only so far and stay so — writes
+   and extension abort once stale.  The [Mv_skip_stale_check] seeded bug
+   drops exactly that discipline.  [None] = fall back to extension. *)
+let mv_history_read : type a. t -> region_entry -> a Mv_history.state -> a option =
+ fun t entry st ->
+  let buggy = Bug.enabled Bug.Mv_skip_stale_check in
+  if t.mv_inhibit then None
+  else if st.Mv_history.mv_epoch <> entry.re_mv_epoch then
+    (* History from a previous protocol phase: commits made while the
+       region ran another protocol never reached it, so its entries'
+       validity windows are broken — no claims until a writer rebuilds
+       it under the current epoch. *)
+    None
+  else if (not buggy) && not (Vec.is_empty t.writes && Vec.is_empty t.ctl_checks) then None
+  else begin
+    Runtime_hook.charge (Runtime_hook.Step 1);
+    match Mv_history.find st ~at:t.rv with
+    | None -> None
+    | Some (version, value) ->
+        if not buggy then t.mv_stale <- true;
+        Region_stats.incr_mv_hist_reads entry.re_stripe;
+        (* slot -1: not an orec-versioned observation — the opacity oracle
+           skips it (its validity window is the history entry's, not the
+           slot's; see DESIGN.md §10.4). *)
+        record_read t entry ~slot:(-1) ~version;
+        Some value
+  end
+
+
 (* Top-level recursion: one call per invisible read on the zero-allocation
    fast path; a local [let rec sample] closure over [t]/[entry]/[tvar]/
    [word] would allocate on every read. *)
@@ -365,6 +559,19 @@ let rec invisible_sample : type a.
       (* We hold the write lock covering this tvar (a co-located write):
          the committed cell is stable under our lock; no logging needed. *)
       Atomic.get tvar.Tvar.cell
+    else if entry.re_mv_depth > 0 then begin
+      (* Multi-version region: wait out the in-flight writer instead of
+         aborting.  Once the lock is released the slot either carries a
+         version <= [rv] (read directly) or the writer has retired the
+         rv-valid value into the history (served below).  Serving history
+         *while* the lock is held would be unsound — the in-flight commit's
+         wv may be <= our rv, making the retired entry's validity window
+         already closed at [rv].  The wait shares the CAS-race retry
+         budget, and writers never spin on locks, so no cycle can form;
+         on budget exhaustion this degrades to the historical abort. *)
+      Runtime_hook.relax ();
+      invisible_sample t entry tvar ~slot word (retries + 1)
+    end
     else lock_conflict t entry ~slot
   else begin
     let value = Atomic.get tvar.Tvar.cell in
@@ -373,50 +580,47 @@ let rec invisible_sample : type a.
       Runtime_hook.relax ();
       invisible_sample t entry tvar ~slot word (retries + 1)
     end
-    else begin
-        if Orec.version w1 > t.rv then extend t entry;
-        (* Reads covered by an already-logged orec need no new log entry —
-           this is what makes coarse granularity cheap for scan-style
-           transactions.  Indexed mode suppresses duplicates anywhere in
-           the read set (alternating reads over two coarse orecs no longer
-           double the set per iteration); this is sound because at this
-           point [version w1 <= rv], and by clock monotonicity the logged
-           observation of the same orec at [<= rv] must be the identical
-           word — a later committed version would carry a tick past the
-           validation that moved [rv].  The equality check keeps the dedup
-           conservative anyway (under seeded zombie bugs a mismatch
-           appends, so validation still sees the stale entry and fails as
-           it should).  The baseline collapses only consecutive
-           duplicates, as historically. *)
-        let fresh =
-          if t.indexed then begin
-            let key = Lock_table.slot_key entry.re_table slot in
-            let i = Intmap.find t.read_index key in
-            if i >= 0 && Vec.get t.read_observed i = w1 then false
-            else begin
-              Intmap.set t.read_index key (Vec.length t.read_words);
-              Vec.push t.read_keys key;
-              true
-            end
-          end
-          else
-            let n = Vec.length t.read_words in
-            n = 0
-            || not (Vec.get t.read_words (n - 1) == word && Vec.get t.read_observed (n - 1) = w1)
-        in
-        if fresh then begin
-          Vec.push t.read_words word;
-          Vec.push t.read_observed w1;
-          (* Keep the conflict-attribution log in lockstep with the read
-             set, but only while someone is listening. *)
-          match t.engine.Engine.recorder with
-          | None -> ()
-          | Some _ ->
-              Vec.push t.read_regions entry.re_region.Region.id;
-              Vec.push t.read_slots slot
-        end;
-        record_read t entry ~slot ~version:(Orec.version w1);
+    else if Orec.version w1 <= t.rv then begin
+      log_invisible_read t entry ~slot word w1;
+      value
+    end
+    else if entry.re_mv_depth > 0 then begin
+      (* Multi-version region and the orec has moved past our snapshot.
+         Two rescues before falling back to extension:
+         - The tvar's own publish version may still be <= [rv] (the orec is
+           newer only through slot sharing): the current value IS the
+           snapshot value, and is logged like a normal read — validation
+           covers it, no freeze needed.
+         - Otherwise the history may hold the value that was current at
+           [rv] (read-only path; freezes the snapshot). *)
+      let st = Atomic.get tvar.Tvar.mv in
+      if st.Mv_history.mv_epoch = entry.re_mv_epoch && st.Mv_history.mv_version <= t.rv then begin
+        Region_stats.incr_mv_hist_reads entry.re_stripe;
+        log_invisible_read t entry ~slot word w1;
         value
+      end
+      else
+        match mv_history_read t entry st with
+        | Some served -> served
+        | None ->
+            (* Extension moves [rv] to "now", but [w1]/[value] predate it:
+               anything that yielded since the double sample (the history
+               probe charges a step) can hide a commit with wv <= now on
+               this very slot, making the sample stale at the new [rv].
+               Never log a pre-extension sample — extend, then redo the
+               read under the advanced snapshot (TinySTM restarts the load
+               after extension for the same reason). *)
+            extend t entry;
+            invisible_sample t entry tvar ~slot word (retries + 1)
+    end
+    else begin
+      (* Same rule as the multi-version fallback above: extend first, then
+         re-sample — the pre-extension sample may be stale at the new
+         [rv].  (The single-version path has no yield between sample and
+         extension under the simulator, but the domains backend has no
+         such atomicity, so the re-sample is load-bearing there.) *)
+      extend t entry;
+      invisible_sample t entry tvar ~slot word (retries + 1)
     end
   end
 
@@ -466,6 +670,75 @@ let read_visible (type a) t (entry : region_entry) (tvar : a Tvar.t) ~(table : L
     end
   end
 
+(* Commit-time-lock read (DESIGN.md §10.2): no orec sampling, no read-set
+   entry — the value is read under a stable (even, unchanged) region
+   sequence word and logged as a value-revalidation closure.  All reads
+   under one snapshot value of the sequence word are mutually consistent
+   (no commit published between them); when the word has moved since this
+   transaction's snapshot, a joint revalidation (orec read set via
+   extension + value checks) re-anchors the snapshot before the read is
+   retried.  Top-level recursion, like [invisible_sample]. *)
+let rec ctl_sample : type a. t -> region_entry -> a Tvar.t -> slot:int -> int -> a =
+ fun t entry tvar ~slot retries ->
+  if retries > t.engine.Engine.sample_retry_limit then lock_conflict t entry ~slot;
+  let seq = entry.re_region.Region.ctl_seq in
+  let s1 = Seqlock.read seq in
+  if Seqlock.is_locked s1 then begin
+    Runtime_hook.relax ();
+    ctl_sample t entry tvar ~slot (retries + 1)
+  end
+  else begin
+    let value = Atomic.get tvar.Tvar.cell in
+    let s2 = Seqlock.read seq in
+    if s2 <> s1 then begin
+      Runtime_hook.relax ();
+      ctl_sample t entry tvar ~slot (retries + 1)
+    end
+    else if entry.re_ctl_snap >= 0 && entry.re_ctl_snap <> s1 then begin
+      (* The region committed past our snapshot: move the whole-transaction
+         snapshot point forward (validating every read, both logs), then
+         re-sample. *)
+      let now = Engine.now t.engine in
+      if now > t.rv then extend t entry
+      else if not (ctl_all_valid t) then begin
+        Region_stats.incr_validation_fails entry.re_stripe;
+        record_conflict_raw t ~cause:Engine.Validation ~region:entry.re_region.Region.id
+          ~slot:(-1);
+        raise Abort
+      end;
+      ctl_sample t entry tvar ~slot (retries + 1)
+    end
+    else begin
+      if entry.re_ctl_snap < 0 then begin
+        entry.re_ctl_snap <- s1;
+        (* Couple the fresh region snapshot to the orec snapshot: the orec
+           read set must be valid at (or after) the moment the sequence
+           word was sampled, otherwise a commit between [rv] and now could
+           be half-visible (in this value, not in earlier reads). *)
+        if Engine.now t.engine > t.rv then extend t entry
+      end;
+      Vec.push t.ctl_checks (fun () -> Atomic.get tvar.Tvar.cell == value);
+      (* slot -1: value-validated, not orec-versioned — the opacity oracle
+         skips it (ABA makes value validation and version claims
+         incomparable; see DESIGN.md §10.4). *)
+      record_read t entry ~slot:(-1) ~version:s1;
+      value
+    end
+  end
+
+let read_ctl t (entry : region_entry) tvar ~slot =
+  Runtime_hook.charge Runtime_hook.Read_invisible;
+  if t.mv_stale then begin
+    (* A frozen multi-version snapshot cannot absorb value-validated reads
+       (they are only provably valid "now", not at [rv]).  Abort and
+       inhibit history serving so the retry takes the orec path. *)
+    t.mv_inhibit <- true;
+    Region_stats.incr_validation_fails entry.re_stripe;
+    record_conflict_raw t ~cause:Engine.Validation ~region:entry.re_region.Region.id ~slot:(-1);
+    raise Abort
+  end;
+  ctl_sample t entry tvar ~slot 0
+
 let read t (tvar : 'a Tvar.t) : 'a =
   check_active t "Txn.read";
   let entry = enter_region t tvar.Tvar.region in
@@ -475,9 +748,14 @@ let read t (tvar : 'a Tvar.t) : 'a =
     let table = entry.re_table in
     let slot = Lock_table.slot_of_id table tvar.Tvar.id in
     let word = Lock_table.word table slot in
-    match entry.re_visibility with
-    | Mode.Invisible -> read_invisible t entry tvar ~slot word
-    | Mode.Visible -> read_visible t entry tvar ~table ~slot word
+    if Protocol.is_commit_time_lock entry.re_protocol then begin
+      ignore word;
+      read_ctl t entry tvar ~slot
+    end
+    else
+      match entry.re_visibility with
+      | Mode.Invisible -> read_invisible t entry tvar ~slot word
+      | Mode.Visible -> read_visible t entry tvar ~table ~slot word
   end
 
 (* -- Writes --------------------------------------------------------------- *)
@@ -546,8 +824,35 @@ let record_write t (entry : region_entry) ~slot =
   | None -> ()
   | Some r -> r.Engine.rec_write ~txn:t.id ~region:entry.re_region.Region.id ~slot
 
+(* First write to a multi-version tvar: retire the committed value into the
+   history (it is about to be superseded), rebuilding first when the state
+   is from an earlier configuration period.  Runs under the orec write
+   lock, so the state swap races with no one. *)
+let mv_retire (type a) t (entry : region_entry) (tvar : a Tvar.t) =
+  Runtime_hook.charge (Runtime_hook.Step 1);
+  let st = Atomic.get tvar.Tvar.mv in
+  let st =
+    if st.Mv_history.mv_epoch = entry.re_mv_epoch then st
+    else
+      (* Stale period: the history was not maintained, so the publish
+         version of the current value is unknown.  Claim "now" — an
+         overstatement that only ever sends readers to the fallback path,
+         never to a wrong value. *)
+      Mv_history.rebuild ~epoch:entry.re_mv_epoch ~version:(Engine.now t.engine)
+  in
+  let current = Atomic.get tvar.Tvar.cell in
+  Atomic.set tvar.Tvar.mv
+    (Mv_history.retire st ~epoch:entry.re_mv_epoch ~depth:entry.re_mv_depth ~current)
+
 let write (type a) t (tvar : a Tvar.t) (value : a) =
   check_active t "Txn.write";
+  if t.mv_stale then begin
+    (* The snapshot is frozen by a history read and a commit could not
+       validate it: abort now, and inhibit history serving for the retry. *)
+    t.mv_inhibit <- true;
+    record_conflict_raw t ~cause:Engine.Validation ~region:(fallback_region_id t) ~slot:(-1);
+    raise Abort
+  end;
   let entry = enter_region t tvar.Tvar.region in
   Region_stats.incr_writes entry.re_stripe;
   entry.re_writes <- entry.re_writes + 1;
@@ -563,15 +868,35 @@ let write (type a) t (tvar : a Tvar.t) (value : a) =
         record_write t entry ~slot;
         tvar.Tvar.pending <- value;
         tvar.Tvar.pending_owner <- t.id;
-        Vec.push t.writes
-          {
-            w_commit =
-              (fun () ->
-                Runtime_hook.charge Runtime_hook.Write_entry;
-                Atomic.set tvar.Tvar.cell tvar.Tvar.pending;
-                tvar.Tvar.pending_owner <- Tvar.no_owner);
-            w_reset = (fun () -> tvar.Tvar.pending_owner <- Tvar.no_owner);
-          }
+        if entry.re_mv_depth > 0 then begin
+          mv_retire t entry tvar;
+          Vec.push t.writes
+            {
+              w_commit =
+                (fun () ->
+                  Runtime_hook.charge Runtime_hook.Write_entry;
+                  Atomic.set tvar.Tvar.cell tvar.Tvar.pending;
+                  (* Publish order matters for the snapshot rule: the new
+                     cell value must not be observable with the old
+                     [mv_version] past the orec release, and both stores
+                     happen under the still-held orec lock, so readers
+                     whose double sample brackets them retry. *)
+                  Atomic.set tvar.Tvar.mv
+                    (Mv_history.published (Atomic.get tvar.Tvar.mv) ~version:t.commit_wv);
+                  tvar.Tvar.pending_owner <- Tvar.no_owner);
+              w_reset = (fun () -> tvar.Tvar.pending_owner <- Tvar.no_owner);
+            }
+        end
+        else
+          Vec.push t.writes
+            {
+              w_commit =
+                (fun () ->
+                  Runtime_hook.charge Runtime_hook.Write_entry;
+                  Atomic.set tvar.Tvar.cell tvar.Tvar.pending;
+                  tvar.Tvar.pending_owner <- Tvar.no_owner);
+              w_reset = (fun () -> tvar.Tvar.pending_owner <- Tvar.no_owner);
+            }
       end
   | Mode.Write_through ->
       (* Write in place under the lock; log the previous value for undo.
@@ -621,11 +946,14 @@ let begin_txn t =
   Vec.clear t.lock_prev;
   Vec.clear t.vis_counters;
   Vec.clear t.writes;
+  Vec.clear t.ctl_checks;
   Vec.clear t.read_keys;
   Intmap.clear t.read_index;
   Intmap.clear t.lock_index;
   Intmap.clear t.vis_index;
   t.own_bloom <- 0;
+  t.mv_stale <- false;
+  t.commit_wv <- 0;
   t.rv <- Engine.now t.engine;
   t.active <- true;
   match t.engine.Engine.recorder with
@@ -647,6 +975,7 @@ let release_references t =
   Vec.wipe t.lock_words;
   Vec.wipe t.vis_counters;
   Vec.wipe t.writes;
+  Vec.wipe t.ctl_checks;
   (* Deactivate every pooled region entry in O(1): stale epochs read as
      inactive.  The entries themselves stay — that is the pool. *)
   t.txn_epoch <- t.txn_epoch + 1
@@ -658,9 +987,10 @@ let release_references t =
 let debug_resident t =
   let active = List.fold_left (fun n e -> if e.re_epoch = t.txn_epoch then n + 1 else n) 0 t.entries in
   Vec.resident t.read_words + Vec.resident t.lock_words + Vec.resident t.vis_counters
-  + Vec.resident t.writes + active
+  + Vec.resident t.writes + Vec.resident t.ctl_checks + active
 
 let finalize_success t =
+  t.mv_inhibit <- false;
   release_visible_holds t;
   iter_active_entries t (fun e ->
       Region_stats.incr_commits e.re_stripe;
@@ -674,6 +1004,49 @@ let record_commit t ~stamp =
   | None -> ()
   | Some r -> r.Engine.rec_commit ~txn:t.id ~stamp
 
+(* Commit-time seqlock acquisition for every commit-time-lock region this
+   transaction wrote.  On failure the abort path abandons whatever was
+   already captured.  Quiescence guarantees the tuner never reconfigures
+   while a holder is in flight, so a held word cannot outlive its region's
+   commit-time-lock period. *)
+let rec ctl_acquire_writes t = function
+  | [] -> ()
+  | e :: rest ->
+      if
+        e.re_epoch = t.txn_epoch
+        && Protocol.is_commit_time_lock e.re_protocol
+        && e.re_writes > 0
+      then begin
+        match
+          Seqlock.acquire e.re_region.Region.ctl_seq
+            ~spin_limit:t.engine.Engine.sample_retry_limit
+        with
+        | Some captured ->
+            e.re_ctl_held <- captured;
+            ctl_acquire_writes t rest
+        | None -> lock_conflict t e ~slot:(-1)
+      end
+      else ctl_acquire_writes t rest
+
+let rec ctl_release_held t = function
+  | [] -> ()
+  | e :: rest ->
+      if e.re_epoch = t.txn_epoch && e.re_ctl_held >= 0 then begin
+        Seqlock.release e.re_region.Region.ctl_seq ~captured:e.re_ctl_held;
+        e.re_ctl_held <- -1;
+        Region_stats.incr_ctl_commits e.re_stripe
+      end;
+      ctl_release_held t rest
+
+let rec ctl_abandon_held t = function
+  | [] -> ()
+  | e :: rest ->
+      if e.re_epoch = t.txn_epoch && e.re_ctl_held >= 0 then begin
+        Seqlock.abandon e.re_region.Region.ctl_seq ~captured:e.re_ctl_held;
+        e.re_ctl_held <- -1
+      end;
+      ctl_abandon_held t rest
+
 let commit t =
   if Vec.is_empty t.writes then begin
     t.last_serialization <- t.rv;
@@ -685,26 +1058,48 @@ let commit t =
     (match t.engine.Engine.recorder with
     | None -> ()
     | Some r -> r.Engine.rec_commit_begin ~txn:t.id);
+    (* Written commit-time-lock regions: take the sequence lock before the
+       clock tick, so a reader that observes the released (even) word also
+       observes a clock past [wv] — seeing the word move implies the
+       commit is complete. *)
+    ctl_acquire_writes t t.entries;
     let wv = Engine.tick t.engine in
     let skip_validation =
-      (* [wv = rv + 1]: no one committed since our snapshot, nothing to
-         validate.  The seeded bug skips the check unconditionally. *)
+      (* [wv = rv + 1]: no one committed since our snapshot — in any
+         region, so the value-logged commit-time-lock reads are also still
+         current — and there is nothing to validate.  The seeded bug skips
+         the check unconditionally. *)
       wv = t.rv + 1 || Bug.enabled Bug.Skip_commit_validation
     in
-    (if not skip_validation then
+    (if not skip_validation then begin
        let failed = first_invalid t in
        if failed >= 0 then begin
          if t.cur_epoch = t.txn_epoch then Region_stats.incr_validation_fails t.cur_stripe;
          record_validation_conflict t ~fallback_region:(fallback_region_id t) ~failed_index:failed;
          raise Abort
-       end);
+       end;
+       (* Value-revalidate the commit-time-lock read log (entries whose
+          seqlock we hold are stable without sampling).  The
+          [Ctl_skip_validation] seeded bug blanks the shared check pass
+          inside [ctl_run_checks]. *)
+       if not (ctl_all_valid t) then begin
+         if t.cur_epoch = t.txn_epoch then Region_stats.incr_validation_fails t.cur_stripe;
+         record_conflict_raw t ~cause:Engine.Validation ~region:(fallback_region_id t)
+           ~slot:(-1);
+         raise Abort
+       end
+     end);
     (* Publish + release are not abortable: once the first buffered value
        lands, the only way forward is completion, so the phase is masked
-       against fault injection. *)
+       against fault injection.  Held sequence locks are released last:
+       their release is what tells value-validating readers that the
+       region's cells are stable again. *)
+    t.commit_wv <- wv;
     Runtime_hook.critical (fun () ->
         Vec.iter (fun we -> we.w_commit ()) t.writes;
         let released = Orec.make_version wv in
-        Vec.iter (fun word -> Atomic.set word released) t.lock_words);
+        Vec.iter (fun word -> Atomic.set word released) t.lock_words;
+        ctl_release_held t t.entries);
     t.last_serialization <- wv;
     record_commit t ~stamp:wv;
     finalize_success t
@@ -722,11 +1117,27 @@ let rollback t =
           (Vec.get t.writes i).w_reset ()
         done;
       Vec.iteri (fun i word -> Atomic.set word (Vec.get t.lock_prev i)) t.lock_words;
+      (* Sequence locks captured by an aborted commit: nothing was
+         published, so restoring the captured even value keeps every
+         reader snapshot taken under it valid. *)
+      ctl_abandon_held t t.entries;
       release_visible_holds t);
   (match t.engine.Engine.recorder with
   | None -> ()
   | Some r -> r.Engine.rec_abort ~txn:t.id);
-  iter_active_entries t (fun e -> Region_stats.incr_aborts e.re_stripe);
+  (* One-attempt inhibit: an abort while the snapshot was frozen disables
+     history serving for the retry (freezing at the same read and aborting
+     again is the one deterministic loop the single-version path cannot
+     have).  An abort of an attempt that was *not* frozen — including an
+     already-inhibited attempt failing ordinary validation — clears the
+     inhibit: that failure is plain single-version contention, and the next
+     attempt deserves the history path again.  Without the reset, one cold
+     freeze-miss at startup would condemn a reader to single-version
+     behaviour until its first successful commit. *)
+  t.mv_inhibit <- t.mv_stale;
+  iter_active_entries t (fun e ->
+      Region_stats.incr_aborts e.re_stripe;
+      if e.re_writes = 0 then Region_stats.incr_ro_aborts e.re_stripe);
   release_references t;
   Engine.leave t.engine;
   t.active <- false;
@@ -787,4 +1198,5 @@ let rec atomically_loop : type a. t -> (t -> a) -> a =
 let atomically t f =
   if t.active then invalid_arg "Txn.atomically: transactions do not nest";
   t.attempt <- 0;
+  t.mv_inhibit <- false;
   atomically_loop t f

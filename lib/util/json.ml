@@ -241,6 +241,33 @@ let of_string input =
     else Ok value
   with Parse_error message -> Error message
 
+(* -- Merging ----------------------------------------------------------------- *)
+
+(* Right-biased recursive object merge with a stable, deterministic key
+   order: keys already in [base] keep their position (objects merged
+   recursively, anything else replaced by [update]'s value); keys new in
+   [update] are appended in [update]'s order.  Non-object values take
+   [update].  Writing a bench arm's report through [merge] over the
+   committed BENCH_*.json therefore refreshes that arm's keys without
+   clobbering keys another arm wrote, and re-running the same arms
+   reproduces the file byte for byte. *)
+let rec merge base update =
+  match (base, update) with
+  | Obj base_fields, Obj update_fields ->
+      let merged =
+        List.map
+          (fun (key, base_value) ->
+            match List.assoc_opt key update_fields with
+            | Some update_value -> (key, merge base_value update_value)
+            | None -> (key, base_value))
+          base_fields
+      in
+      let appended =
+        List.filter (fun (key, _) -> not (List.mem_assoc key base_fields)) update_fields
+      in
+      Obj (merged @ appended)
+  | _, update -> update
+
 (* -- Accessors (for tests and report consumers) ------------------------------ *)
 
 let member key = function Obj fields -> List.assoc_opt key fields | _ -> None

@@ -16,6 +16,13 @@ val to_string : t -> string
 val of_string : string -> (t, string) result
 (** Parse a complete JSON document (trailing garbage is an error). *)
 
+val merge : t -> t -> t
+(** [merge base update]: right-biased recursive object merge with a stable
+    key order — [base]'s keys keep their position (objects merged
+    recursively, other values replaced), [update]'s new keys are appended
+    in order; non-object values take [update]. Lets a bench arm refresh
+    its keys in a committed report without clobbering other arms'. *)
+
 val member : string -> t -> t option
 val to_list : t -> t list option
 val to_float : t -> float option

@@ -82,7 +82,8 @@ let test_registry_report_shares () =
 let config = Tuning_policy.default_config
 
 let snapshot ?(commits = 1000) ?(ro_commits = 0) ?(aborts = 0) ?(reads = 10_000) ?(writes = 1000)
-    ?(lock_conflicts = 0) ?(reader_conflicts = 0) ?(validation_fails = 0) ?(extensions = 0) () =
+    ?(lock_conflicts = 0) ?(reader_conflicts = 0) ?(validation_fails = 0) ?(extensions = 0)
+    ?(ro_aborts = 0) () =
   {
     Region_stats.s_commits = commits;
     s_ro_commits = ro_commits;
@@ -94,6 +95,9 @@ let snapshot ?(commits = 1000) ?(ro_commits = 0) ?(aborts = 0) ?(reads = 10_000)
     s_validation_fails = validation_fails;
     s_extensions = extensions;
     s_mode_switches = 0;
+    s_ro_aborts = ro_aborts;
+    s_mv_hist_reads = 0;
+    s_ctl_commits = 0;
   }
 
 let decide ?(tvars = 100_000) ~current delta =
@@ -121,9 +125,17 @@ let test_policy_switch_to_visible () =
        (snapshot ~commits:1000 ~ro_commits:300 ~aborts:400 ~validation_fails:250 ()))
 
 let test_policy_no_visible_when_read_mostly () =
-  expect_keep "read mostly stays invisible"
-    (decide ~current:(invisible 10)
-       (snapshot ~commits:1000 ~ro_commits:950 ~aborts:300 ~validation_fails:200 ()))
+  (* Read-mostly with wasted validations must never go visible; the
+     protocol arm instead moves it to multi-version, where read-only
+     transactions stop validating altogether. *)
+  match
+    decide ~current:(invisible 10)
+      (snapshot ~commits:1000 ~ro_commits:950 ~aborts:300 ~validation_fails:200 ())
+  with
+  | Tuning_policy.Switch m ->
+      check Alcotest.bool "stays invisible" true (m.Mode.visibility = Mode.Invisible);
+      check Alcotest.bool "multi-version" true (Protocol.is_multi_version m.Mode.protocol)
+  | Tuning_policy.Keep -> Alcotest.fail "expected a multi-version switch"
 
 let test_policy_no_visible_without_wasted_work () =
   (* aborts put the rate in the granularity dead zone so only the
@@ -142,7 +154,10 @@ let test_policy_visible_hysteresis () =
   expect_keep "invisible stays" (decide ~current:(invisible 10) middling)
 
 let test_policy_coarsen_small_hot_region () =
-  expect_switch "coarsen" (invisible 6)
+  (* A small, hot, update-heavy region coarsens AND moves to commit-time
+     locking (it also satisfies the protocol arm's entry gate). *)
+  expect_switch "coarsen"
+    { (invisible 6) with Mode.protocol = Protocol.Commit_time_lock }
     (decide ~tvars:16 ~current:(invisible 10)
        (snapshot ~commits:1000 ~ro_commits:600 ~aborts:700 ~lock_conflicts:700 ~writes:4000 ()))
 
@@ -155,9 +170,18 @@ let test_policy_large_hot_region_refines () =
        (snapshot ~commits:1000 ~ro_commits:600 ~aborts:700 ~lock_conflicts:700 ~writes:4000 ()))
 
 let test_policy_no_coarsen_single_write_txns () =
-  expect_keep "single-write txns stay fine"
-    (decide ~tvars:16 ~current:(invisible 10)
-       (snapshot ~commits:1000 ~ro_commits:600 ~aborts:700 ~lock_conflicts:700 ~writes:400 ()))
+  (* Single-write transactions gain nothing from a coarse table, so the
+     granularity must not move; the commit-time-lock arm may still claim
+     the small hot region. *)
+  match
+    decide ~tvars:16 ~current:(invisible 10)
+      (snapshot ~commits:1000 ~ro_commits:600 ~aborts:700 ~lock_conflicts:700 ~writes:400 ())
+  with
+  | Tuning_policy.Keep -> ()
+  | Tuning_policy.Switch m ->
+      check Alcotest.int "granularity unchanged" 10 m.Mode.granularity_log2;
+      check Alcotest.bool "only the protocol moved" true
+        (Protocol.is_commit_time_lock m.Mode.protocol)
 
 let test_policy_refine_when_quiet () =
   (* A quiet writing partition refines (and may also pick write-through —
@@ -203,10 +227,14 @@ let test_policy_no_write_through_for_readonly () =
   | Tuning_policy.Keep -> ()
 
 let test_policy_bounds_respected () =
-  (* Already at the coarsest: no further coarsening. *)
-  expect_keep "floor"
-    (decide ~tvars:16 ~current:(invisible 0)
-       (snapshot ~commits:1000 ~ro_commits:600 ~aborts:700 ~lock_conflicts:700 ~writes:4000 ()));
+  (* Already at the coarsest: no further coarsening (the protocol arm may
+     still fire on the same pressure signal). *)
+  (match
+     decide ~tvars:16 ~current:(invisible 0)
+       (snapshot ~commits:1000 ~ro_commits:600 ~aborts:700 ~lock_conflicts:700 ~writes:4000 ())
+   with
+  | Tuning_policy.Keep -> ()
+  | Tuning_policy.Switch m -> check Alcotest.int "floor" 0 m.Mode.granularity_log2);
   (* Already at the finest (pure reader, so no other knob fires): no
      further refinement. *)
   expect_keep "ceiling"

@@ -218,7 +218,10 @@ let test_region_stats_diff_roundtrip () =
     Region_stats.add_reader_conflicts stripe (base + 6);
     Region_stats.add_validation_fails stripe (base + 7);
     Region_stats.add_extensions stripe (base + 8);
-    Region_stats.add_mode_switches stripe (base + 9)
+    Region_stats.add_mode_switches stripe (base + 9);
+    Region_stats.add_ro_aborts stripe (base + 10);
+    Region_stats.add_mv_hist_reads stripe (base + 11);
+    Region_stats.add_ctl_commits stripe (base + 12)
   in
   fill (Region_stats.stripe stats 0) 10;
   fill (Region_stats.stripe stats 2) 100;
