@@ -21,6 +21,7 @@ let experiments =
     ("a2", "ablation: cost-model sensitivity", Exp_a2.run);
     ("a3", "ablation: write-back vs write-through", Exp_a3.run);
     ("o1", "observability: tracing & profiling overhead", Exp_o1.run);
+    ("obs2", "observability: always-on metrics-plane overhead", Exp_obs2.run);
     ("p1", "descriptor fast-path per-op cost & schedule equivalence", Exp_p1.run);
     ("d1", "domains hardware scaling: padded vs boxed (BENCH_D1.json)", Exp_d1.run);
     ("m1", "protocol comparison: sv / mv / ctl + tuner autonomy (BENCH_M1.json)", Exp_m1.run);
@@ -55,7 +56,7 @@ let run_selected selected quick csv_dir =
 open Cmdliner
 
 let selected_arg =
-  let doc = "Run only the given experiment (repeatable). Known ids: t1 f1 f2 f3 f4 f5 t2 t3 a1 a2 a3 o1 p1 d1 m1." in
+  let doc = "Run only the given experiment (repeatable). Known ids: t1 f1 f2 f3 f4 f5 t2 t3 a1 a2 a3 o1 obs2 p1 d1 m1." in
   Arg.(value & opt_all string [] & info [ "e"; "experiment" ] ~docv:"ID" ~doc)
 
 let quick_arg =

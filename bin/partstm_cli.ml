@@ -6,6 +6,8 @@
      stats <workload> ...    run with telemetry and print per-partition summaries
      trace <workload> ...    run with telemetry and print the per-period trace
      profile <workload> ...  run with the span tracer + contention profiler
+     metrics <workload> ...  run with the metrics plane; OpenMetrics/affinity/SLO export
+     top <workload> ...      live-refreshing dashboard over a run (htop for partitions)
      check [<scenario>] ...  systematic schedule exploration + opacity oracle
      bench ...               domains hardware scaling sweep -> BENCH_D1.json
      list                    list workloads, strategies and check scenarios
@@ -16,6 +18,8 @@
      dune exec bin/partstm_cli.exe -- stats intset-ll --backend domains --seconds 1
      dune exec bin/partstm_cli.exe -- trace phased --telemetry-out results
      dune exec bin/partstm_cli.exe -- profile bank --backend sim --trace-out results
+     dune exec bin/partstm_cli.exe -- metrics bank --out bank.om --artifacts results
+     dune exec bin/partstm_cli.exe -- top mixed --backend domains --seconds 5 --port 0
      dune exec bin/partstm_cli.exe -- check --budget 500 --kills 2
      dune exec bin/partstm_cli.exe -- check --bug skip-commit-validation *)
 
@@ -186,11 +190,19 @@ type run_outcome = {
   ro_mode : Driver.mode;
 }
 
-(* Run one workload per the spec; [with_telemetry] forces a telemetry
-   instance even without --telemetry-out (the stats/trace subcommands).
-   [tracer]/[contention] are attached to the system's engine for the
-   duration of the run (the profile subcommand). *)
-let execute ?tracer ?contention spec ~with_telemetry =
+(* A workload resolved and set up but not yet run — the metrics/top
+   subcommands need the registry (to build a metrics plane) before the run
+   starts, so setup and execution are separate steps. *)
+type prepared = {
+  pr_system : System.t;
+  pr_worker : Driver.ctx -> int;
+  pr_verify : unit -> bool;
+  pr_strategy : Strategy.t;
+  pr_mode : Driver.mode;
+  pr_tuner : Tuner.t option;
+}
+
+let prepare spec =
   match
     ( List.find_opt (fun (Workload { wl_name; _ }) -> wl_name = spec.workload_name) workloads,
       List.assoc_opt spec.strategy_name strategies )
@@ -203,7 +215,7 @@ let execute ?tracer ?contention spec ~with_telemetry =
       Error 2
   | Some (Workload { wl_setup; wl_worker; wl_verify; _ }), Some strategy -> (
       match spec.backend with
-      | ("sim" | "domains") as backend ->
+      | ("sim" | "domains") as backend -> (
           let mode =
             if backend = "sim" then Driver.default_sim ~cycles:spec.cycles ()
             else Driver.Domains { seconds = spec.seconds }
@@ -212,56 +224,73 @@ let execute ?tracer ?contention spec ~with_telemetry =
             System.create ~max_workers:(spec.workers + 8) ?contention_manager:spec.cm ()
           in
           let state = wl_setup system ~strategy in
-          (match force_protocols system spec.protocols with
+          match force_protocols system spec.protocols with
           | Error code -> Error code
           | Ok () ->
-          Registry.reset_stats (System.registry system);
-          let tuner =
-            if Strategy.uses_tuner strategy then Some (System.tuner system) else None
-          in
-          let telemetry =
-            if with_telemetry || Option.is_some spec.telemetry_out then
-              Some (Telemetry.create (System.registry system))
-            else None
-          in
-          Option.iter
-            (fun tracer -> Partstm_obs.Tracer.attach tracer (System.engine system))
-            tracer;
-          Option.iter
-            (fun c -> Partstm_obs.Contention.attach c (System.engine system))
-            contention;
-          let result =
-            Fun.protect
-              ~finally:(fun () ->
-                Option.iter Partstm_obs.Tracer.detach tracer;
-                Option.iter Partstm_obs.Contention.detach contention)
-              (fun () ->
-                Driver.run ?tuner ?telemetry ?tracer ?contention ~seed:spec.seed ~mode
-                  ~workers:spec.workers (wl_worker state))
-          in
-          Option.iter
-            (fun dir ->
-              match telemetry with
-              | Some telemetry ->
-                  let csv, json =
-                    Telemetry.save ~dir ~basename:(spec.workload_name ^ "-telemetry") telemetry
-                  in
-                  Printf.printf "telemetry  : %s, %s\n" csv json
-              | None -> ())
-            spec.telemetry_out;
-          Ok
-            {
-              ro_result = result;
-              ro_system = system;
-              ro_tuner = tuner;
-              ro_telemetry = telemetry;
-              ro_verified = wl_verify state;
-              ro_strategy = strategy;
-              ro_mode = mode;
-            })
+              Registry.reset_stats (System.registry system);
+              let tuner =
+                if Strategy.uses_tuner strategy then Some (System.tuner system) else None
+              in
+              Ok
+                {
+                  pr_system = system;
+                  pr_worker = wl_worker state;
+                  pr_verify = (fun () -> wl_verify state);
+                  pr_strategy = strategy;
+                  pr_mode = mode;
+                  pr_tuner = tuner;
+                })
       | other ->
           Printf.eprintf "unknown backend %S (sim|domains)\n" other;
           Error 2)
+
+(* Run a prepared workload; [with_telemetry] forces a telemetry instance
+   even without --telemetry-out (the stats/trace subcommands).
+   [tracer]/[contention]/[metrics] are attached to the system's engine for
+   the duration of the run. *)
+let run_prepared ?tracer ?contention ?metrics ?(metrics_steps = 0) spec p ~with_telemetry =
+  let telemetry =
+    if with_telemetry || Option.is_some spec.telemetry_out then
+      Some (Telemetry.create (System.registry p.pr_system))
+    else None
+  in
+  Option.iter (fun tracer -> Partstm_obs.Tracer.attach tracer (System.engine p.pr_system)) tracer;
+  Option.iter (fun c -> Partstm_obs.Contention.attach c (System.engine p.pr_system)) contention;
+  Option.iter Metrics_plane.attach metrics;
+  let result =
+    Fun.protect
+      ~finally:(fun () ->
+        Option.iter Partstm_obs.Tracer.detach tracer;
+        Option.iter Partstm_obs.Contention.detach contention;
+        Option.iter Metrics_plane.detach metrics)
+      (fun () ->
+        Driver.run ?tuner:p.pr_tuner ?telemetry ?tracer ?contention ?metrics ~metrics_steps
+          ~seed:spec.seed ~mode:p.pr_mode ~workers:spec.workers p.pr_worker)
+  in
+  Option.iter
+    (fun dir ->
+      match telemetry with
+      | Some telemetry ->
+          let csv, json =
+            Telemetry.save ~dir ~basename:(spec.workload_name ^ "-telemetry") telemetry
+          in
+          Printf.printf "telemetry  : %s, %s\n" csv json
+      | None -> ())
+    spec.telemetry_out;
+  {
+    ro_result = result;
+    ro_system = p.pr_system;
+    ro_tuner = p.pr_tuner;
+    ro_telemetry = telemetry;
+    ro_verified = p.pr_verify ();
+    ro_strategy = p.pr_strategy;
+    ro_mode = p.pr_mode;
+  }
+
+let execute ?tracer ?contention spec ~with_telemetry =
+  match prepare spec with
+  | Error code -> Error code
+  | Ok p -> Ok (run_prepared ?tracer ?contention spec p ~with_telemetry)
 
 let print_run_header spec outcome =
   Printf.printf "workload   : %s\n" spec.workload_name;
@@ -551,6 +580,216 @@ let cmd_profile pspec =
           print_decisions outcome;
           if outcome.ro_verified then 0 else 1)
 
+(* -- metrics / top: the always-on metrics plane -------------------------------- *)
+
+(* SLO thresholds are in the backend's latency units: virtual cycles on sim,
+   nanoseconds on domains — hence per-backend defaults. *)
+let parse_slos backend specs =
+  let specs =
+    match specs with
+    | [] -> [ (if backend = "sim" then "commit_p99<4096" else "commit_p99<1000000") ]
+    | specs -> specs
+  in
+  List.fold_left
+    (fun acc s ->
+      match (acc, Partstm_obs.Slo.parse s) with
+      | Error _, _ -> acc
+      | Ok _, Error msg -> Error (Printf.sprintf "%S: %s" s msg)
+      | Ok parsed, Ok spec -> Ok (parsed @ [ spec ]))
+    (Ok []) specs
+
+type metrics_spec = {
+  mt_run : run_spec;
+  mt_out : string option;
+  mt_artifacts : string option;
+  mt_slos : string list;
+  mt_steps : int;
+}
+
+let cmd_metrics mspec =
+  let spec = mspec.mt_run in
+  match parse_slos spec.backend mspec.mt_slos with
+  | Error msg ->
+      Printf.eprintf "metrics: bad --slo %s\n" msg;
+      2
+  | Ok slos -> (
+      match prepare spec with
+      | Error code -> code
+      | Ok p ->
+          let plane = Metrics_plane.create ~slos (System.registry p.pr_system) in
+          let outcome =
+            run_prepared ~metrics:plane ~metrics_steps:mspec.mt_steps spec p
+              ~with_telemetry:false
+          in
+          print_run_header spec outcome;
+          let name_of_region = region_namer outcome.ro_system in
+          let module Report = Partstm_obs.Report in
+          Partstm_util.Table.print (Report.slo_table (Metrics_plane.slo plane));
+          print_newline ();
+          Partstm_util.Table.print
+            (Report.affinity_table ~name_of_region (Metrics_plane.affinity plane));
+          let text = Metrics_plane.openmetrics plane in
+          (* The exporter validates its own output: what we write is what a
+             Prometheus scraper must be able to parse. *)
+          let export_ok =
+            match Partstm_obs.Openmetrics.parse text with
+            | Ok families -> Ok (List.length families)
+            | Error msg -> Error msg
+          in
+          (match (export_ok, mspec.mt_out) with
+          | Error msg, _ ->
+              Printf.eprintf "metrics: exporter produced invalid OpenMetrics text: %s\n" msg
+          | Ok families, Some path ->
+              write_text_file path text;
+              Printf.printf "\nmetrics    : %s (%d families, valid OpenMetrics)\n" path families
+          | Ok _, None ->
+              print_newline ();
+              print_string text);
+          Option.iter
+            (fun dir ->
+              List.iter
+                (Printf.printf "artifact   : %s\n")
+                (Metrics_plane.save ~dir ~basename:(spec.workload_name ^ "-metrics") plane))
+            mspec.mt_artifacts;
+          if not (Partstm_obs.Slo.ok (Metrics_plane.slo plane)) then
+            print_endline "\nSLO: at least one objective VIOLATED in its last window";
+          if outcome.ro_verified && Result.is_ok export_ok then 0 else 1)
+
+type top_spec = {
+  tp_run : run_spec;
+  tp_refresh : float;
+  tp_port : int option;
+  tp_slos : string list;
+  tp_steps : int;
+}
+
+let top_frame ~spec ~plane ~tuner ~contention ~name_of_region ~system ~port ~rates ~elapsed =
+  let module Report = Partstm_obs.Report in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "partstm top — %s  strategy=%s  backend=%s  workers=%d  elapsed=%.1fs%s\n\n"
+       spec.workload_name spec.strategy_name spec.backend spec.workers elapsed
+       (match port with
+       | Some port -> Printf.sprintf "  scrape=127.0.0.1:%d/metrics" port
+       | None -> ""));
+  let table =
+    Partstm_util.Table.create ~title:"partitions"
+      ~header:[ "partition"; "tvars"; "commits"; "abort%"; "commits/s"; "switches"; "mode" ]
+  in
+  List.iter
+    (fun row ->
+      let stats = row.Registry.row_stats in
+      Partstm_util.Table.add_row table
+        [
+          row.Registry.row_name;
+          string_of_int row.Registry.row_tvars;
+          string_of_int stats.Region_stats.s_commits;
+          Printf.sprintf "%.1f" (100.0 *. Region_stats.abort_rate stats);
+          (match List.assoc_opt row.Registry.row_name rates with
+          | Some rate -> Printf.sprintf "%.0f" rate
+          | None -> "-");
+          string_of_int stats.Region_stats.s_mode_switches;
+          Fmt.str "%a" Mode.pp row.Registry.row_mode;
+        ])
+    (Registry.report (System.registry system));
+  Buffer.add_string buf (Partstm_util.Table.render table);
+  Buffer.add_string buf "\n\n";
+  Buffer.add_string buf (Partstm_util.Table.render (Report.slo_table (Metrics_plane.slo plane)));
+  Buffer.add_string buf "\n\n";
+  Buffer.add_string buf
+    (Partstm_util.Table.render
+       (Report.affinity_table ~name_of_region (Metrics_plane.affinity plane)));
+  Buffer.add_string buf "\n\n";
+  Buffer.add_string buf
+    (Partstm_util.Table.render (Report.hot_slots_table ~top_k:5 ~name_of_region contention));
+  (match tuner with
+  | None -> ()
+  | Some tuner -> (
+      match Tuner.last_decisions tuner with
+      | [] -> ()
+      | lasts ->
+          Buffer.add_string buf "\n\nlast tuner decisions (why):\n";
+          List.iter
+            (fun (ld : Tuner.last) ->
+              Buffer.add_string buf
+                (Printf.sprintf "  %-16s tick %-4d %s\n" ld.Tuner.ld_partition ld.Tuner.ld_tick
+                   (match ld.Tuner.ld_decision with
+                   | Tuning_policy.Keep -> "keep"
+                   | Tuning_policy.Switch mode -> Fmt.str "switch -> %a" Mode.pp mode));
+              let why = ld.Tuner.ld_why in
+              List.iteri
+                (fun i reason ->
+                  if i < 2 then Buffer.add_string buf (Printf.sprintf "    + %s\n" reason))
+                why.Tuning_policy.w_triggered;
+              if why.Tuning_policy.w_triggered = [] then
+                match why.Tuning_policy.w_rejected with
+                | reason :: _ -> Buffer.add_string buf (Printf.sprintf "    - %s\n" reason)
+                | [] -> ())
+            lasts));
+  Buffer.contents buf
+
+let cmd_top tspec =
+  let spec = tspec.tp_run in
+  match parse_slos spec.backend tspec.tp_slos with
+  | Error msg ->
+      Printf.eprintf "top: bad --slo %s\n" msg;
+      2
+  | Ok slos -> (
+      match prepare spec with
+      | Error code -> code
+      | Ok p ->
+          let plane = Metrics_plane.create ~slos (System.registry p.pr_system) in
+          let port = Option.map (fun port -> Metrics_plane.serve ~port plane) tspec.tp_port in
+          let contention = Partstm_obs.Contention.create () in
+          let finished = Atomic.make false in
+          (* The run proceeds on its own domain; this domain repaints the
+             dashboard from the live striped counters (readers tolerate
+             slightly stale values) until the workers join. *)
+          let runner =
+            Domain.spawn (fun () ->
+                Fun.protect
+                  ~finally:(fun () -> Atomic.set finished true)
+                  (fun () ->
+                    run_prepared ~contention ~metrics:plane ~metrics_steps:tspec.tp_steps spec p
+                      ~with_telemetry:false))
+          in
+          let name_of_region = region_namer p.pr_system in
+          let start = Unix.gettimeofday () in
+          let prev = Hashtbl.create 8 in
+          let prev_t = ref start in
+          let frame () =
+            let now = Unix.gettimeofday () in
+            let dt = now -. !prev_t in
+            prev_t := now;
+            let rates =
+              List.filter_map
+                (fun row ->
+                  let commits = row.Registry.row_stats.Region_stats.s_commits in
+                  let old =
+                    Option.value ~default:0 (Hashtbl.find_opt prev row.Registry.row_name)
+                  in
+                  Hashtbl.replace prev row.Registry.row_name commits;
+                  if dt > 0.0 then
+                    Some (row.Registry.row_name, float_of_int (commits - old) /. dt)
+                  else None)
+                (Registry.report (System.registry p.pr_system))
+            in
+            top_frame ~spec ~plane ~tuner:p.pr_tuner ~contention ~name_of_region
+              ~system:p.pr_system ~port ~rates ~elapsed:(now -. start)
+          in
+          while not (Atomic.get finished) do
+            print_string ("\027[2J\027[H" ^ frame ());
+            flush stdout;
+            Unix.sleepf tspec.tp_refresh
+          done;
+          let outcome = Domain.join runner in
+          Metrics_plane.stop_server plane;
+          print_string ("\027[2J\027[H" ^ frame ());
+          flush stdout;
+          print_newline ();
+          print_run_header spec outcome;
+          if outcome.ro_verified then 0 else 1)
+
 (* -- Cmdliner wiring ----------------------------------------------------------- *)
 
 let dsa_cmd =
@@ -724,6 +963,105 @@ let profile_cmd =
               $(i,workload)-folded.txt (flamegraph input) and $(i,workload)-contention.json.";
          ])
     Term.(const cmd_profile $ profile_spec_term)
+
+let slo_arg subcommand =
+  Arg.(
+    value & opt_all string []
+    & info [ "slo" ] ~docv:"SPEC"
+        ~doc:
+          (Printf.sprintf
+             "Latency objective for %s, e.g. $(b,commit_p99<50000): source ($(b,commit) or \
+              $(b,abort)), quantile, threshold in the backend's units (virtual cycles on \
+              $(b,sim), nanoseconds on $(b,domains)). Repeatable; default \
+              $(b,commit_p99<4096) on sim, $(b,commit_p99<1000000) on domains"
+             subcommand))
+
+let metrics_spec_term =
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:"Write the OpenMetrics text to $(docv) instead of stdout")
+  in
+  let artifacts =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "artifacts" ] ~docv:"DIR"
+          ~doc:
+            "Also write the full artifact set into $(docv): OpenMetrics text (.om), the \
+             worker×partition affinity matrix as CSV and canonical JSON, and the SLO status \
+             JSON")
+  in
+  let steps =
+    Arg.(
+      value & opt int 0
+      & info [ "metrics-steps" ] ~docv:"N"
+          ~doc:
+            "In-run sampling periods (default 0: one final sample only, which leaves \
+             simulated schedules bit-identical to a metrics-off run)")
+  in
+  let make mt_run mt_out mt_artifacts mt_slos mt_steps =
+    { mt_run; mt_out; mt_artifacts; mt_slos; mt_steps }
+  in
+  Term.(const make $ spec_term $ out $ artifacts $ slo_arg "the run" $ steps)
+
+let metrics_cmd =
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run one workload under the always-on metrics plane and export the result as \
+          OpenMetrics text (validated by the built-in parser before it is written), plus the \
+          worker×partition affinity matrix and SLO status"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "The metrics plane mirrors every partition's statistics counters into a striped \
+              metrics registry, tracks latency SLOs over the whole-attempt commit/abort \
+              histograms, and accumulates the worker×partition access-affinity matrix. With \
+              the default $(b,--metrics-steps 0) the plane adds no scheduling action at all: \
+              taps charge no virtual time, so a $(b,sim) run's schedule is bit-identical to \
+              the same run without metrics.";
+         ])
+    Term.(const cmd_metrics $ metrics_spec_term)
+
+let top_spec_term =
+  let refresh =
+    Arg.(
+      value & opt float 0.5
+      & info [ "refresh" ] ~docv:"S" ~doc:"Dashboard refresh interval in seconds")
+  in
+  let port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:
+            "Also serve the OpenMetrics scrape endpoint on 127.0.0.1:$(docv) for the run's \
+             duration (0 picks an ephemeral port)")
+  in
+  let steps =
+    Arg.(
+      value & opt int 20
+      & info [ "metrics-steps" ] ~docv:"N"
+          ~doc:"In-run sampling periods feeding the SLO windows and mirrored counters")
+  in
+  let make tp_run tp_refresh tp_port tp_slos tp_steps =
+    { tp_run; tp_refresh; tp_port; tp_slos; tp_steps }
+  in
+  Term.(const make $ spec_term $ refresh $ port $ slo_arg "the dashboard" $ steps)
+
+let top_cmd =
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Run one workload while rendering a live-refreshing ASCII dashboard: per-partition \
+          throughput, abort rate and protocol, SLO status, the worker×partition affinity \
+          matrix, hottest orecs, and the tuner's last decisions with their structured \
+          explanations")
+    Term.(const cmd_top $ top_spec_term)
 
 let check_spec_term =
   let scenario =
@@ -954,6 +1292,9 @@ let bench_cmd =
 let main_cmd =
   let doc = "Partitioned software transactional memory playground" in
   Cmd.group (Cmd.info "partstm" ~doc)
-    [ dsa_cmd; list_cmd; run_cmd; stats_cmd; trace_cmd; profile_cmd; check_cmd; bench_cmd ]
+    [
+      dsa_cmd; list_cmd; run_cmd; stats_cmd; trace_cmd; profile_cmd; metrics_cmd; top_cmd;
+      check_cmd; bench_cmd;
+    ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -12,6 +12,8 @@ type entry = {
   e_partition : Partition.t;
   mutable e_prev : Region_stats.snapshot;
   mutable e_cooldown : int;
+  mutable e_last : (int * Tuning_policy.decision * Tuning_policy.why) option;
+      (* last evaluated (tick, decision, why) — Keep or Switch, for [partstm top] *)
 }
 
 type event = {
@@ -21,6 +23,7 @@ type event = {
   ev_to : Mode.t;
   ev_abort_rate : float;
   ev_update_ratio : float;
+  ev_why : Tuning_policy.why;
 }
 
 type t = {
@@ -76,7 +79,12 @@ let sync_entries t =
       | Some _ -> ()
       | None ->
           t.entries <-
-            { e_partition = partition; e_prev = Partition.snapshot partition; e_cooldown = 0 }
+            {
+              e_partition = partition;
+              e_prev = Partition.snapshot partition;
+              e_cooldown = 0;
+              e_last = None;
+            }
             :: t.entries)
     (Registry.partitions t.registry)
 
@@ -92,14 +100,16 @@ let step t =
       if entry.e_cooldown > 0 then entry.e_cooldown <- entry.e_cooldown - 1
       else if Partition.tunable partition then begin
         let current_mode = Partition.mode partition in
-        match
-          Tuning_policy.decide t.config
+        let decision, why =
+          Tuning_policy.explain t.config
             {
               Tuning_policy.delta;
               current = current_mode;
               tvars = Partition.tvar_count partition;
             }
-        with
+        in
+        entry.e_last <- Some (t.ticks, decision, why);
+        match decision with
         | Tuning_policy.Keep -> ()
         | Tuning_policy.Switch new_mode ->
             Partition.set_mode partition new_mode;
@@ -114,6 +124,7 @@ let step t =
                 ev_to = new_mode;
                 ev_abort_rate = Region_stats.abort_rate delta;
                 ev_update_ratio = Region_stats.update_txn_ratio delta;
+                ev_why = why;
               }
       end)
     t.entries
@@ -122,6 +133,33 @@ let ticks t = t.ticks
 let switches t = t.switches
 let dropped_events t = t.dropped
 let trace t = List.rev t.trace
+
+type last = {
+  ld_partition : string;
+  ld_tick : int;
+  ld_decision : Tuning_policy.decision;
+  ld_why : Tuning_policy.why;
+}
+
+(* Latest evaluated decision per partition (Keep included, unlike [trace]
+   which only logs applied switches) — the data behind [partstm top]'s
+   "why" pane.  Partitions still in cooldown or never yet evaluated are
+   omitted. *)
+let last_decisions t =
+  List.filter_map
+    (fun entry ->
+      match entry.e_last with
+      | None -> None
+      | Some (tick, decision, why) ->
+          Some
+            {
+              ld_partition = Partition.name entry.e_partition;
+              ld_tick = tick;
+              ld_decision = decision;
+              ld_why = why;
+            })
+    t.entries
+  |> List.sort (fun a b -> compare a.ld_partition b.ld_partition)
 
 let pp_event ppf ev =
   Fmt.pf ppf "tick %3d  %-16s %a -> %a  (abort=%.2f update=%.2f)" ev.ev_tick ev.ev_partition

@@ -13,6 +13,7 @@ type event = {
   ev_to : Mode.t;
   ev_abort_rate : float;
   ev_update_ratio : float;
+  ev_why : Tuning_policy.why;  (** full audit trail for the switch *)
 }
 
 val create :
@@ -44,5 +45,18 @@ val dropped_events : t -> int
 val trace : t -> event list
 (** Chronological switch log (the data behind Table R-T3); holds the most
     recent [max_trace] events. *)
+
+type last = {
+  ld_partition : string;
+  ld_tick : int;
+  ld_decision : Tuning_policy.decision;
+  ld_why : Tuning_policy.why;
+}
+
+val last_decisions : t -> last list
+(** Latest evaluated decision per partition, sorted by partition name —
+    includes [Keep] outcomes (unlike {!trace}, which only logs applied
+    switches). Partitions never yet evaluated (or skipped by cooldown on
+    every tick so far) are omitted. *)
 
 val pp_event : Format.formatter -> event -> unit

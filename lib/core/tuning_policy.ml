@@ -87,30 +87,89 @@ type observation = { delta : Region_stats.snapshot; current : Mode.t; tvars : in
 
 type decision = Keep | Switch of Mode.t
 
-let decide config { delta; current; tvars } =
+(* Structured explanation of one decision: the inputs the policy saw, the
+   rules that fired ([w_triggered]) and the alternatives it considered but
+   rejected, with the threshold comparison that rejected them
+   ([w_rejected]).  Logged into telemetry and rendered by [partstm top];
+   the decision itself is unchanged — [decide] is [fst (explain ...)]. *)
+type why = {
+  w_attempts : int;
+  w_abort_rate : float;
+  w_update_ratio : float;
+  w_wasted_validation : float;
+  w_writes_per_update_txn : float;
+  w_ro_commit_ratio : float;
+  w_ro_wasted : float;
+  w_tvars : int;
+  w_triggered : string list;
+  w_rejected : string list;
+}
+
+let explain config { delta; current; tvars } =
   let attempts = Region_stats.attempts delta in
-  if attempts < config.min_attempts then Keep
+  let abort_rate = Region_stats.abort_rate delta in
+  let update_ratio = Region_stats.update_txn_ratio delta in
+  (* Only *failed* validations measure wasted work: successful extensions
+     are cheap and would over-trigger the switch at low contention. *)
+  let wasted =
+    if attempts = 0 then 0.0
+    else float_of_int delta.Region_stats.s_validation_fails /. float_of_int attempts
+  in
+  let update_commits = delta.Region_stats.s_commits - delta.Region_stats.s_ro_commits in
+  let writes_per_update_txn =
+    if update_commits = 0 then 0.0
+    else float_of_int delta.Region_stats.s_writes /. float_of_int update_commits
+  in
+  let ro_ratio = Region_stats.ro_commit_ratio delta in
+  let ro_wasted =
+    if attempts = 0 then 0.0
+    else
+      float_of_int (delta.Region_stats.s_ro_aborts + delta.Region_stats.s_validation_fails)
+      /. float_of_int attempts
+  in
+  let triggered = ref [] and rejected = ref [] in
+  let trig fmt = Printf.ksprintf (fun m -> triggered := m :: !triggered) fmt in
+  let rej fmt = Printf.ksprintf (fun m -> rejected := m :: !rejected) fmt in
+  let why () =
+    {
+      w_attempts = attempts;
+      w_abort_rate = abort_rate;
+      w_update_ratio = update_ratio;
+      w_wasted_validation = wasted;
+      w_writes_per_update_txn = writes_per_update_txn;
+      w_ro_commit_ratio = ro_ratio;
+      w_ro_wasted = ro_wasted;
+      w_tvars = tvars;
+      w_triggered = List.rev !triggered;
+      w_rejected = List.rev !rejected;
+    }
+  in
+  if attempts < config.min_attempts then begin
+    rej "sample too small: attempts %d < min_attempts %d" attempts config.min_attempts;
+    (Keep, why ())
+  end
   else begin
-    let abort_rate = Region_stats.abort_rate delta in
-    let update_ratio = Region_stats.update_txn_ratio delta in
-    (* Only *failed* validations measure wasted work: successful extensions
-       are cheap and would over-trigger the switch at low contention. *)
-    let wasted = float_of_int delta.Region_stats.s_validation_fails /. float_of_int attempts in
     let visibility =
       match current.Mode.visibility with
       | Mode.Invisible
         when update_ratio > config.update_ratio_hi && wasted > config.wasted_validation_hi ->
+          trig "visible reads: update_ratio %.2f > %.2f and wasted validation %.3f > %.3f"
+            update_ratio config.update_ratio_hi wasted config.wasted_validation_hi;
           Mode.Visible
-      | Mode.Visible when update_ratio < config.update_ratio_lo -> Mode.Invisible
-      | current_visibility -> current_visibility
+      | Mode.Visible when update_ratio < config.update_ratio_lo ->
+          trig "invisible reads: update_ratio %.2f < %.2f" update_ratio config.update_ratio_lo;
+          Mode.Invisible
+      | Mode.Invisible as v ->
+          rej "visible reads: update_ratio %.2f <= %.2f or wasted validation %.3f <= %.3f"
+            update_ratio config.update_ratio_hi wasted config.wasted_validation_hi;
+          v
+      | Mode.Visible as v ->
+          rej "invisible reads: update_ratio %.2f >= %.2f (hysteresis)" update_ratio
+            config.update_ratio_lo;
+          v
     in
     let granularity =
       let g = current.Mode.granularity_log2 in
-      let update_commits = delta.Region_stats.s_commits - delta.Region_stats.s_ro_commits in
-      let writes_per_update_txn =
-        if update_commits = 0 then 0.0
-        else float_of_int delta.Region_stats.s_writes /. float_of_int update_commits
-      in
       (* Coarsening only pays when transactions acquire several locks in this
          partition (one coarse lock replaces them), conflicts are frequent
          anyway, AND the region is object-sized (the paper's coarse detection
@@ -121,7 +180,13 @@ let decide config { delta; current; tvars } =
         && writes_per_update_txn > config.writes_per_update_txn_hi
         && tvars <= config.small_region_tvars
         && g > config.granularity_lo
-      then max config.granularity_lo (g - config.granularity_step)
+      then begin
+        trig "coarsen to g%d: abort_rate %.2f > %.2f, writes/update-txn %.1f > %.1f, tvars %d <= %d"
+          (max config.granularity_lo (g - config.granularity_step))
+          abort_rate config.abort_rate_hi writes_per_update_txn config.writes_per_update_txn_hi
+          tvars config.small_region_tvars;
+        max config.granularity_lo (g - config.granularity_step)
+      end
       else if
         (* The dual rule: a *large* region with multi-write transactions
            under high conflict pressure is likely suffering false conflicts
@@ -130,17 +195,34 @@ let decide config { delta; current; tvars } =
         && writes_per_update_txn > config.writes_per_update_txn_hi
         && tvars > config.small_region_tvars
         && g < config.granularity_hi
-      then min config.granularity_hi (g + config.granularity_step)
-      else if abort_rate < config.abort_rate_lo && g < config.granularity_hi then
+      then begin
+        trig "refine to g%d: abort_rate %.2f > %.2f with large region (tvars %d > %d)"
+          (min config.granularity_hi (g + config.granularity_step))
+          abort_rate config.abort_rate_hi tvars config.small_region_tvars;
         min config.granularity_hi (g + config.granularity_step)
-      else g
+      end
+      else if abort_rate < config.abort_rate_lo && g < config.granularity_hi then begin
+        trig "refine to g%d: abort_rate %.3f < %.3f"
+          (min config.granularity_hi (g + config.granularity_step))
+          abort_rate config.abort_rate_lo;
+        min config.granularity_hi (g + config.granularity_step)
+      end
+      else begin
+        rej "granularity change: abort_rate %.3f within [%.3f, %.2f] band at g%d" abort_rate
+          config.abort_rate_lo config.abort_rate_hi g;
+        g
+      end
     in
     (* Never refine past the point where the table dwarfs the traffic: a
        period that touched n locations needs at most ~4n slots. *)
     let granularity =
       let accesses = delta.Region_stats.s_reads + delta.Region_stats.s_writes in
-      if granularity > current.Mode.granularity_log2 && accesses > 0 then
-        min granularity (Partstm_util.Bits.ceil_log2 (4 * accesses))
+      if granularity > current.Mode.granularity_log2 && accesses > 0 then begin
+        let capped = min granularity (Partstm_util.Bits.ceil_log2 (4 * accesses)) in
+        if capped < granularity then
+          trig "refinement capped at g%d by period traffic (%d accesses)" capped accesses;
+        capped
+      end
       else granularity
     in
     (* Update strategy: write-through trades expensive aborts (undo) for
@@ -149,11 +231,21 @@ let decide config { delta; current; tvars } =
     let update =
       let writes_happen = Region_stats.update_txn_ratio delta > 0.01 in
       match current.Mode.update with
-      | Mode.Write_back
-        when writes_happen && abort_rate < config.write_through_abort_lo ->
+      | Mode.Write_back when writes_happen && abort_rate < config.write_through_abort_lo ->
+          trig "write-through: abort_rate %.3f < %.3f with writes present" abort_rate
+            config.write_through_abort_lo;
           Mode.Write_through
-      | Mode.Write_through when abort_rate > config.write_through_abort_hi -> Mode.Write_back
-      | current_update -> current_update
+      | Mode.Write_through when abort_rate > config.write_through_abort_hi ->
+          trig "write-back: abort_rate %.2f > %.2f" abort_rate config.write_through_abort_hi;
+          Mode.Write_back
+      | Mode.Write_back as u ->
+          rej "write-through: abort_rate %.3f >= %.3f or no writes" abort_rate
+            config.write_through_abort_lo;
+          u
+      | Mode.Write_through as u ->
+          rej "write-back: abort_rate %.3f <= %.3f (hysteresis)" abort_rate
+            config.write_through_abort_hi;
+          u
     in
     (* Concurrency-control protocol.  Multi-version pays when the partition
        is read-dominated AND its read-only transactions demonstrably waste
@@ -163,27 +255,52 @@ let decide config { delta; current; tvars } =
        orec traffic on the read side.  Each exits on the decayed form of
        its entry signal (hysteresis). *)
     let protocol =
-      let ro_ratio = Region_stats.ro_commit_ratio delta in
-      let ro_wasted =
-        float_of_int (delta.Region_stats.s_ro_aborts + delta.Region_stats.s_validation_fails)
-        /. float_of_int attempts
-      in
       match current.Mode.protocol with
       | Protocol.Single_version ->
           if
             tvars <= config.ctl_tvars_max
             && abort_rate > config.ctl_abort_hi
             && update_ratio > config.update_ratio_hi
-          then Protocol.Commit_time_lock
-          else if ro_ratio > config.mv_ro_ratio_hi && ro_wasted > config.mv_wasted_hi then
+          then begin
+            trig "commit-time locking: tvars %d <= %d, abort_rate %.2f > %.2f, update_ratio %.2f > %.2f"
+              tvars config.ctl_tvars_max abort_rate config.ctl_abort_hi update_ratio
+              config.update_ratio_hi;
+            Protocol.Commit_time_lock
+          end
+          else if ro_ratio > config.mv_ro_ratio_hi && ro_wasted > config.mv_wasted_hi then begin
+            trig "multi-version (depth %d): ro_ratio %.2f > %.2f and ro wasted %.3f > %.3f"
+              config.mv_depth ro_ratio config.mv_ro_ratio_hi ro_wasted config.mv_wasted_hi;
             Protocol.Multi_version { depth = config.mv_depth }
-          else Protocol.Single_version
-      | Protocol.Multi_version _ as p ->
-          if ro_ratio < config.mv_ro_ratio_lo then Protocol.Single_version else p
-      | Protocol.Commit_time_lock ->
-          if abort_rate < config.ctl_abort_lo || tvars > config.ctl_tvars_max then
+          end
+          else begin
+            rej "commit-time locking: tvars %d > %d or abort_rate %.2f <= %.2f or update_ratio %.2f <= %.2f"
+              tvars config.ctl_tvars_max abort_rate config.ctl_abort_hi update_ratio
+              config.update_ratio_hi;
+            rej "multi-version: ro_ratio %.2f <= %.2f or ro wasted %.3f <= %.3f" ro_ratio
+              config.mv_ro_ratio_hi ro_wasted config.mv_wasted_hi;
             Protocol.Single_version
-          else Protocol.Commit_time_lock
+          end
+      | Protocol.Multi_version _ as p ->
+          if ro_ratio < config.mv_ro_ratio_lo then begin
+            trig "leave multi-version: ro_ratio %.2f < %.2f" ro_ratio config.mv_ro_ratio_lo;
+            Protocol.Single_version
+          end
+          else begin
+            rej "leave multi-version: ro_ratio %.2f >= %.2f (hysteresis)" ro_ratio
+              config.mv_ro_ratio_lo;
+            p
+          end
+      | Protocol.Commit_time_lock ->
+          if abort_rate < config.ctl_abort_lo || tvars > config.ctl_tvars_max then begin
+            trig "leave commit-time locking: abort_rate %.3f < %.3f or tvars %d > %d" abort_rate
+              config.ctl_abort_lo tvars config.ctl_tvars_max;
+            Protocol.Single_version
+          end
+          else begin
+            rej "leave commit-time locking: abort_rate %.2f >= %.3f (hysteresis)" abort_rate
+              config.ctl_abort_lo;
+            Protocol.Commit_time_lock
+          end
     in
     let proposed = { Mode.visibility; granularity_log2 = granularity; update; protocol } in
     (* Normalise to a valid composition: the non-single-version protocols
@@ -193,7 +310,36 @@ let decide config { delta; current; tvars } =
       match protocol with
       | Protocol.Single_version -> proposed
       | Protocol.Multi_version _ | Protocol.Commit_time_lock ->
+          if proposed.Mode.visibility <> Mode.Invisible || proposed.Mode.update <> Mode.Write_back
+          then
+            trig "normalized to invisible/write-back: the %s protocol owns its read path"
+              (Protocol.to_string protocol);
           { proposed with Mode.visibility = Mode.Invisible; update = Mode.Write_back }
     in
-    if Mode.equal proposed current then Keep else Switch proposed
+    if Mode.equal proposed current then (Keep, why ()) else (Switch proposed, why ())
   end
+
+let decide config observation = fst (explain config observation)
+
+let why_to_json w =
+  Partstm_util.Json.Obj
+    [
+      ("attempts", Partstm_util.Json.Int w.w_attempts);
+      ("abort_rate", Partstm_util.Json.Float w.w_abort_rate);
+      ("update_ratio", Partstm_util.Json.Float w.w_update_ratio);
+      ("wasted_validation", Partstm_util.Json.Float w.w_wasted_validation);
+      ("writes_per_update_txn", Partstm_util.Json.Float w.w_writes_per_update_txn);
+      ("ro_commit_ratio", Partstm_util.Json.Float w.w_ro_commit_ratio);
+      ("ro_wasted", Partstm_util.Json.Float w.w_ro_wasted);
+      ("tvars", Partstm_util.Json.Int w.w_tvars);
+      ( "triggered",
+        Partstm_util.Json.List (List.map (fun m -> Partstm_util.Json.String m) w.w_triggered) );
+      ( "rejected",
+        Partstm_util.Json.List (List.map (fun m -> Partstm_util.Json.String m) w.w_rejected) );
+    ]
+
+let pp_why ppf w =
+  Fmt.pf ppf "inputs: attempts=%d abort=%.2f update=%.2f wasted=%.3f ro=%.2f" w.w_attempts
+    w.w_abort_rate w.w_update_ratio w.w_wasted_validation w.w_ro_commit_ratio;
+  List.iter (fun m -> Fmt.pf ppf "@,+ %s" m) w.w_triggered;
+  List.iter (fun m -> Fmt.pf ppf "@,- %s" m) w.w_rejected

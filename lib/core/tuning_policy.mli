@@ -38,4 +38,27 @@ type observation = {
 
 type decision = Keep | Switch of Mode.t
 
+(** Structured explanation of one decision: every input the policy looked
+    at, the rules that fired and the alternatives it rejected (with the
+    threshold comparison that rejected them). *)
+type why = {
+  w_attempts : int;
+  w_abort_rate : float;
+  w_update_ratio : float;
+  w_wasted_validation : float;
+  w_writes_per_update_txn : float;
+  w_ro_commit_ratio : float;
+  w_ro_wasted : float;
+  w_tvars : int;
+  w_triggered : string list;  (** rules that fired, in evaluation order *)
+  w_rejected : string list;  (** alternatives considered and declined *)
+}
+
+val explain : config -> observation -> decision * why
+(** The policy itself. [decide] is [fst (explain config obs)]; the [why]
+    carries no decision authority, only the audit trail. *)
+
 val decide : config -> observation -> decision
+
+val why_to_json : why -> Partstm_util.Json.t
+val pp_why : Format.formatter -> why -> unit

@@ -65,8 +65,9 @@ let mode_label (m : Partstm_stm.Mode.t) =
    profiler) perturbs the schedule slightly — compare runs with like
    instrumentation. *)
 let run ?tuner ?(tuner_steps = 40) ?telemetry ?(telemetry_steps = 40) ?tracer ?contention
-    ?(seed = 42) ~mode ~workers worker =
+    ?metrics ?(metrics_steps = 0) ?(seed = 42) ~mode ~workers worker =
   if workers <= 0 then invalid_arg "Driver.run: workers";
+  if metrics_steps < 0 then invalid_arg "Driver.run: metrics_steps";
   (match (telemetry, tuner) with
   | Some telemetry, Some tuner -> Telemetry.attach_tuner telemetry tuner
   | _ -> ());
@@ -83,12 +84,19 @@ let run ?tuner ?(tuner_steps = 40) ?telemetry ?(telemetry_steps = 40) ?tracer ?c
   | _ -> ());
   let set_obs_clock clock =
     Option.iter (fun t -> Partstm_obs.Tracer.set_clock t clock) tracer;
-    Option.iter (fun c -> Partstm_obs.Contention.set_clock c clock) contention
+    Option.iter (fun c -> Partstm_obs.Contention.set_clock c clock) contention;
+    Option.iter (fun m -> Metrics_plane.set_clock m clock) metrics
   in
   let clear_obs_clock () =
     Option.iter Partstm_obs.Tracer.clear_clock tracer;
-    Option.iter Partstm_obs.Contention.clear_clock contention
+    Option.iter Partstm_obs.Contention.clear_clock contention;
+    Option.iter Metrics_plane.clear_clock metrics
   in
+  (* The metrics plane always gets one final sample after the run (so
+     counters, the affinity matrix and at least one SLO window reflect the
+     whole run even with [metrics_steps = 0], the default that leaves
+     simulated schedules bit-identical to a metrics-off run). *)
+  let final_metrics_sample () = Option.iter Metrics_plane.sample metrics in
   let master = Rng.make seed in
   let ops = Array.make workers 0 in
   match mode with
@@ -130,6 +138,16 @@ let run ?tuner ?(tuner_steps = 40) ?telemetry ?(telemetry_steps = 40) ?tracer ?c
                 Telemetry.sample telemetry ~time:(float_of_int (Sim.now ()))
             done
       in
+      let metrics_body _fiber =
+        match metrics with
+        | None -> ()
+        | Some plane ->
+            let period = max 1 (cycles / metrics_steps) in
+            while Sim.now () < cycles do
+              Sim.yield period;
+              if Sim.now () < cycles then Metrics_plane.sample plane
+            done
+      in
       Option.iter
         (fun telemetry ->
           Telemetry.set_clock telemetry (fun () -> float_of_int (Sim.now ())))
@@ -137,12 +155,17 @@ let run ?tuner ?(tuner_steps = 40) ?telemetry ?(telemetry_steps = 40) ?tracer ?c
       (* Tracer timestamps are virtual cycles; the callbacks charge no
          virtual time, so tracing cannot perturb a simulated schedule. *)
       set_obs_clock Sim.now;
-      (* The telemetry fiber is only added when requested so that runs
-         without telemetry keep their exact historical schedule. *)
+      (* Observer fibers are only added when requested so that runs
+         without them keep their exact historical schedule.  The metrics
+         plane's default is no fiber at all ([metrics_steps = 0]): its taps
+         charge no virtual time and the final sample happens after the run,
+         so a metrics-on sim arm replays the metrics-off schedule
+         bit-for-bit. *)
       let bodies =
         List.init workers (fun id -> worker_body id)
         @ [ tuner_body ]
         @ (match telemetry with Some _ -> [ telemetry_body ] | None -> [])
+        @ (match metrics with Some _ when metrics_steps > 0 -> [ metrics_body ] | _ -> [])
       in
       Sim_env.install ~model ();
       let outcome =
@@ -154,6 +177,7 @@ let run ?tuner ?(tuner_steps = 40) ?telemetry ?(telemetry_steps = 40) ?tracer ?c
          using [cycles] here would overstate throughput. *)
       let elapsed_cycles = max cycles outcome.Sim.makespan in
       clear_obs_clock ();
+      final_metrics_sample ();
       Option.iter
         (fun telemetry ->
           Telemetry.clear_clock telemetry;
@@ -209,21 +233,32 @@ let run ?tuner ?(tuner_steps = 40) ?telemetry ?(telemetry_steps = 40) ?tracer ?c
          data race: the tuner's decision listener appends to the telemetry
          instance ([Telemetry.attach_tuner]), which on separate domains
          mutated telemetry state concurrently with its sampling loop. *)
+      let serving = match metrics with Some plane -> Metrics_plane.has_server plane | None -> false in
       let service_thread () =
         let tuner_period = seconds /. float_of_int tuner_steps in
         let telemetry_period = seconds /. float_of_int telemetry_steps in
+        let metrics_period =
+          if metrics_steps > 0 then seconds /. float_of_int metrics_steps else Float.infinity
+        in
         let tuner_next =
           ref (match tuner with Some _ -> start +. tuner_period | None -> Float.infinity)
         and telemetry_next =
           ref (match telemetry with Some _ -> start +. telemetry_period | None -> Float.infinity)
+        and metrics_next =
+          ref (match metrics with Some _ -> start +. metrics_period | None -> Float.infinity)
         in
         let rec loop () =
-          let next = Float.min !tuner_next !telemetry_next in
+          let next = Float.min !tuner_next (Float.min !telemetry_next !metrics_next) in
+          (* With a live scrape endpoint the loop must keep waking to drain
+             pending connections even when no sampling action is due soon;
+             cap the sleep so a scrape is answered within ~50ms. *)
+          let next = if serving then Float.min next (Unix.gettimeofday () +. 0.05) else next in
           if next < deadline then begin
             let now = Unix.gettimeofday () in
             if next > now then Unix.sleepf (Float.min (next -. now) (deadline -. now));
             let now = Unix.gettimeofday () in
             if now < deadline then begin
+              if serving then Option.iter Metrics_plane.poll_server metrics;
               if !tuner_next <= now then begin
                 (match tuner with Some tuner -> Tuner.step tuner | None -> ());
                 tuner_next := now +. tuner_period
@@ -234,13 +269,24 @@ let run ?tuner ?(tuner_steps = 40) ?telemetry ?(telemetry_steps = 40) ?tracer ?c
                 | None -> ());
                 telemetry_next := now +. telemetry_period
               end;
+              if !metrics_next <= now then begin
+                (match metrics with Some plane -> Metrics_plane.sample plane | None -> ());
+                metrics_next := now +. metrics_period
+              end;
               loop ()
             end
           end
         in
         loop ()
       in
-      let service_domains = match (tuner, telemetry) with None, None -> 0 | _ -> 1 in
+      let needs_service_for_metrics =
+        match metrics with Some _ -> metrics_steps > 0 || serving | None -> false
+      in
+      let service_domains =
+        match (tuner, telemetry) with
+        | None, None -> if needs_service_for_metrics then 1 else 0
+        | _ -> 1
+      in
       let recommended = Domain.recommended_domain_count () in
       if workers + service_domains > recommended && not !warned_oversubscription then begin
         warned_oversubscription := true;
@@ -271,6 +317,7 @@ let run ?tuner ?(tuner_steps = 40) ?telemetry ?(telemetry_steps = 40) ?tracer ?c
       Option.iter Domain.join service_domain;
       let elapsed = Unix.gettimeofday () -. start in
       clear_obs_clock ();
+      final_metrics_sample ();
       Option.iter
         (fun telemetry ->
           Telemetry.clear_clock telemetry;

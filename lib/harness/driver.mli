@@ -42,6 +42,8 @@ val run :
   ?telemetry_steps:int ->
   ?tracer:Partstm_obs.Tracer.t ->
   ?contention:Partstm_obs.Contention.t ->
+  ?metrics:Metrics_plane.t ->
+  ?metrics_steps:int ->
   ?seed:int ->
   mode:mode ->
   workers:int ->
@@ -65,4 +67,16 @@ val run :
     attaching them to the engine is the caller's job
     ({!Partstm_obs.Tracer.attach}). On the Simulated backend,
     [elapsed]/[throughput] use the actual makespan, not the nominal cycle
-    budget. *)
+    budget.
+
+    When [metrics] is given, the run installs the backend clock into the
+    plane and always takes one final {!Metrics_plane.sample} after the
+    run. [metrics_steps] (default [0]) additionally schedules that many
+    evenly spaced in-run samples — the default adds no fiber/action at
+    all, so a metrics-on Simulated run replays the metrics-off schedule
+    bit-for-bit (the plane's taps charge no virtual time). On the Domains
+    backend, in-run sampling shares the single service domain; if the
+    plane's scrape endpoint was started ({!Metrics_plane.serve}) before
+    the run, the service loop also drains it (sleeps capped at ~50ms).
+    Attaching the plane's engine tap ({!Metrics_plane.attach}) is the
+    caller's job, like [tracer]/[contention]. *)

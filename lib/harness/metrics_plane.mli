@@ -1,0 +1,68 @@
+(** The always-on metrics plane: one object bundling the striped metrics
+    registry, the OpenMetrics exporter, the SLO tracker and the
+    worker × partition affinity matrix for a partition registry.
+
+    The plane mirrors every partition's [Region_stats] counters into the
+    metrics registry on each {!sample} (service-stripe writes — the hot
+    paths keep their existing counters and never touch the plane), feeds
+    the SLO tracker from the affinity tap's whole-attempt commit/abort
+    latency histograms, and exposes everything as OpenMetrics text, either
+    one-shot ({!openmetrics}, {!save}) or over a scrape endpoint
+    ({!serve} / {!poll_server}) driven by the driver's shared service
+    domain. *)
+
+open Partstm_obs
+open Partstm_core
+
+type t
+
+val create : ?max_workers:int -> ?slos:Slo.spec list -> ?affinity_shards:int -> Registry.t -> t
+(** SLO specs resolve their [sp_source] against the plane's latency
+    histograms: ["commit"] (begin → commit) and ["abort"] (begin →
+    rollback). Raises [Invalid_argument] on an unknown source. *)
+
+val metrics : t -> Metrics.t
+val slo : t -> Slo.t
+val affinity : t -> Affinity.t
+
+val attach : t -> unit
+(** Install the affinity tap on the registry's engine (only while no
+    transaction is in flight). *)
+
+val detach : t -> unit
+
+val set_clock : t -> (unit -> int) -> unit
+(** Clock for latency histograms (virtual cycles or wall nanoseconds). *)
+
+val clear_clock : t -> unit
+
+val sample : t -> unit
+(** One sampling period: mirror every partition's [Region_stats] snapshot
+    into the registry, refresh derived gauges, close one SLO window.
+    Single-threaded (service domain / fiber). *)
+
+val samples : t -> int
+(** Number of {!sample} calls so far. *)
+
+val name_of_region : t -> int -> string
+(** Partition name for a region id ([string_of_int] fallback). *)
+
+val openmetrics : t -> string
+(** Current OpenMetrics exposition ({!Openmetrics.render}). *)
+
+val serve : ?port:int -> t -> int
+(** Start the scrape endpoint on 127.0.0.1 (default ephemeral port);
+    returns the bound port. The listener only answers while {!poll_server}
+    is being called. *)
+
+val poll_server : t -> unit
+val stop_server : t -> unit
+
+val has_server : t -> bool
+(** True between {!serve} and {!stop_server} — the driver's service loop
+    uses this to keep polling even when nothing else is scheduled. *)
+
+val save : ?dir:string -> basename:string -> t -> string list
+(** Write [basename.om] (OpenMetrics text), [basename_affinity.csv],
+    [basename_affinity.json] and [basename_slo.json] under [dir] (default
+    ["results"]); returns the paths written. *)

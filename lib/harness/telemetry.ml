@@ -244,6 +244,7 @@ let decision_json d =
       ("to", mode_json d.dc_event.Tuner.ev_to);
       ("abort_rate", Json.Float d.dc_event.Tuner.ev_abort_rate);
       ("update_ratio", Json.Float d.dc_event.Tuner.ev_update_ratio);
+      ("why", Tuning_policy.why_to_json d.dc_event.Tuner.ev_why);
     ]
 
 let to_json t =

@@ -1,0 +1,266 @@
+(* Always-on metrics registry (DESIGN.md §8.3).
+
+   Hot-path friendly by construction: a counter is a flat [int array] of
+   cache-line-sized per-worker stripes — the same single-writer-per-stripe
+   pattern as [Region_stats] — so an increment is one plain load and one
+   plain store on the worker's private line, never a CAS.  Readers sum the
+   stripes and tolerate slightly stale values; after the writing domains
+   join, sums are exact.  Striped histograms work the same way (one
+   [Util.Histogram] per worker, merged at read time).
+
+   Gauges have a single designated writer (the service domain mirrors
+   partition statistics into them); pull metrics ([gauge_fn] /
+   [histogram_fn]) evaluate a closure at export time, which is how derived
+   sources (the affinity matrix's latency histograms, SLO statuses) appear
+   in the exposition without being double-accounted.
+
+   Registration is cold and idempotent: re-registering the same
+   (name, labels) returns the existing instrument; a kind clash on a name
+   is a programming error and raises. *)
+
+open Partstm_util
+
+(* One stripe per worker plus a trailing service stripe, 16 words (128
+   bytes) apart, exactly like [Region_stats]. *)
+let stride = 16
+
+type counter = { c_cells : int array; c_stripes : int }
+type gauge = { mutable g_value : float }
+type histogram = { hs_stripes : Histogram.t array }
+
+type kind =
+  | Counter of counter
+  | Gauge of gauge
+  | Gauge_fn of (unit -> float)
+  | Histo of histogram
+  | Histo_fn of (unit -> Histogram.t)
+
+type metric = {
+  m_name : string;
+  m_help : string;
+  m_labels : (string * string) list;  (* sorted by key *)
+  mutable m_kind : kind;
+}
+
+type t = {
+  mw : int;
+  lock : Mutex.t;
+  mutable metrics : metric list;  (* reverse registration order *)
+}
+
+let create ?(max_workers = 64) () =
+  if max_workers <= 0 then invalid_arg "Metrics.create: max_workers";
+  { mw = max_workers; lock = Mutex.create (); metrics = [] }
+
+let max_workers t = t.mw
+
+(* -- Instrument operations (hot path) ------------------------------------- *)
+
+let incr c ~worker =
+  if worker < 0 || worker >= c.c_stripes then invalid_arg "Metrics.incr: worker";
+  let i = worker * stride in
+  Array.unsafe_set c.c_cells i (Array.unsafe_get c.c_cells i + 1)
+
+let add c ~worker n =
+  if worker < 0 || worker >= c.c_stripes then invalid_arg "Metrics.add: worker";
+  let i = worker * stride in
+  Array.unsafe_set c.c_cells i (Array.unsafe_get c.c_cells i + n)
+
+(* Absolute mirror write (single writer, the service stripe).  A counter is
+   either incremented per worker or set as a mirror of an external
+   monotonic total — never both (the value would double-count). *)
+let set_counter c v = c.c_cells.((c.c_stripes - 1) * stride) <- v
+
+let counter_value c =
+  let total = ref 0 in
+  for w = 0 to c.c_stripes - 1 do
+    total := !total + c.c_cells.(w * stride)
+  done;
+  !total
+
+let set_gauge g v = g.g_value <- v
+let gauge_value g = g.g_value
+
+let observe h ~worker v =
+  if worker < 0 || worker >= Array.length h.hs_stripes then
+    invalid_arg "Metrics.observe: worker";
+  Histogram.observe h.hs_stripes.(worker) v
+
+let merged h =
+  let out = Histogram.create () in
+  Array.iter (fun stripe -> Histogram.merge_into ~dst:out stripe) h.hs_stripes;
+  out
+
+(* -- Registration (cold path, under the lock) ------------------------------ *)
+
+let om_kind = function
+  | Counter _ -> Openmetrics.Counter
+  | Gauge _ | Gauge_fn _ -> Openmetrics.Gauge
+  | Histo _ | Histo_fn _ -> Openmetrics.Histogram
+
+let normalize_labels name labels =
+  let labels = List.sort (fun (a, _) (b, _) -> String.compare a b) labels in
+  let rec check = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+        if a = b then
+          invalid_arg (Printf.sprintf "Metrics: duplicate label %S on %s" a name)
+        else check rest
+    | _ -> ()
+  in
+  check labels;
+  List.iter
+    (fun (k, _) ->
+      if not (Openmetrics.valid_name k) then
+        invalid_arg (Printf.sprintf "Metrics: invalid label name %S on %s" k name))
+    labels;
+  labels
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let register t ~name ~help ~labels ~make ~extract =
+  if not (Openmetrics.valid_name name) then
+    invalid_arg (Printf.sprintf "Metrics: invalid metric name %S" name);
+  let labels = normalize_labels name labels in
+  with_lock t (fun () ->
+      match List.find_opt (fun m -> m.m_name = name && m.m_labels = labels) t.metrics with
+      | Some existing -> (
+          match extract existing.m_kind with
+          | Some instrument -> instrument
+          | None ->
+              invalid_arg
+                (Printf.sprintf "Metrics: %s re-registered with a different kind" name))
+      | None ->
+          let kind = make () in
+          (* Every label set of one name must share a kind: the exposition
+             format declares the kind once per family. *)
+          (match List.find_opt (fun m -> m.m_name = name) t.metrics with
+          | Some other when om_kind other.m_kind <> om_kind kind ->
+              invalid_arg
+                (Printf.sprintf "Metrics: %s already registered as %s" name
+                   (Openmetrics.kind_to_string (om_kind other.m_kind)))
+          | _ -> ());
+          let metric = { m_name = name; m_help = help; m_labels = labels; m_kind = kind } in
+          t.metrics <- metric :: t.metrics;
+          (match extract kind with Some instrument -> instrument | None -> assert false))
+
+let counter t ?(help = "") ?(labels = []) name =
+  register t ~name ~help ~labels
+    ~make:(fun () ->
+      Counter { c_cells = Array.make ((t.mw + 1) * stride) 0; c_stripes = t.mw + 1 })
+    ~extract:(function Counter c -> Some c | _ -> None)
+
+let gauge t ?(help = "") ?(labels = []) name =
+  register t ~name ~help ~labels
+    ~make:(fun () -> Gauge { g_value = 0.0 })
+    ~extract:(function Gauge g -> Some g | _ -> None)
+
+let histogram t ?(help = "") ?(labels = []) name =
+  register t ~name ~help ~labels
+    ~make:(fun () -> Histo { hs_stripes = Array.init (t.mw + 1) (fun _ -> Histogram.create ()) })
+    ~extract:(function Histo h -> Some h | _ -> None)
+
+(* Pull metrics: re-registration replaces the closure (a fresh run rebinds
+   its sources). *)
+let register_fn t ~name ~help ~labels kind =
+  if not (Openmetrics.valid_name name) then
+    invalid_arg (Printf.sprintf "Metrics: invalid metric name %S" name);
+  let labels = normalize_labels name labels in
+  with_lock t (fun () ->
+      match List.find_opt (fun m -> m.m_name = name && m.m_labels = labels) t.metrics with
+      | Some existing ->
+          if om_kind existing.m_kind <> om_kind kind then
+            invalid_arg
+              (Printf.sprintf "Metrics: %s re-registered with a different kind" name);
+          existing.m_kind <- kind
+      | None ->
+          (match List.find_opt (fun m -> m.m_name = name) t.metrics with
+          | Some other when om_kind other.m_kind <> om_kind kind ->
+              invalid_arg
+                (Printf.sprintf "Metrics: %s already registered as %s" name
+                   (Openmetrics.kind_to_string (om_kind other.m_kind)))
+          | _ -> ());
+          t.metrics <- { m_name = name; m_help = help; m_labels = labels; m_kind = kind } :: t.metrics)
+
+let gauge_fn t ?(help = "") ?(labels = []) name f =
+  register_fn t ~name ~help ~labels (Gauge_fn f)
+
+let histogram_fn t ?(help = "") ?(labels = []) name f =
+  register_fn t ~name ~help ~labels (Histo_fn f)
+
+(* -- Export ---------------------------------------------------------------- *)
+
+let lower_histogram name labels h =
+  let buckets = Histogram.buckets h in
+  let _, bucket_samples =
+    List.fold_left
+      (fun (cum, acc) (upper, n) ->
+        let cum = cum + n in
+        ( cum,
+          {
+            Openmetrics.s_name = name ^ "_bucket";
+            s_labels = labels @ [ ("le", string_of_int upper) ];
+            s_value = float_of_int cum;
+          }
+          :: acc ))
+      (0, []) buckets
+  in
+  List.rev bucket_samples
+  @ [
+      {
+        Openmetrics.s_name = name ^ "_bucket";
+        s_labels = labels @ [ ("le", "+Inf") ];
+        s_value = float_of_int (Histogram.count h);
+      };
+      {
+        Openmetrics.s_name = name ^ "_count";
+        s_labels = labels;
+        s_value = float_of_int (Histogram.count h);
+      };
+      {
+        Openmetrics.s_name = name ^ "_sum";
+        s_labels = labels;
+        s_value = float_of_int (Histogram.sum h);
+      };
+    ]
+
+let lower m =
+  match m.m_kind with
+  | Counter c ->
+      [
+        {
+          Openmetrics.s_name = m.m_name ^ "_total";
+          s_labels = m.m_labels;
+          s_value = float_of_int (counter_value c);
+        };
+      ]
+  | Gauge g -> [ { Openmetrics.s_name = m.m_name; s_labels = m.m_labels; s_value = g.g_value } ]
+  | Gauge_fn f -> [ { Openmetrics.s_name = m.m_name; s_labels = m.m_labels; s_value = f () } ]
+  | Histo h -> lower_histogram m.m_name m.m_labels (merged h)
+  | Histo_fn f -> lower_histogram m.m_name m.m_labels (f ())
+
+let families t =
+  let metrics = with_lock t (fun () -> List.rev t.metrics) in
+  let names = List.sort_uniq String.compare (List.map (fun m -> m.m_name) metrics) in
+  List.map
+    (fun name ->
+      let members =
+        List.filter (fun m -> m.m_name = name) metrics
+        |> List.sort (fun a b -> compare a.m_labels b.m_labels)
+      in
+      let first = List.hd members in
+      let help =
+        match List.find_opt (fun m -> m.m_help <> "") members with
+        | Some m -> m.m_help
+        | None -> ""
+      in
+      {
+        Openmetrics.f_name = name;
+        f_kind = om_kind first.m_kind;
+        f_help = help;
+        f_samples = List.concat_map lower members;
+      })
+    names
+
+let render t = Openmetrics.render (families t)

@@ -1,0 +1,73 @@
+(** Always-on metrics registry: counters, gauges and histograms striped per
+    worker in the cache-line single-writer-per-stripe pattern of
+    [Region_stats], so hot-path increments are plain loads and stores —
+    never a CAS. Readers sum stripes and tolerate slightly stale values;
+    after the writing domains join, sums are exact.
+
+    Registration is cold and idempotent: re-registering the same
+    (name, labels) returns the existing instrument; a kind clash on a name
+    raises [Invalid_argument]. *)
+
+open Partstm_util
+
+type t
+
+val create : ?max_workers:int -> unit -> t
+(** [max_workers] (default 64) fixes the per-instrument stripe count:
+    worker stripes [0 .. max_workers - 1] plus one trailing service
+    stripe. *)
+
+val max_workers : t -> int
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : t -> ?help:string -> ?labels:(string * string) list -> string -> counter
+
+val incr : counter -> worker:int -> unit
+(** One plain load + store on [worker]'s private stripe. Single writer per
+    stripe. *)
+
+val add : counter -> worker:int -> int -> unit
+
+val set_counter : counter -> int -> unit
+(** Absolute mirror write into the service stripe (single writer). A
+    counter is either incremented per worker or set as a mirror of an
+    external monotonic total — never both. *)
+
+val counter_value : counter -> int
+(** Sum of all stripes. *)
+
+(** {1 Gauges} *)
+
+type gauge
+
+val gauge : t -> ?help:string -> ?labels:(string * string) list -> string -> gauge
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+(** {1 Histograms} *)
+
+type histogram
+
+val histogram : t -> ?help:string -> ?labels:(string * string) list -> string -> histogram
+val observe : histogram -> worker:int -> int -> unit
+val merged : histogram -> Histogram.t
+
+(** {1 Pull metrics} — a closure evaluated at export time; re-registration
+    replaces the closure (a fresh run rebinds its sources). *)
+
+val gauge_fn : t -> ?help:string -> ?labels:(string * string) list -> string -> (unit -> float) -> unit
+
+val histogram_fn :
+  t -> ?help:string -> ?labels:(string * string) list -> string -> (unit -> Histogram.t) -> unit
+
+(** {1 Export} *)
+
+val families : t -> Openmetrics.family list
+(** Lowered exposition families, sorted by name (label sets sorted within a
+    family) — deterministic, so rendered artifacts are byte-diffable. *)
+
+val render : t -> string
+(** [Openmetrics.render (families t)]. *)

@@ -52,23 +52,87 @@ let latency_table ?(name_of_region = string_of_int) (c : Contention.t) =
   List.iter
     (fun (rs : Contention.region_summary) ->
       let add name h =
-        if Histogram.count h > 0 then
-          Table.add_row table
+        (* Empty histograms get an explicit "n/a" row rather than being
+           silently dropped: a partition that recorded zero aborts is a
+           finding, not a rendering accident. *)
+        let s = Histogram.summary h in
+        let row =
+          if s.Histogram.h_count = 0 then
+            [ name_of_region rs.Contention.rs_region; name; "0"; "n/a"; "n/a"; "n/a"; "n/a"; "n/a" ]
+          else
             [
               name_of_region rs.Contention.rs_region;
               name;
-              string_of_int (Histogram.count h);
-              Printf.sprintf "%.1f" (Histogram.mean h);
-              string_of_int (Histogram.percentile h 50.0);
-              string_of_int (Histogram.percentile h 95.0);
-              string_of_int (Histogram.percentile h 99.0);
-              string_of_int (Histogram.max_value h);
+              string_of_int s.Histogram.h_count;
+              Printf.sprintf "%.1f" s.Histogram.h_mean;
+              string_of_int s.Histogram.h_p50;
+              string_of_int s.Histogram.h_p95;
+              string_of_int s.Histogram.h_p99;
+              string_of_int s.Histogram.h_max;
             ]
+        in
+        Table.add_row table row
       in
       add "commit" rs.Contention.rs_commit;
       add "abort" rs.Contention.rs_abort;
       add "lock-wait" rs.Contention.rs_lock_wait)
     (Contention.summary c);
+  table
+
+(* -- SLO status ------------------------------------------------------------ *)
+
+let slo_table (slo : Slo.t) =
+  let table =
+    Table.create ~title:"SLO status"
+      ~header:
+        [ "objective"; "window-n"; "window-val"; "compliance"; "violations"; "burn"; "status" ]
+  in
+  List.iter
+    (fun (st : Slo.status) ->
+      Table.add_row table
+        [
+          Printf.sprintf "%s<%d" st.Slo.st_name st.Slo.st_threshold;
+          string_of_int st.Slo.st_window_count;
+          (if st.Slo.st_window_count = 0 then "n/a" else string_of_int st.Slo.st_window_value);
+          Printf.sprintf "%.4f" st.Slo.st_compliance;
+          Printf.sprintf "%d/%d" st.Slo.st_violations st.Slo.st_windows;
+          Printf.sprintf "%.2f" st.Slo.st_budget_burn;
+          (if st.Slo.st_window_ok then "ok" else "VIOLATED");
+        ])
+    (Slo.statuses slo);
+  table
+
+(* -- Affinity matrix -------------------------------------------------------- *)
+
+let affinity_table ?(name_of_region = string_of_int) (a : Affinity.t) =
+  let cells = Affinity.cells a in
+  let regions =
+    List.sort_uniq compare (List.map (fun c -> c.Affinity.ax_region) cells)
+  in
+  let workers = List.sort_uniq compare (List.map (fun c -> c.Affinity.ax_worker) cells) in
+  let table =
+    Table.create ~title:"worker x partition affinity (reads+writes, commits/aborts)"
+      ~header:("worker" :: List.map name_of_region regions)
+  in
+  List.iter
+    (fun w ->
+      let row =
+        List.map
+          (fun r ->
+            match
+              List.find_opt
+                (fun c -> c.Affinity.ax_worker = w && c.Affinity.ax_region = r)
+                cells
+            with
+            | None -> "-"
+            | Some c ->
+                Printf.sprintf "%d %d/%d"
+                  (c.Affinity.ax_reads + c.Affinity.ax_writes)
+                  c.Affinity.ax_commits c.Affinity.ax_aborts)
+          regions
+      in
+      Table.add_row table (string_of_int w :: row))
+    workers;
   table
 
 (* -- Heatmap --------------------------------------------------------------- *)

@@ -11,7 +11,16 @@ val hot_slots_table : ?top_k:int -> ?name_of_region:(int -> string) -> Contentio
 
 val latency_table : ?name_of_region:(int -> string) -> Contention.t -> Table.t
 (** Per-partition commit/abort/lock-wait latency count, mean, p50/p95/p99
-    and max; empty histograms are omitted. *)
+    and max; empty histograms render as an explicit ["n/a"] row (count 0)
+    rather than being omitted. *)
+
+val slo_table : Slo.t -> Table.t
+(** One row per objective: last-window size and quantile value, cumulative
+    compliance, violated/evaluated windows, error-budget burn and status. *)
+
+val affinity_table : ?name_of_region:(int -> string) -> Affinity.t -> Table.t
+(** Worker rows × partition columns; each cell shows total accesses
+    (reads+writes) and commits/aborts. *)
 
 val heatmap : ?width:int -> ?name_of_region:(int -> string) -> Contention.t -> string
 (** One row per partition: the lock table compressed to at most [width]

@@ -29,6 +29,11 @@ let cause_to_string = function
 
 type recorder = {
   rec_begin : txn:int -> worker:int -> rv:int -> unit;
+  rec_touch : txn:int -> region:int -> unit;
+      (* first touch of [region] by the current attempt, exactly once per
+         active region entry — the set of regions reported by [rec_touch]
+         between a [rec_begin] and its [rec_commit]/[rec_abort] is exactly
+         the set whose per-region commit/abort counters that attempt bumps *)
   rec_read : txn:int -> region:int -> slot:int -> version:int -> unit;
   rec_write : txn:int -> region:int -> slot:int -> unit;
   rec_commit : txn:int -> stamp:int -> unit;
@@ -51,6 +56,7 @@ type recorder = {
 let null_recorder =
   {
     rec_begin = (fun ~txn:_ ~worker:_ ~rv:_ -> ());
+    rec_touch = (fun ~txn:_ ~region:_ -> ());
     rec_read = (fun ~txn:_ ~region:_ ~slot:_ ~version:_ -> ());
     rec_write = (fun ~txn:_ ~region:_ ~slot:_ -> ());
     rec_commit = (fun ~txn:_ ~stamp:_ -> ());
@@ -146,6 +152,7 @@ let compose = function
       Some
         {
           rec_begin = (fun ~txn ~worker ~rv -> each (fun r -> r.rec_begin ~txn ~worker ~rv));
+          rec_touch = (fun ~txn ~region -> each (fun r -> r.rec_touch ~txn ~region));
           rec_read =
             (fun ~txn ~region ~slot ~version ->
               each (fun r -> r.rec_read ~txn ~region ~slot ~version));

@@ -13,6 +13,13 @@ val cause_to_string : abort_cause -> string
 
 type recorder = {
   rec_begin : txn:int -> worker:int -> rv:int -> unit;
+  rec_touch : txn:int -> region:int -> unit;
+      (** first touch of [region] by the current attempt, exactly once per
+          activated region entry. The regions reported between a
+          [rec_begin] and its [rec_commit]/[rec_abort] are exactly those
+          whose per-region [Region_stats] commit/abort counters that
+          attempt bumps — the affinity matrix ([Obs.Affinity]) relies on
+          this to reconcile against {!Region_stats} totals. *)
   rec_read : txn:int -> region:int -> slot:int -> version:int -> unit;
   rec_write : txn:int -> region:int -> slot:int -> unit;
   rec_commit : txn:int -> stamp:int -> unit;

@@ -218,7 +218,10 @@ let activate t (e : region_entry) =
   e.re_epoch <- t.txn_epoch;
   t.cur_region_id <- region.Region.id;
   t.cur_stripe <- e.re_stripe;
-  t.cur_epoch <- t.txn_epoch
+  t.cur_epoch <- t.txn_epoch;
+  match t.engine.Engine.recorder with
+  | None -> ()
+  | Some r -> r.Engine.rec_touch ~txn:t.id ~region:region.Region.id
 
 (* Top-level recursion: this runs once per read/write on the
    zero-allocation fast path; a local [let rec] capturing [t] and [region]

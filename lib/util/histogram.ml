@@ -18,6 +18,7 @@ let observe t v =
   if v > t.max_seen then t.max_seen <- v
 
 let count t = t.count
+let sum t = t.sum
 let mean t = if t.count = 0 then 0.0 else float_of_int t.sum /. float_of_int t.count
 let max_value t = t.max_seen
 
@@ -49,11 +50,39 @@ let percentile t p =
     in
     loop 0 0
 
+(* Observations known to be <= [limit]: the buckets whose inclusive upper
+   bound is <= [limit].  The bucket straddling [limit] counts as above it,
+   so thresholds effectively round down to a bucket boundary — conservative
+   for SLO accounting (never under-reports violations). *)
+let count_le t limit =
+  let rec loop acc b =
+    if b >= bucket_count || bucket_upper b > limit then acc
+    else loop (acc + t.buckets.(b)) (b + 1)
+  in
+  if limit < 0 then 0 else loop 0 0
+
 let merge_into ~dst src =
   Array.iteri (fun i n -> dst.buckets.(i) <- dst.buckets.(i) + n) src.buckets;
   dst.count <- dst.count + src.count;
   dst.sum <- dst.sum + src.sum;
   if src.max_seen > dst.max_seen then dst.max_seen <- src.max_seen
+
+let copy t =
+  { buckets = Array.copy t.buckets; count = t.count; sum = t.sum; max_seen = t.max_seen }
+
+(* Bucket-wise window between two snapshots of the same (monotonically
+   growing) histogram.  The window maximum is not derivable from bucket
+   counts, so [max_seen] is carried over from [current] (cumulative max —
+   documented in the mli). *)
+let diff ~current ~previous =
+  let d = create () in
+  for b = 0 to bucket_count - 1 do
+    d.buckets.(b) <- max 0 (current.buckets.(b) - previous.buckets.(b))
+  done;
+  d.count <- max 0 (current.count - previous.count);
+  d.sum <- max 0 (current.sum - previous.sum);
+  d.max_seen <- current.max_seen;
+  d
 
 let reset t =
   Array.fill t.buckets 0 bucket_count 0;
@@ -77,6 +106,30 @@ let to_json t =
              (fun (upper, n) -> Json.Obj [ ("le", Json.Int upper); ("n", Json.Int n) ])
              (buckets t)) );
     ]
+
+(* Single-record summary for reports.  Total on all inputs: an empty
+   histogram yields the all-zero summary (count 0 distinguishes it), never
+   NaN or an exception — Report.latency_table renders it as "n/a". *)
+type summary = {
+  h_count : int;
+  h_sum : int;
+  h_mean : float;
+  h_max : int;
+  h_p50 : int;
+  h_p95 : int;
+  h_p99 : int;
+}
+
+let summary t =
+  {
+    h_count = t.count;
+    h_sum = t.sum;
+    h_mean = mean t;
+    h_max = t.max_seen;
+    h_p50 = percentile t 50.0;
+    h_p95 = percentile t 95.0;
+    h_p99 = percentile t 99.0;
+  }
 
 let pp ppf t =
   Fmt.pf ppf "count=%d mean=%.1f max=%d p50<=%d p99<=%d" t.count (mean t) t.max_seen

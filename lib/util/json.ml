@@ -268,6 +268,20 @@ let rec merge base update =
       Obj (merged @ appended)
   | _, update -> update
 
+(* -- Canonical form ----------------------------------------------------------- *)
+
+(* Recursively sort object keys (stable, byte order).  Producers that build
+   objects from hash tables or other iteration-order-dependent sources pass
+   their snapshot through [canonical] before [to_string], so metrics and
+   telemetry artifacts are byte-diffable across runs.  List order is
+   preserved — it is data, not presentation. *)
+let rec canonical = function
+  | Obj fields ->
+      let fields = List.map (fun (key, value) -> (key, canonical value)) fields in
+      Obj (List.stable_sort (fun (a, _) (b, _) -> String.compare a b) fields)
+  | List items -> List (List.map canonical items)
+  | other -> other
+
 (* -- Accessors (for tests and report consumers) ------------------------------ *)
 
 let member key = function Obj fields -> List.assoc_opt key fields | _ -> None

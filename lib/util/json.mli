@@ -23,6 +23,12 @@ val merge : t -> t -> t
     in order; non-object values take [update]. Lets a bench arm refresh
     its keys in a committed report without clobbering other arms'. *)
 
+val canonical : t -> t
+(** Recursively sort object keys (stable, byte order); list order is
+    preserved. Pass snapshots built from iteration-order-dependent sources
+    (hash tables) through [canonical] before {!to_string} so exported
+    artifacts are byte-diffable across runs. *)
+
 val member : string -> t -> t option
 val to_list : t -> t list option
 val to_float : t -> float option

@@ -12,10 +12,14 @@ type summary = {
   p99 : float;
 }
 
+(* Total on all inputs: the empty array yields 0.0 (the documented "no
+   samples" value — no exception), a single sample is every percentile of
+   itself, and NaN samples order last under [Float.compare], so the result
+   is always a well-defined function of the multiset of samples. *)
 let percentile_of_sorted sorted p =
   let n = Array.length sorted in
-  if n = 0 then invalid_arg "Stats.percentile_of_sorted";
-  if n = 1 then sorted.(0)
+  if n = 0 then 0.0
+  else if n = 1 then sorted.(0)
   else
     let rank = p /. 100.0 *. float_of_int (n - 1) in
     let lo = int_of_float (Float.floor rank) in
@@ -23,9 +27,13 @@ let percentile_of_sorted sorted p =
     let frac = rank -. float_of_int lo in
     (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
 
+let empty_summary =
+  { count = 0; mean = 0.0; stddev = 0.0; min = 0.0; max = 0.0; p50 = 0.0; p90 = 0.0; p99 = 0.0 }
+
 let summarize samples =
   let n = Array.length samples in
-  if n = 0 then invalid_arg "Stats.summarize";
+  if n = 0 then empty_summary
+  else
   let sorted = Array.copy samples in
   Array.sort Float.compare sorted;
   let sum = Array.fold_left ( +. ) 0.0 sorted in

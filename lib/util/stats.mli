@@ -12,11 +12,22 @@ type summary = {
 }
 
 val summarize : float array -> summary
-(** Raises [Invalid_argument] on an empty array. *)
+(** Total on all inputs. An empty array yields the all-zero summary
+    ([count = 0] distinguishes it from real data); a single sample has
+    [stddev = 0] and is every percentile of itself. Sorting uses
+    [Float.compare], a total order (NaNs sort after every number), so the
+    result is a well-defined function of the multiset of samples —
+    callers need no pre-checks. *)
 
 val percentile_of_sorted : float array -> float -> float
 (** [percentile_of_sorted sorted p] linearly interpolates the [p]-th
-    percentile (0-100) of an already-sorted array. *)
+    percentile (0-100) of an array sorted with [Float.compare]. Total on
+    all inputs: the empty array yields [0.0] (the documented "no samples"
+    value — no exception) and a single sample is every percentile of
+    itself. *)
+
+val empty_summary : summary
+(** The all-zero summary returned by {!summarize} on an empty array. *)
 
 type online
 (** Welford online mean/variance accumulator (single writer). *)

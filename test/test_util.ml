@@ -155,15 +155,27 @@ let test_summarize_single () =
   check (Alcotest.float 1e-9) "stddev" 0.0 s.Stats.stddev;
   check (Alcotest.float 1e-9) "p99" 7.0 s.Stats.p99
 
+(* Regression: summarize and percentile_of_sorted are total. The empty
+   array yields the documented all-zero summary / 0.0 percentile — no
+   exception — so report code needs no pre-checks. *)
 let test_summarize_empty () =
-  Alcotest.check_raises "empty" (Invalid_argument "Stats.summarize") (fun () ->
-      ignore (Stats.summarize [||]))
+  check Alcotest.bool "empty yields empty_summary" true
+    (Stats.summarize [||] = Stats.empty_summary);
+  check Alcotest.int "empty_summary count is 0" 0 Stats.empty_summary.Stats.count;
+  check (Alcotest.float 1e-9) "empty percentile is 0" 0.0
+    (Stats.percentile_of_sorted [||] 99.0)
 
 let test_percentile_interpolation () =
   let sorted = [| 0.0; 10.0 |] in
   check (Alcotest.float 1e-9) "p50 midpoint" 5.0 (Stats.percentile_of_sorted sorted 50.0);
   check (Alcotest.float 1e-9) "p0" 0.0 (Stats.percentile_of_sorted sorted 0.0);
-  check (Alcotest.float 1e-9) "p100" 10.0 (Stats.percentile_of_sorted sorted 100.0)
+  check (Alcotest.float 1e-9) "p100" 10.0 (Stats.percentile_of_sorted sorted 100.0);
+  (* A single sample is every percentile of itself. *)
+  List.iter
+    (fun p ->
+      check (Alcotest.float 1e-9) (Printf.sprintf "single p%.0f" p) 7.0
+        (Stats.percentile_of_sorted [| 7.0 |] p))
+    [ 0.0; 50.0; 100.0 ]
 
 let prop_online_matches_batch =
   qtest "online mean/stddev matches batch"
@@ -353,6 +365,28 @@ let test_json_accessors () =
   check Alcotest.bool "missing member" true (Json.member "zzz" value = None);
   check Alcotest.(option (float 1e-9)) "int as float" (Some 7.0)
     (Json.to_float (Json.Int 7))
+
+(* Regression: [Json.canonical] makes serialization a function of the JSON
+   value, not of construction order — two objects built with their keys in
+   opposite orders serialize to identical bytes (the artifact-diffability
+   contract the metrics/affinity/SLO exporters rely on). *)
+let test_json_canonical () =
+  let nested fields = Json.Obj [ ("outer", Json.Obj fields); ("z", Json.Int 1) ] in
+  let a = nested [ ("beta", Json.Int 2); ("alpha", Json.String "x") ] in
+  let b = Json.Obj [ ("z", Json.Int 1); ("outer", Json.Obj [ ("alpha", Json.String "x"); ("beta", Json.Int 2) ]) ] in
+  check Alcotest.string "canonical bytes independent of key order"
+    (Json.to_string (Json.canonical a))
+    (Json.to_string (Json.canonical b));
+  check Alcotest.bool "non-canonical orders differ" true
+    (Json.to_string a <> Json.to_string b);
+  (* List order is data, not presentation: it must be preserved. *)
+  let l = Json.List [ Json.Int 3; Json.Int 1; Json.Int 2 ] in
+  check Alcotest.string "list order preserved" (Json.to_string l)
+    (Json.to_string (Json.canonical l));
+  (* canonical is idempotent. *)
+  check Alcotest.string "idempotent"
+    (Json.to_string (Json.canonical a))
+    (Json.to_string (Json.canonical (Json.canonical a)))
 
 (* -- Vec ------------------------------------------------------------------- *)
 
@@ -613,6 +647,7 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
           Alcotest.test_case "parse basics" `Quick test_json_parse_basics;
           Alcotest.test_case "accessors" `Quick test_json_accessors;
+          Alcotest.test_case "canonical ordering" `Quick test_json_canonical;
         ] );
       ( "vec",
         [
