@@ -32,8 +32,5 @@ let run (cfg : Bench_config.t) =
   (match cfg.Bench_config.csv_dir with
   | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
   | _ -> ());
-  let oc = open_out path in
-  output_string oc (Partstm_util.Json.to_string (Scaling.to_json report));
-  output_char oc '\n';
-  close_out oc;
+  Partstm_util.Json.merge_into_file ~path (Scaling.to_json report);
   Printf.printf "(json: %s)\n" path

@@ -3,9 +3,11 @@
    identical simulated schedules, plus the tuner-autonomy phase, written to
    BENCH_M1.json.  All measurement logic lives in
    [Partstm_workloads.Protocol_bench]; this file picks the sweep size and
-   the output location.  The report is written through [Json.merge] over
-   any existing file, so re-running one arm refreshes its keys without
-   clobbering keys another run committed. *)
+   the output location.  The report is written through
+   [Json.merge_into_file]: merged over any existing file (re-running one
+   arm refreshes its keys without clobbering keys another run committed)
+   and renamed into place atomically, so an interrupted run cannot leave a
+   truncated artifact. *)
 
 open Partstm_workloads
 module Json = Partstm_util.Json
@@ -19,17 +21,6 @@ let show_verdict (name, verdict) =
   match verdict with
   | `Passed -> Printf.printf "check %-24s passed\n" name
   | `Failed reason -> Printf.printf "check %-24s FAILED: %s\n" name reason
-
-let read_existing path =
-  if not (Sys.file_exists path) then Json.Obj []
-  else
-    let ic = open_in_bin path in
-    let contents =
-      Fun.protect
-        ~finally:(fun () -> close_in ic)
-        (fun () -> really_input_string ic (in_channel_length ic))
-    in
-    match Json.of_string contents with Ok doc -> doc | Error _ -> Json.Obj []
 
 let run (cfg : Bench_config.t) =
   Bench_config.section "R-M1: protocol comparison (sv / mv / ctl) + tuner autonomy";
@@ -48,9 +39,5 @@ let run (cfg : Bench_config.t) =
   (match cfg.Bench_config.csv_dir with
   | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
   | _ -> ());
-  let merged = Json.merge (read_existing path) (Protocol_bench.to_json report) in
-  let oc = open_out path in
-  output_string oc (Json.to_string merged);
-  output_char oc '\n';
-  close_out oc;
+  Json.merge_into_file ~path (Protocol_bench.to_json report);
   Printf.printf "(json: %s)\n" path

@@ -25,6 +25,7 @@ let experiments =
     ("p1", "descriptor fast-path per-op cost & schedule equivalence", Exp_p1.run);
     ("d1", "domains hardware scaling: padded vs boxed (BENCH_D1.json)", Exp_d1.run);
     ("m1", "protocol comparison: sv / mv / ctl + tuner autonomy (BENCH_M1.json)", Exp_m1.run);
+    ("y1", "YCSB phased traffic + social-feed app (BENCH_Y1.json)", Exp_y1.run);
   ]
 
 let run_selected selected quick csv_dir =
@@ -56,7 +57,7 @@ let run_selected selected quick csv_dir =
 open Cmdliner
 
 let selected_arg =
-  let doc = "Run only the given experiment (repeatable). Known ids: t1 f1 f2 f3 f4 f5 t2 t3 a1 a2 a3 o1 obs2 p1 d1 m1." in
+  let doc = "Run only the given experiment (repeatable). Known ids: t1 f1 f2 f3 f4 f5 t2 t3 a1 a2 a3 o1 obs2 p1 d1 m1 y1." in
   Arg.(value & opt_all string [] & info [ "e"; "experiment" ] ~docv:"ID" ~doc)
 
 let quick_arg =

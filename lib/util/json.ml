@@ -296,3 +296,40 @@ let to_float = function
 let to_int = function Int i -> Some i | _ -> None
 
 let to_str = function String s -> Some s | _ -> None
+
+(* -- Committed-artifact rewrite ----------------------------------------------- *)
+
+(* Atomic read-merge-write for committed BENCH_*.json artifacts.  The new
+   document is merged over whatever is already on disk (see [merge]) and
+   written to a temporary file in the same directory, then renamed into
+   place — a rename is atomic on POSIX filesystems, so an interrupted run
+   can never commit a truncated artifact for the perf-regression gate to
+   misparse.  An existing file that fails to parse is treated as absent. *)
+let merge_into_file ~path doc =
+  let existing =
+    if not (Sys.file_exists path) then Obj []
+    else
+      let ic = open_in_bin path in
+      let contents =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      match of_string contents with Ok existing -> existing | Error _ -> Obj []
+  in
+  let merged = merge existing doc in
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir (Filename.basename path ^ ".") ".tmp" in
+  (match
+     let oc = open_out tmp in
+     Fun.protect
+       ~finally:(fun () -> close_out oc)
+       (fun () ->
+         output_string oc (to_string merged);
+         output_char oc '\n')
+   with
+  | () -> ()
+  | exception e ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e);
+  Sys.rename tmp path

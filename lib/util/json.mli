@@ -34,3 +34,10 @@ val to_list : t -> t list option
 val to_float : t -> float option
 val to_int : t -> int option
 val to_str : t -> string option
+
+val merge_into_file : path:string -> t -> unit
+(** [merge_into_file ~path doc] merges [doc] over the JSON document at
+    [path] (missing or unparseable files count as empty) and rewrites the
+    file atomically: the merged bytes go to a temporary file in the same
+    directory which is then renamed over [path], so a crashed or
+    interrupted run can never leave a truncated artifact behind. *)

@@ -1,0 +1,75 @@
+(* Zipf(θ) rank generator, Gray et al. inverse-CDF method (SIGMOD '94),
+   as used by YCSB's ZipfianGenerator.  ζ(n, θ) is precomputed at [make];
+   sampling inverts the CDF in closed form, so each draw costs one uniform
+   variate and O(1) float work.
+
+   The inversion: with u ~ U(0,1), uz = u·ζ(n,θ),
+     uz < 1            -> rank 0
+     uz < 1 + (1/2)^θ  -> rank 1
+     otherwise         -> ⌊n · (η·u - η + 1)^α⌋
+   where α = 1/(1-θ) and η = (1 - (2/n)^(1-θ)) / (1 - ζ(2,θ)/ζ(n,θ)).
+   The first two branches make the approximation exact for the two hottest
+   ranks, which carry most of the skew. *)
+
+type t = {
+  z_n : int;
+  z_theta : float;
+  z_zetan : float;
+  z_alpha : float;  (* 1 / (1 - θ) *)
+  z_eta : float;
+  z_half_pow_theta : float;  (* (1/2)^θ *)
+}
+
+let zeta ~n ~theta =
+  if n <= 0 then invalid_arg "Zipf.zeta";
+  let acc = ref 0.0 in
+  for i = 1 to n do
+    acc := !acc +. (1.0 /. Float.pow (float_of_int i) theta)
+  done;
+  !acc
+
+let make ~n ~theta =
+  if n <= 0 then invalid_arg "Zipf.make: n must be positive";
+  if theta < 0.0 || theta >= 1.0 then invalid_arg "Zipf.make: theta must be in [0, 1)";
+  let zetan = zeta ~n ~theta in
+  let zeta2 = if n >= 2 then zeta ~n:2 ~theta else zetan in
+  let alpha = 1.0 /. (1.0 -. theta) in
+  let eta =
+    if n >= 2 then
+      (1.0 -. Float.pow (2.0 /. float_of_int n) (1.0 -. theta))
+      /. (1.0 -. (zeta2 /. zetan))
+    else 1.0
+  in
+  {
+    z_n = n;
+    z_theta = theta;
+    z_zetan = zetan;
+    z_alpha = alpha;
+    z_eta = eta;
+    z_half_pow_theta = Float.pow 0.5 theta;
+  }
+
+let n t = t.z_n
+let theta t = t.z_theta
+
+let sample t rng =
+  if t.z_n = 1 then 0
+  else if t.z_theta = 0.0 then Rng.int rng t.z_n
+  else begin
+    let u = Rng.float rng in
+    let uz = u *. t.z_zetan in
+    if uz < 1.0 then 0
+    else if uz < 1.0 +. t.z_half_pow_theta then 1
+    else
+      let r =
+        int_of_float
+          (float_of_int t.z_n *. Float.pow ((t.z_eta *. u) -. t.z_eta +. 1.0) t.z_alpha)
+      in
+      (* Float rounding can graze the upper edge; clamp into range. *)
+      if r >= t.z_n then t.z_n - 1 else if r < 0 then 0 else r
+  end
+
+let mass t ~rank =
+  if rank < 0 || rank >= t.z_n then invalid_arg "Zipf.mass";
+  if t.z_theta = 0.0 then 1.0 /. float_of_int t.z_n
+  else 1.0 /. Float.pow (float_of_int (rank + 1)) t.z_theta /. t.z_zetan

@@ -1,0 +1,34 @@
+(** Zipf(θ)-distributed rank generator over [0, n) — the YCSB key
+    distribution.  Gray et al.'s inverse-CDF method ("Quickly Generating
+    Billion-Record Synthetic Databases", SIGMOD '94): the generalized
+    harmonic number ζ(n, θ) is precomputed once at {!make}, after which
+    every {!sample} is O(1) — one uniform draw and a handful of float
+    operations, no per-sample search and no O(n) CDF table.
+
+    Rank 0 is the hottest key: P(rank = k) = (1/(k+1)^θ) / ζ(n, θ).
+    θ = 0 degenerates to the uniform distribution; θ must be in [0, 1)
+    (the Gray inversion needs 1 - θ > 0; YCSB's default is θ = 0.99).
+
+    Determinism: a sampler holds no mutable state — all randomness comes
+    from the {!Rng.t} passed to {!sample}, so per-worker streams derived
+    with {!Rng.split} yield independent, reproducible key sequences and
+    the sampler itself can be shared between workers. *)
+
+type t
+
+val make : n:int -> theta:float -> t
+(** Precompute ζ(n, θ) and the inversion constants.  O(n) once.
+    Raises [Invalid_argument] unless [n > 0] and [0 <= theta < 1]. *)
+
+val n : t -> int
+val theta : t -> float
+
+val sample : t -> Rng.t -> int
+(** Draw one rank in [0, n); rank 0 is the most probable. O(1). *)
+
+val zeta : n:int -> theta:float -> float
+(** The generalized harmonic number ζ(n, θ) = Σ_{i=1..n} 1/i^θ — exposed
+    so tests can compare observed key masses against the closed form. *)
+
+val mass : t -> rank:int -> float
+(** Expected probability of [rank]: (1/(rank+1)^θ) / ζ(n, θ). *)
